@@ -1,0 +1,30 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark module reproduces one experiment from DESIGN.md §4 (the
+per-experiment index).  Benchmarks print the table/series rows the paper's
+evaluation would show (run with ``-s`` to see them) and attach the same
+numbers as ``extra_info`` so ``--benchmark-json`` output carries them too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Render one experiment table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table

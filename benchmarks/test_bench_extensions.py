@@ -1,0 +1,79 @@
+"""Extension measurements (not paper experiments; flagged in DESIGN.md §6):
+
+- freeze/thaw cycle cost and image size;
+- SpaceAdmin query costs over a populated space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.itinerary import Itinerary, seq
+from repro.server import SpaceAdmin, deploy
+from repro.simnet import VirtualNetwork, full_mesh
+from repro.util.concurrency import wait_until
+from tests.conftest import StallNaplet
+
+
+@pytest.fixture
+def populated_space():
+    network = VirtualNetwork(full_mesh(5, prefix="x"))
+    servers = deploy(network)
+    admin = SpaceAdmin(servers)
+    ids = []
+    for index in range(8):
+        agent = StallNaplet(f"job-{index}", spin_seconds=120.0)
+        agent.set_itinerary(Itinerary(seq(f"x{(index % 4) + 1:02d}")))
+        ids.append(servers["x00"].launch(agent, owner=f"owner{index % 2}"))
+    assert wait_until(lambda: len(admin.alive_naplets()) == 8, timeout=15)
+    yield network, servers, admin, ids
+    admin.terminate_all()
+    admin.wait_space_idle(15)
+    network.shutdown()
+
+
+class TestFreezeThawCost:
+    def test_bench_freeze_thaw_cycle(self, benchmark, populated_space, table):
+        network, servers, admin, ids = populated_space
+        target = ids[0]
+
+        def cycle():
+            host = admin.locate(target)
+            image = servers[host].freeze_naplet(target)
+            # revive on a different host each time
+            others = [h for h in admin.hostnames if h != host and h != "x00"]
+            servers[others[0]].thaw_naplet(image)
+            assert wait_until(lambda: admin.locate(target) is not None, timeout=10)
+            return image
+
+        image = benchmark.pedantic(cycle, rounds=5, iterations=1)
+        table(
+            "EXT-a — freeze/thaw cycle",
+            ["metric", "value"],
+            [["frozen image bytes", len(image)],
+             ["journey footprints", len(admin.trace(target))]],
+        )
+        assert len(image) > 0
+
+
+class TestAdminQueryCost:
+    def test_bench_alive_naplets(self, benchmark, populated_space):
+        _network, _servers, admin, _ids = populated_space
+        alive = benchmark(admin.alive_naplets)
+        assert len(alive) == 8
+
+    def test_bench_status(self, benchmark, populated_space):
+        _network, _servers, admin, ids = populated_space
+        status = benchmark(admin.status, ids[3])
+        assert status.alive
+
+    def test_bench_space_summary(self, benchmark, populated_space, table):
+        _network, _servers, admin, _ids = populated_space
+        rows = benchmark(admin.space_summary)
+        table(
+            "EXT-b — space summary (8 resident naplets, 5 servers)",
+            ["server", "residents", "admitted"],
+            [[r.hostname, r.residents, r.admitted_total] for r in rows],
+        )
+        assert sum(r.residents for r in rows) == 8

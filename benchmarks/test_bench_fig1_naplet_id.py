@@ -1,0 +1,67 @@
+"""E1 (Figure 1): hierarchical naplet identifiers.
+
+Reproduces the figure's content executably — the id tree
+``czxu@ece:010512172720:{0,1,2.0,2.1,2.2}`` — and benchmarks the identifier
+operations (mint, clone, parse) the runtime performs on every launch/fork.
+"""
+
+from __future__ import annotations
+
+from repro.core.naplet_id import NapletID
+
+
+def _build_clone_tree(depth: int, fanout: int) -> list[NapletID]:
+    root = NapletID(owner="czxu", home="ece", stamp="010512172720", heritage=(0,))
+    tree = [root]
+    frontier = [root]
+    for _level in range(depth):
+        next_frontier = []
+        for node in frontier:
+            for _k in range(fanout):
+                child = node.next_clone()
+                tree.append(child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return tree
+
+
+class TestFigure1:
+    def test_paper_identifier_renders_exactly(self, benchmark, table):
+        """The figure's identifiers, regenerated."""
+
+        def regenerate():
+            root = NapletID(owner="czxu", home="ece", stamp="010512172720", heritage=(2,))
+            out = [[str(root.generation_originator())]]
+            for _ in range(2):
+                out.append([str(root.next_clone())])
+            return out
+
+        rows = benchmark(regenerate)
+        table("Fig. 1 — hierarchical naplet IDs (generation of naplet :2)",
+              ["identifier"], rows)
+        assert rows[0] == ["czxu@ece:010512172720:2.0"]
+        assert rows[1] == ["czxu@ece:010512172720:2.1"]
+        assert rows[2] == ["czxu@ece:010512172720:2.2"]
+
+    def test_bench_clone_tree(self, benchmark, table):
+        """Cost of recursive cloning (depth 4, fanout 3 = 121 ids)."""
+        tree = benchmark(_build_clone_tree, 4, 3)
+        assert len(tree) == 1 + 3 + 9 + 27 + 81
+        # every id unique, every child a descendant of the root
+        assert len({str(n) for n in tree}) == len(tree)
+        root = tree[0]
+        assert all(root.is_ancestor_of(n) for n in tree[1:])
+        benchmark.extra_info["ids_built"] = len(tree)
+
+    def test_bench_parse(self, benchmark):
+        text = "czxu@ece.eng.wayne.edu:010512172720:2.1.4.7"
+        nid = benchmark(NapletID.parse, text)
+        assert str(nid) == text
+
+    def test_bench_lineage_walk(self, benchmark):
+        nid = NapletID(
+            owner="czxu", home="ece", stamp="010512172720",
+            heritage=tuple([0] + [1] * 15),
+        )
+        lineage = benchmark(lambda: list(nid.lineage()))
+        assert len(lineage) == 16

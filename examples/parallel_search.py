@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Parallel and sequential search with conditional visits (paper §3).
+
+A "document" is hidden on one host's DataStore.  Two strategies find it:
+
+- **sequential search**: one agent tours the hosts; every visit after the
+  first is a *conditional visit* guarded on the search-done flag, so the
+  route ends early once the document is found (the paper's
+  ``<C -> S; T>`` motivating case);
+- **parallel search**: a Par itinerary fans out one clone per host; each
+  finder reports home, and the home side terminates the still-running
+  siblings with a system TERMINATE message — "success of the search in a
+  naplet may need to terminate the execution of the others".
+
+Run:  python examples/parallel_search.py
+"""
+
+from __future__ import annotations
+
+import queue
+
+import repro
+from repro.hpc import DATASTORE_SERVICE, DataStore
+from repro.itinerary import (
+    Itinerary,
+    ParPattern,
+    ResultReport,
+    SeqPattern,
+    StateFlagClear,
+)
+from repro.server import deploy
+from repro.simnet import VirtualNetwork, ring
+
+
+class SearchNaplet(repro.Naplet):
+    """Looks for a named document in each host's datastore."""
+
+    def __init__(self, name: str, document: str, **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self.document = document
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        store = context.open_service(DATASTORE_SERVICE)
+        if store.has(self.document):
+            self.state.set("found_at", context.hostname)
+            self.state.set("done", True)  # trips the conditional guards
+            print(f"  [{context.hostname}] found {self.document!r}!")
+        else:
+            print(f"  [{context.hostname}] not here")
+        self.travel()
+
+
+def build_network(n: int, hide_at: str, document: str):
+    network = VirtualNetwork(ring(n, prefix="node", latency=0.001))
+    servers = deploy(network)
+    for hostname, server in servers.items():
+        store = DataStore()
+        if hostname == hide_at:
+            store.put(document, [1.0])
+        server.register_open_service(DATASTORE_SERVICE, store)
+    return network, servers
+
+
+def sequential(document: str = "report.pdf") -> None:
+    print("— sequential search (conditional visits stop the tour early) —")
+    network, servers = build_network(6, hide_at="node02", document=document)
+    route = [f"node{i:02d}" for i in range(1, 6)]
+    listener = repro.NapletListener()
+    agent = SearchNaplet("seq-searcher", document)
+    # Conditional tour, then return home to report whatever was found —
+    # the guarded visits are skipped once state["done"] trips.
+    from repro.itinerary import SingletonPattern, seq
+
+    tour = SeqPattern.of_servers(route, guard=StateFlagClear("done"))
+    report_home = SingletonPattern.to("node00", post_action=ResultReport("found_at"))
+    agent.set_itinerary(Itinerary(seq(tour, report_home)))
+    servers["node00"].launch(agent, owner="searcher", listener=listener)
+    report = listener.next_report(timeout=10)
+    print(f"found at: {report.payload}  (tour ended early, remaining visits skipped)\n")
+    network.shutdown()
+
+
+def parallel(document: str = "report.pdf") -> None:
+    print("— parallel search (first hit terminates the siblings) —")
+    network, servers = build_network(6, hide_at="node04", document=document)
+    targets = [f"node{i:02d}" for i in range(1, 6)]
+    listener = repro.NapletListener()
+    agent = SearchNaplet("par-searcher", document)
+    agent.set_itinerary(
+        Itinerary(
+            ParPattern.of_servers(targets, per_branch_action=ResultReport("found_at"))
+        )
+    )
+    home = servers["node00"]
+    home.launch(agent, owner="searcher", listener=listener)
+
+    winner = None
+    losers = []
+    for _ in targets:
+        try:
+            envelope = listener.next_report(timeout=10)
+        except queue.Empty:
+            break
+        if envelope.payload is not None and winner is None:
+            winner = envelope
+            # Terminate the remaining siblings by naplet id.
+            for nid in agent.address_book.naplet_ids():
+                if nid != envelope.reporter:
+                    try:
+                        home.terminate_naplet(nid)
+                    except repro.NapletError:
+                        pass  # already finished
+        else:
+            losers.append(envelope.reporter)
+    assert winner is not None
+    print(f"winner: {winner.reporter} found it at {winner.payload}")
+    network.shutdown()
+
+
+if __name__ == "__main__":
+    sequential()
+    parallel()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Periodic network monitoring with a repeating itinerary (extension).
+
+One monitoring naplet tours every managed device M times using
+``repeat(seq(devices), M)`` and reports per-round CPU-load snapshots —
+filtering at the source: only devices above the alert threshold appear in
+the report, so the management station's link carries alerts, not samples.
+
+Run:  python examples/periodic_monitoring.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.itinerary import Itinerary, repeat, seq
+from repro.man import SERVICE_NAME, net_management_factory
+from repro.server import SpaceAdmin, deploy
+from repro.simnet import VirtualNetwork, star
+from repro.snmp import DeviceProfile, ManagedDevice, SnmpAgent
+
+ROUNDS = 3
+ALERT_THRESHOLD = 0.45
+
+
+class MonitorNaplet(repro.Naplet):
+    """Samples cpuLoad at each stop; keeps only above-threshold readings."""
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        if context.hostname == "station":
+            self.travel()  # home stop: nothing to sample, just report
+        channel = context.service_channel(SERVICE_NAME)
+        channel.get_naplet_writer().write_line("cpuLoad;sysUpTime")
+        sample = channel.get_naplet_reader().read_line()
+        load = sample["cpuLoad"]
+        alerts = list(self.state.get("alerts") or [])
+        if load is not None and load >= ALERT_THRESHOLD:
+            alerts.append((context.hostname, sample["sysUpTime"], load))
+            self.state.set("alerts", alerts)
+        samples = int(self.state.get("samples") or 0)
+        self.state.set("samples", samples + 1)
+        self.travel()
+
+
+def main() -> None:
+    network = VirtualNetwork(star(4, latency=0.001))
+    servers = deploy(network)
+    devices = sorted(h for h in servers if h != "station")
+    for index, hostname in enumerate(devices):
+        agent = SnmpAgent(ManagedDevice(DeviceProfile(hostname=hostname), seed=index * 3 + 1))
+        servers[hostname].register_privileged_service(
+            SERVICE_NAME, net_management_factory(agent)
+        )
+
+    from repro.itinerary import ResultReport, singleton
+
+    listener = repro.NapletListener()
+    monitor = MonitorNaplet("cpu-watch")
+    tour = repeat(seq(*devices), ROUNDS)
+    # return to the station at the end to deliver the alert digest
+    plan = seq(tour, singleton("station", post_action=ResultReport()))
+    monitor.set_itinerary(Itinerary(plan))
+
+    admin = SpaceAdmin(servers)
+    nid = servers["station"].launch(monitor, owner="noc", listener=listener)
+    report = listener.next_report(timeout=30)
+
+    payload = report.payload
+    print(f"monitoring naplet : {nid}")
+    print(f"rounds            : {ROUNDS} over {len(devices)} devices "
+          f"({payload['samples']} device samples)")
+    alerts = payload.get("alerts") or []
+    print(f"alerts (load >= {ALERT_THRESHOLD}):")
+    for hostname, uptime_ticks, load in alerts:
+        print(f"  {hostname}: load={load:.2f} at uptime {uptime_ticks} ticks")
+    print(f"journey           : {len(admin.trace(nid))} footprints across the space")
+    assert payload["samples"] == ROUNDS * len(devices)
+    network.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""The paper's §2.1 shopping agent: state protection modes in action.
+
+A shopping naplet tours vendor hosts collecting price quotes:
+
+- gathered quotes live in a **PRIVATE** state entry — visited servers
+  cannot read a competitor's bid (the paper's confidentiality case);
+- the agent also carries a **PROTECTED** "catalog-notes" entry that only
+  the *trusted* vendors may update — "a naplet server can update a
+  returning naplet with new information";
+- vendors trying to peek at the private entry get a StateAccessError.
+
+Run:  python examples/shopping_agent.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.core import AccessMode, StateAccessError
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.server import deploy
+from repro.simnet import VirtualNetwork, ring
+
+PRODUCT = "sparc-ultra-10"  # it is 2002, after all
+PRICES = {"vendor01": 4200.0, "vendor02": 3950.0, "vendor03": 4480.0}
+TRUSTED = {"vendor02"}
+
+
+class PriceDesk:
+    """Stationary vendor service: quotes prices, annotates trusted agents."""
+
+    def __init__(self, hostname: str) -> None:
+        self.hostname = hostname
+        self.snoop_attempts = 0
+
+    def quote(self, product: str) -> float:
+        return PRICES[self.hostname] if product == PRODUCT else float("nan")
+
+    def annotate(self, naplet: repro.Naplet) -> str:
+        """Try to read the agent's private quotes, then update the
+        protected notes if this vendor is allowed to."""
+        try:
+            naplet.state.server_get("quotes", self.hostname)
+        except StateAccessError:
+            self.snoop_attempts += 1  # private state held: snooping denied
+        try:
+            naplet.state.server_set(
+                "catalog_notes",
+                f"{self.hostname}: restock of {PRODUCT} expected next week",
+                self.hostname,
+            )
+            return "updated"
+        except StateAccessError:
+            return "not trusted"
+
+
+class ShoppingNaplet(repro.Naplet):
+    def on_start(self) -> None:
+        context = self.require_context()
+        desk: PriceDesk = context.open_service("price-desk")
+        quotes = dict(self.state.get("quotes") or {})
+        quotes[context.hostname] = desk.quote(PRODUCT)
+        self.state.set("quotes", quotes, mode=AccessMode.PRIVATE)
+        verdict = desk.annotate(self)
+        print(f"  [{context.hostname}] quoted {quotes[context.hostname]:.2f}, "
+              f"annotation: {verdict}")
+        self.travel()
+
+
+def main() -> None:
+    network = VirtualNetwork(ring(4, prefix="vendor", latency=0.001))
+    servers = deploy(network)
+    desks = {}
+    for hostname, server in servers.items():
+        desk = PriceDesk(hostname)
+        desks[hostname] = desk
+        server.register_open_service("price-desk", desk)
+
+    listener = repro.NapletListener()
+    agent = ShoppingNaplet("shopper")
+    # protected notes: only the trusted vendor may write
+    agent.state.set(
+        "catalog_notes", None, mode=AccessMode.PROTECTED, allowed_servers=TRUSTED
+    )
+    agent.set_itinerary(
+        Itinerary(
+            SeqPattern.of_servers(
+                ["vendor01", "vendor02", "vendor03"], post_action=ResultReport()
+            )
+        )
+    )
+    servers["vendor00"].launch(agent, owner="buyer", listener=listener)
+    report = listener.next_report(timeout=10)
+
+    quotes = report.payload["quotes"]
+    best = min(quotes, key=quotes.get)
+    print(f"\nbest offer : {best} at {quotes[best]:.2f}")
+    print(f"notes      : {report.payload['catalog_notes']}")
+    snoops = sum(d.snoop_attempts for d in desks.values())
+    print(f"snooping   : {snoops} denied attempts on the private quote book")
+    assert best == "vendor02"
+    assert "vendor02" in (report.payload["catalog_notes"] or "")
+    network.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Operating a naplet space: monitoring, control, freeze/thaw.
+
+A small operations story over one space:
+
+1. several long-running worker naplets are launched across the hosts;
+2. the SpaceAdmin console shows who is alive where, with usage numbers;
+3. one misbehaving worker is suspended, inspected, resumed;
+4. another is **frozen** — checkpointed to bytes (as if its server were
+   being drained for maintenance) — and **thawed** on a different host,
+   where it carries on;
+5. finally everything is terminated and the per-server summary printed.
+
+Run:  python examples/space_administration.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.itinerary import Itinerary, seq
+from repro.server import SpaceAdmin, deploy
+from repro.simnet import VirtualNetwork, full_mesh
+
+
+class Worker(repro.Naplet):
+    """Simulates a long-running measurement job; checkpoints cooperatively."""
+
+    def on_start(self) -> None:
+        rounds = int(self.state.get("rounds") or 0)
+        while True:
+            rounds += 1
+            self.state.set("rounds", rounds)
+            self.checkpoint()
+            time.sleep(0.01)
+
+
+def main() -> None:
+    network = VirtualNetwork(full_mesh(4, prefix="op"))
+    servers = deploy(network)
+    admin = SpaceAdmin(servers)
+
+    ids = []
+    for index, host in enumerate(["op01", "op02", "op03"]):
+        worker = Worker(f"job-{index}")
+        worker.set_itinerary(Itinerary(seq(host)))
+        ids.append(servers["op00"].launch(worker, owner="ops"))
+    time.sleep(0.15)
+
+    print("— alive naplets —")
+    for nid, host in sorted(admin.alive_naplets().items(), key=lambda kv: str(kv[0])):
+        status = admin.status(nid)
+        print(f"  {nid} @ {host}  cpu={status.cpu_seconds:.3f}s")
+
+    # suspend / inspect / resume the first worker
+    victim = ids[0]
+    admin.suspend(victim)
+    time.sleep(0.1)
+    print(f"\nsuspended {victim}; still alive: {admin.status(victim).alive}")
+    admin.resume(victim)
+
+    # freeze the second worker and revive it on a different host
+    frozen_id = ids[1]
+    host_before = admin.locate(frozen_id)
+    image = servers[host_before].freeze_naplet(frozen_id)
+    print(f"\nfroze {frozen_id} on {host_before}: {len(image)} bytes")
+    servers["op03"].thaw_naplet(image)
+    time.sleep(0.1)
+    print(f"thawed on {admin.locate(frozen_id)} "
+          f"(journey so far: {len(admin.trace(frozen_id))} footprints)")
+
+    killed = admin.terminate_all()
+    admin.wait_space_idle(10)
+    print(f"\nterminated {killed} naplets; space summary:")
+    for row in admin.space_summary():
+        print(f"  {row.hostname}: admitted={row.admitted_total} "
+              f"outcomes={row.outcomes}")
+    network.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Lazy code loading (paper §2.1: codebase URL + on-demand class loading)."""
+
+from repro.codeshipping.codebase import (
+    SHIPPING_STAMP,
+    CodeBase,
+    CodeBaseRegistry,
+    CodeCache,
+)
+from repro.codeshipping.loader import (
+    DEFAULT_ALLOWED_IMPORTS,
+    DENIED_BUILTINS,
+    RestrictedLoader,
+)
+from repro.codeshipping.shipping import resolver_installed, shipping_stamp_of
+
+__all__ = [
+    "CodeBase",
+    "CodeBaseRegistry",
+    "CodeCache",
+    "RestrictedLoader",
+    "SHIPPING_STAMP",
+    "DEFAULT_ALLOWED_IMPORTS",
+    "DENIED_BUILTINS",
+    "resolver_installed",
+    "shipping_stamp_of",
+]

@@ -1,0 +1,106 @@
+"""Best-effort restricted execution of shipped agent code.
+
+The paper relies on the JVM's class loader and JDK security manager for
+confinement.  CPython offers no equivalent boundary, so — as DESIGN.md
+documents — this loader is a *best-effort* confinement, not a security
+boundary (the paper itself notes "no special security managers and class
+loaders have actually been implemented" in its release).
+
+Shipped source executes in a fresh module namespace whose builtins exclude
+process-control and filesystem primitives, and whose ``__import__`` only
+admits an allowlist of module prefixes (the framework itself, stdlib data
+helpers, and the math stack agents legitimately need).
+"""
+
+from __future__ import annotations
+
+import builtins
+import types
+from typing import Any, Iterable
+
+from repro.core.errors import CodeShippingError
+
+__all__ = ["DEFAULT_ALLOWED_IMPORTS", "DENIED_BUILTINS", "RestrictedLoader"]
+
+DEFAULT_ALLOWED_IMPORTS: tuple[str, ...] = (
+    "__future__",
+    "repro",
+    "abc",
+    "collections",
+    "dataclasses",
+    "enum",
+    "functools",
+    "itertools",
+    "math",
+    "random",
+    "statistics",
+    "string",
+    "time",
+    "typing",
+    "numpy",
+)
+
+DENIED_BUILTINS: frozenset[str] = frozenset(
+    {
+        "open",
+        "exec",
+        "eval",
+        "compile",
+        "input",
+        "breakpoint",
+        "exit",
+        "quit",
+        "help",
+        "memoryview",
+        "vars",
+        "globals",
+        "locals",
+    }
+)
+
+
+class RestrictedLoader:
+    """Executes shipped source into isolated module namespaces."""
+
+    def __init__(self, allowed_imports: Iterable[str] | None = None) -> None:
+        self.allowed_imports = tuple(allowed_imports or DEFAULT_ALLOWED_IMPORTS)
+
+    def _restricted_import(self, name: str, *args: Any, **kwargs: Any) -> Any:
+        root = name.split(".", 1)[0]
+        if root not in self.allowed_imports:
+            raise CodeShippingError(
+                f"shipped code may not import {name!r} "
+                f"(allowed roots: {', '.join(self.allowed_imports)})"
+            )
+        return builtins.__import__(name, *args, **kwargs)
+
+    def _build_builtins(self) -> dict[str, Any]:
+        safe: dict[str, Any] = {}
+        for name in dir(builtins):
+            if name.startswith("_") and name not in ("__build_class__",):
+                continue
+            if name in DENIED_BUILTINS:
+                continue
+            safe[name] = getattr(builtins, name)
+        safe["__import__"] = self._restricted_import
+        safe["__build_class__"] = builtins.__build_class__
+        safe["__name__"] = "builtins"
+        return safe
+
+    def execute(self, source: str, module_name: str) -> types.ModuleType:
+        """Run *source* in a fresh module named *module_name*.
+
+        The module is NOT installed in ``sys.modules`` — per-server code
+        caches keep their own namespaces so lazy loading stays observable
+        per server even inside one process.
+        """
+        module = types.ModuleType(module_name)
+        module.__dict__["__builtins__"] = self._build_builtins()
+        try:
+            code = compile(source, filename=f"<codebase:{module_name}>", mode="exec")
+            exec(code, module.__dict__)
+        except CodeShippingError:
+            raise
+        except Exception as exc:
+            raise CodeShippingError(f"shipped module {module_name!r} failed to execute: {exc}") from exc
+        return module

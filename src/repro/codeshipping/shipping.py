@@ -1,0 +1,69 @@
+"""Shipping hooks connecting codebases to pickle.
+
+Instances of stamped classes (see :mod:`repro.codeshipping.codebase`) are
+reduced to ``(_reconstruct_shipped, (codebase, module, qualname), state)``
+instead of a by-import-path class reference.  ``_reconstruct_shipped`` runs
+on the destination during unpickling and resolves the class through the
+*current resolver* — a thread-local the deserializing server installs around
+``loads`` — so cache misses trigger a lazy codebase fetch at exactly the
+moment the paper prescribes: on demand, at the last moment possible.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.codeshipping.codebase import SHIPPING_STAMP, CodeCache
+from repro.core.errors import CodeShippingError
+
+__all__ = [
+    "shipping_stamp_of",
+    "current_resolver",
+    "resolver_installed",
+    "_reconstruct_shipped",
+]
+
+_local = threading.local()
+
+
+def shipping_stamp_of(obj: Any) -> tuple[str, str, str] | None:
+    """The (codebase, module, qualname) stamp of *obj*'s class, if stamped.
+
+    The stamp must live on the class itself (not inherited from a stamped
+    base): a subclass someone forgot to bundle must not silently ship under
+    its parent's identity.
+    """
+    cls = type(obj)
+    stamp = cls.__dict__.get(SHIPPING_STAMP)
+    if stamp is None:
+        return None
+    return stamp  # type: ignore[return-value]
+
+
+@contextmanager
+def resolver_installed(resolver: CodeCache) -> Iterator[None]:
+    """Bind *resolver* as this thread's class resolver during unpickling."""
+    previous = getattr(_local, "resolver", None)
+    _local.resolver = resolver
+    try:
+        yield
+    finally:
+        _local.resolver = previous
+
+
+def current_resolver() -> CodeCache | None:
+    return getattr(_local, "resolver", None)
+
+
+def _reconstruct_shipped(codebase: str, module_key: str, qualname: str) -> Any:
+    """Unpickling entry point: build a bare instance of a shipped class."""
+    resolver = current_resolver()
+    if resolver is None:
+        raise CodeShippingError(
+            f"cannot reconstruct shipped class {qualname!r}: no code resolver "
+            "installed on this thread (deserialize through NapletSerializer)"
+        )
+    cls = resolver.resolve(codebase, module_key, qualname)
+    return cls.__new__(cls)

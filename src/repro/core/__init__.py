@@ -1,0 +1,75 @@
+"""Core Naplet programming model (paper §2.1).
+
+Public surface: the :class:`Naplet` agent base class and the value objects
+it carries — :class:`NapletID`, :class:`Credential`, :class:`NapletState`,
+:class:`AddressBook`, :class:`NavigationLog` — plus the transient
+:class:`NapletContext` and the error hierarchy.
+"""
+
+from repro.core.address_book import AddressBook, AddressEntry
+from repro.core.context import NapletContext
+from repro.core.credential import Credential, SigningAuthority
+from repro.core.errors import (
+    CodeShippingError,
+    CredentialError,
+    ItineraryError,
+    LandingDeniedError,
+    LaunchDeniedError,
+    NapletCommunicationError,
+    NapletError,
+    NapletInterrupted,
+    NapletLocationError,
+    NapletMigrationError,
+    NapletSecurityError,
+    NapletTerminated,
+    PermissionDeniedError,
+    ResourceError,
+    ResourceLimitExceeded,
+    SerializationError,
+    ServiceChannelClosed,
+    ServiceNotFoundError,
+    StateAccessError,
+)
+from repro.core.listener import ListenerRef, NapletListener, ReportEnvelope
+from repro.core.naplet import Naplet
+from repro.core.naplet_id import NapletID
+from repro.core.navigation_log import NavigationLog, NavigationRecord
+from repro.core.state import AccessMode, NapletState, ProtectedNapletState
+
+__all__ = [
+    "Naplet",
+    "NapletID",
+    "Credential",
+    "SigningAuthority",
+    "NapletState",
+    "ProtectedNapletState",
+    "AccessMode",
+    "AddressBook",
+    "AddressEntry",
+    "NavigationLog",
+    "NavigationRecord",
+    "NapletContext",
+    "NapletListener",
+    "ListenerRef",
+    "ReportEnvelope",
+    # errors
+    "NapletError",
+    "NapletCommunicationError",
+    "NapletLocationError",
+    "NapletMigrationError",
+    "LaunchDeniedError",
+    "LandingDeniedError",
+    "NapletSecurityError",
+    "PermissionDeniedError",
+    "CredentialError",
+    "ResourceError",
+    "ResourceLimitExceeded",
+    "ServiceNotFoundError",
+    "ServiceChannelClosed",
+    "ItineraryError",
+    "StateAccessError",
+    "NapletInterrupted",
+    "NapletTerminated",
+    "SerializationError",
+    "CodeShippingError",
+]

@@ -1,0 +1,168 @@
+"""Transient runtime context bound to a naplet at arrival (paper §2.1).
+
+The :class:`NapletContext` defines the confined environment a naplet executes
+in.  It provides references to the *dispatch proxy* (migration), the
+*messenger* (communication), and *stationary application services* on the
+current server.  It is transient: never serialized for migration, and rebound
+by the destination's resource manager when the naplet lands.
+
+To avoid import cycles the context is defined against small structural
+protocols; the concrete providers live in :mod:`repro.server`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+from repro.core.errors import NapletError, ServiceNotFoundError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.naplet_id import NapletID
+
+__all__ = [
+    "DispatchProxy",
+    "MessengerProxy",
+    "ServiceProxy",
+    "CheckpointHook",
+    "NapletContext",
+]
+
+
+@runtime_checkable
+class DispatchProxy(Protocol):
+    """Migration interface the Navigator exposes to a resident naplet."""
+
+    def dispatch(self, naplet: Any, destination: str) -> None:
+        """Move *naplet* to *destination*; does not return on success."""
+        ...
+
+    def spawn_clone(self, naplet: Any, clone: Any, destination: str) -> "NapletID":
+        """Launch *clone* of *naplet* toward *destination*; returns its id."""
+        ...
+
+
+@runtime_checkable
+class MessengerProxy(Protocol):
+    """Messaging interface scoped to one resident naplet."""
+
+    def post_message(self, server_urn: str | None, target: "NapletID", body: Any) -> None: ...
+
+    def get_message(self, timeout: float | None = None) -> Any: ...
+
+    def poll_message(self) -> Any | None: ...
+
+
+@runtime_checkable
+class ServiceProxy(Protocol):
+    """Resource-manager interface scoped to one resident naplet."""
+
+    def open_service(self, name: str) -> Any:
+        """Handler for a non-privileged (open) service."""
+        ...
+
+    def request_service_channel(self, name: str) -> Any:
+        """Naplet-side endpoint of a channel to a privileged service."""
+        ...
+
+    def service_channel_list(self) -> dict[str, Any]:
+        """Channels already granted to this naplet, keyed by service name."""
+        ...
+
+
+@runtime_checkable
+class CheckpointHook(Protocol):
+    """Monitor hook the naplet calls at cooperative checkpoints."""
+
+    def checkpoint(self) -> None: ...
+
+
+class NapletContext:
+    """Confined execution environment for one naplet on one server.
+
+    Parameters are the per-server facades; ``server_urn`` names the hosting
+    server (e.g. ``naplet://hostA``) and ``hostname`` its bare host.
+    """
+
+    def __init__(
+        self,
+        server_urn: str,
+        hostname: str,
+        dispatcher: DispatchProxy,
+        messenger: MessengerProxy,
+        services: ServiceProxy,
+        monitor_hook: CheckpointHook | None = None,
+        extras: dict[str, Any] | None = None,
+    ) -> None:
+        self._server_urn = server_urn
+        self._hostname = hostname
+        self._dispatcher = dispatcher
+        self._messenger = messenger
+        self._services = services
+        self._monitor_hook = monitor_hook
+        self._extras = dict(extras or {})
+
+    # -- identity of the hosting server --------------------------------- #
+
+    @property
+    def server_urn(self) -> str:
+        return self._server_urn
+
+    @property
+    def hostname(self) -> str:
+        return self._hostname
+
+    # -- facades --------------------------------------------------------- #
+
+    @property
+    def dispatcher(self) -> DispatchProxy:
+        return self._dispatcher
+
+    @property
+    def messenger(self) -> MessengerProxy:
+        return self._messenger
+
+    @property
+    def services(self) -> ServiceProxy:
+        return self._services
+
+    def open_service(self, name: str) -> Any:
+        return self._services.open_service(name)
+
+    def service_channel(self, name: str) -> Any:
+        """Fetch (or request) the channel to privileged service *name*."""
+        granted = self._services.service_channel_list()
+        if name in granted:
+            return granted[name]
+        try:
+            return self._services.request_service_channel(name)
+        except ServiceNotFoundError:
+            raise
+        except NapletError:
+            raise
+
+    def service_channel_list(self) -> dict[str, Any]:
+        return self._services.service_channel_list()
+
+    def extra(self, key: str, default: Any = None) -> Any:
+        """Server-specific extension point (e.g. simulation clock access)."""
+        return self._extras.get(key, default)
+
+    # -- cooperative scheduling ------------------------------------------ #
+
+    def checkpoint(self) -> None:
+        """Cooperative scheduling point: deliver pending interrupts & quotas.
+
+        Long-running naplet code should call this periodically; the monitor
+        raises :class:`~repro.core.errors.NapletInterrupted` (or a quota
+        error) from inside.
+        """
+        if self._monitor_hook is not None:
+            self._monitor_hook.checkpoint()
+
+    # -- transient-ness ---------------------------------------------------- #
+
+    def __reduce__(self) -> tuple[Any, ...]:  # pragma: no cover - defensive
+        raise TypeError(
+            "NapletContext is transient and must not be serialized; "
+            "the runtime rebinds it on arrival"
+        )

@@ -1,0 +1,88 @@
+"""Home-side result listener (paper §6: ``NapletListener``).
+
+A naplet is created with an optional listener to receive information it
+reports from the field (``nap.getListener().report(...)`` in the paper's
+listings).  The listener object living at home is *not* serializable — what
+travels with the naplet is a :class:`ListenerRef`: home server URN plus a
+listener key.  ``report()`` on the ref posts a user message addressed to the
+home server's listener registry via the current context's messenger.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["NapletListener", "ListenerRef", "ReportEnvelope"]
+
+
+@dataclass(frozen=True)
+class ReportEnvelope:
+    """One report delivered to a home listener."""
+
+    listener_key: str
+    reporter: Any  # NapletID of the reporting naplet
+    payload: Any
+
+
+class NapletListener:
+    """Queue-backed receiver of reports from travelling naplets.
+
+    Lives at the naplet's home; the launching API registers it with the home
+    server under a unique key and hands the matching :class:`ListenerRef` to
+    the naplet.  An optional callback is invoked synchronously on each
+    report in addition to queueing.
+    """
+
+    def __init__(self, callback: Callable[[ReportEnvelope], None] | None = None) -> None:
+        self._queue: "queue.Queue[ReportEnvelope]" = queue.Queue()
+        self._callback = callback
+        self._lock = threading.Lock()
+        self._received = 0
+
+    def deliver(self, envelope: ReportEnvelope) -> None:
+        with self._lock:
+            self._received += 1
+        self._queue.put(envelope)
+        if self._callback is not None:
+            self._callback(envelope)
+
+    def reports(self, count: int, timeout: float | None = 10.0) -> list[ReportEnvelope]:
+        """Block for *count* reports; raises ``queue.Empty`` on timeout."""
+        return [self._queue.get(timeout=timeout) for _ in range(count)]
+
+    def next_report(self, timeout: float | None = 10.0) -> ReportEnvelope:
+        return self._queue.get(timeout=timeout)
+
+    def try_next(self) -> ReportEnvelope | None:
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    @property
+    def received(self) -> int:
+        with self._lock:
+            return self._received
+
+
+@dataclass(frozen=True)
+class ListenerRef:
+    """Serializable handle naming a listener at a home server."""
+
+    home_urn: str
+    listener_key: str
+
+    def report(self, naplet: Any, payload: Any) -> None:
+        """Send *payload* home through the naplet's current messenger.
+
+        ``naplet`` must be context-bound (i.e. currently resident at a
+        server); the runtime routes the report as a listener-directed system
+        delivery to the home server.
+        """
+        context = naplet.context
+        if context is None:
+            raise RuntimeError("cannot report: naplet has no bound context")
+        context.messenger.post_report(self.home_urn, self.listener_key, payload)

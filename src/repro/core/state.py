@@ -1,0 +1,180 @@
+"""Application-specific agent state with protection modes (paper §2.1).
+
+Objects inside the :class:`NapletState` container live in one of three
+protection modes:
+
+- ``PRIVATE``   — accessible to the naplet only;
+- ``PUBLIC``    — accessible to any naplet server in the itinerary;
+- ``PROTECTED`` — accessible only to specific named servers (so, e.g., a
+  server can update a returning naplet with new information).
+
+The paper's prose enumerates "private, public, and private"; the third mode
+is clearly the *protected*, server-scoped one described in the following
+sentences, and that is what we implement.
+
+Access is mediated by *principals*: the naplet itself accesses its state
+through :meth:`get`/:meth:`set` (always allowed); servers access it through
+:meth:`server_get`/:meth:`server_set` with their hostname, checked against
+the entry's mode.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.errors import StateAccessError
+
+__all__ = ["AccessMode", "NapletState", "ProtectedNapletState"]
+
+
+class AccessMode(enum.Enum):
+    """Protection mode of a state entry."""
+
+    PRIVATE = "private"
+    PUBLIC = "public"
+    PROTECTED = "protected"
+
+
+@dataclass
+class _Entry:
+    value: Any
+    mode: AccessMode
+    allowed_servers: frozenset[str]
+
+
+class NapletState:
+    """Serializable container of application agent state.
+
+    The container itself is a mapping of string keys to entries; each entry
+    carries its own protection mode.  The default mode for plain ``set`` is
+    ``PRIVATE`` — confidential by default, as the paper's shopping-agent
+    example requires.
+    """
+
+    def __init__(self, default_mode: AccessMode = AccessMode.PRIVATE) -> None:
+        self._entries: dict[str, _Entry] = {}
+        self._default_mode = default_mode
+        self._lock = threading.RLock()
+
+    # -- naplet-side access (always permitted) -------------------------- #
+
+    def set(
+        self,
+        key: str,
+        value: Any,
+        mode: AccessMode | None = None,
+        allowed_servers: frozenset[str] | set[str] | None = None,
+    ) -> None:
+        """Store *value* under *key* with the given protection mode.
+
+        ``allowed_servers`` is only meaningful for ``PROTECTED`` entries and
+        names the servers permitted to read/update the entry.
+        """
+        mode = mode or self._default_mode
+        if mode is AccessMode.PROTECTED and not allowed_servers:
+            raise ValueError("PROTECTED entries need a non-empty allowed_servers set")
+        if mode is not AccessMode.PROTECTED and allowed_servers:
+            raise ValueError("allowed_servers only applies to PROTECTED entries")
+        with self._lock:
+            self._entries[key] = _Entry(
+                value=value,
+                mode=mode,
+                allowed_servers=frozenset(allowed_servers or ()),
+            )
+
+    def get(self, key: str, default: Any = None) -> Any:
+        with self._lock:
+            entry = self._entries.get(key)
+            return default if entry is None else entry.value
+
+    def update(self, key: str, value: Any) -> None:
+        """Replace the value of an existing entry, keeping its mode."""
+        with self._lock:
+            if key not in self._entries:
+                raise KeyError(key)
+            self._entries[key].value = value
+
+    def delete(self, key: str) -> None:
+        with self._lock:
+            del self._entries[key]
+
+    def mode_of(self, key: str) -> AccessMode:
+        with self._lock:
+            return self._entries[key].mode
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    # -- server-side access (mode-checked) ------------------------------ #
+
+    def _check(self, key: str, server: str) -> _Entry:
+        entry = self._entries.get(key)
+        if entry is None:
+            raise KeyError(key)
+        if entry.mode is AccessMode.PUBLIC:
+            return entry
+        if entry.mode is AccessMode.PROTECTED and server in entry.allowed_servers:
+            return entry
+        raise StateAccessError(
+            f"server {server!r} may not access {entry.mode.value} state entry {key!r}"
+        )
+
+    def server_get(self, key: str, server: str) -> Any:
+        """Read *key* on behalf of *server*; raises StateAccessError if denied."""
+        with self._lock:
+            return self._check(key, server).value
+
+    def server_set(self, key: str, value: Any, server: str) -> None:
+        """Update *key* on behalf of *server* (e.g. refreshing a returning naplet)."""
+        with self._lock:
+            self._check(key, server).value = value
+
+    def visible_to(self, server: str) -> dict[str, Any]:
+        """All entries the given server is allowed to see."""
+        out: dict[str, Any] = {}
+        with self._lock:
+            for key, entry in self._entries.items():
+                if entry.mode is AccessMode.PUBLIC or (
+                    entry.mode is AccessMode.PROTECTED and server in entry.allowed_servers
+                ):
+                    out[key] = entry.value
+        return out
+
+    # -- pickling -------------------------------------------------------- #
+
+    def __getstate__(self) -> dict[str, Any]:
+        with self._lock:
+            return {"entries": dict(self._entries), "default_mode": self._default_mode}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._entries = dict(state["entries"])
+        self._default_mode = state["default_mode"]
+        self._lock = threading.RLock()
+
+
+class ProtectedNapletState(NapletState):
+    """NapletState whose default entries are PROTECTED-to-itinerary servers.
+
+    The paper's MAN listing reserves a ``ProtectedNapletState`` space for
+    gathered device information; here such a container defaults new entries
+    to PUBLIC-to-servers visibility so servers can deposit results, while
+    still allowing explicit PRIVATE entries.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(default_mode=AccessMode.PUBLIC)

@@ -1,0 +1,25 @@
+"""Distributed-computation workloads over the naplet space."""
+
+from repro.hpc.naplet import (
+    MonteCarloPiNaplet,
+    ShardAggregateNaplet,
+    combine_mean_reports,
+    combine_pi_reports,
+)
+from repro.hpc.service import (
+    DATASTORE_SERVICE,
+    MATH_SERVICE,
+    DataStore,
+    MathService,
+)
+
+__all__ = [
+    "MathService",
+    "DataStore",
+    "MATH_SERVICE",
+    "DATASTORE_SERVICE",
+    "MonteCarloPiNaplet",
+    "ShardAggregateNaplet",
+    "combine_pi_reports",
+    "combine_mean_reports",
+]

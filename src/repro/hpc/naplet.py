@@ -1,0 +1,146 @@
+"""Compute naplets: parallel computation via itineraries.
+
+Two workloads exercising the "mobile agents for global computing" use the
+paper inherits from its Traveler companion:
+
+- :class:`MonteCarloPiNaplet` — embarrassingly parallel sampling: a Par
+  itinerary spawns one child per host; each child asks the host's math
+  service for its sample counts and reports a partial result home;
+- :class:`ShardAggregateNaplet` — data-local aggregation: shards live in
+  per-host DataStores; a Seq tour accumulates (sum, count) pairs and
+  reports one global mean, or a Par fan-out reports partials.
+
+Both return tiny summaries instead of raw data — the network-load argument
+(§1 reason (a)) in computational clothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.listener import ListenerRef, NapletListener, ReportEnvelope
+from repro.core.naplet import Naplet
+from repro.hpc.service import DATASTORE_SERVICE, MATH_SERVICE
+from repro.itinerary.itinerary import Itinerary
+from repro.itinerary.operable import Operable
+from repro.itinerary.pattern import ParPattern, SeqPattern
+
+__all__ = [
+    "MonteCarloPiNaplet",
+    "ShardAggregateNaplet",
+    "combine_pi_reports",
+    "combine_mean_reports",
+]
+
+
+@dataclass(frozen=True)
+class _ReportState(Operable):
+    """Report selected state keys home as a dict."""
+
+    keys: tuple[str, ...]
+
+    def operate(self, naplet: Naplet) -> None:
+        naplet.report_home({key: naplet.state.get(key) for key in self.keys})
+
+
+class MonteCarloPiNaplet(Naplet):
+    """Estimate pi by sampling on every host in parallel."""
+
+    def __init__(
+        self,
+        name: str,
+        servers: Sequence[str],
+        samples_per_host: int,
+        seed: int = 1234,
+        listener: ListenerRef | None = None,
+    ) -> None:
+        super().__init__(name, listener=listener)
+        self.samples_per_host = samples_per_host
+        self.seed = seed
+        itinerary = Itinerary(
+            ParPattern.of_servers(
+                list(servers),
+                per_branch_action=_ReportState(("inside", "samples", "host")),
+            )
+        )
+        self.set_itinerary(itinerary)
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        math = context.open_service(MATH_SERVICE)
+        # Derive a per-agent seed from the clone heritage so children draw
+        # independent streams deterministically.
+        heritage = self.naplet_id.heritage
+        seed = self.seed + sum(h * 1009**i for i, h in enumerate(heritage, 1))
+        inside = math.monte_carlo_inside(self.samples_per_host, seed)
+        self.state.set("inside", inside)
+        self.state.set("samples", self.samples_per_host)
+        self.state.set("host", context.hostname)
+        self.travel()
+
+
+def combine_pi_reports(listener: NapletListener, expected: int, timeout: float = 30.0) -> float:
+    """Gather *expected* partial reports and return the pi estimate."""
+    inside = 0
+    samples = 0
+    for envelope in listener.reports(expected, timeout=timeout):
+        inside += envelope.payload["inside"]
+        samples += envelope.payload["samples"]
+    if samples == 0:
+        raise ValueError("no samples gathered")
+    return 4.0 * inside / samples
+
+
+class ShardAggregateNaplet(Naplet):
+    """Compute a global mean over per-host data shards.
+
+    ``mode='seq'`` sends one agent around, accumulating (sum, count);
+    ``mode='par'`` fans out children that each report a partial.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        servers: Sequence[str],
+        shard_key: str,
+        mode: str = "seq",
+        listener: ListenerRef | None = None,
+    ) -> None:
+        super().__init__(name, listener=listener)
+        self.shard_key = shard_key
+        report = _ReportState(("sum", "count"))
+        if mode == "seq":
+            itinerary = Itinerary(
+                SeqPattern.of_servers(list(servers), post_action=report)
+            )
+        elif mode == "par":
+            itinerary = Itinerary(
+                ParPattern.of_servers(list(servers), per_branch_action=report)
+            )
+        else:
+            raise ValueError(f"mode must be 'seq' or 'par', got {mode!r}")
+        self.mode = mode
+        self.set_itinerary(itinerary)
+        self.state.set("sum", 0.0)
+        self.state.set("count", 0)
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        store = context.open_service(DATASTORE_SERVICE)
+        if store.has(self.shard_key):
+            partial_sum, partial_count = store.partial_sum(self.shard_key)
+            self.state.set("sum", float(self.state.get("sum")) + partial_sum)
+            self.state.set("count", int(self.state.get("count")) + partial_count)
+        self.travel()
+
+
+def combine_mean_reports(
+    envelopes: list[ReportEnvelope],
+) -> float:
+    """Global mean from partial (sum, count) reports."""
+    total = sum(e.payload["sum"] for e in envelopes)
+    count = sum(e.payload["count"] for e in envelopes)
+    if count == 0:
+        raise ValueError("no data aggregated")
+    return total / count

@@ -1,0 +1,83 @@
+"""Server-side stationary services for compute naplets (paper §2.2).
+
+"Naplets for distributed high performance computing need access to various
+math libraries" — these are the open (non-privileged) services a server
+registers for them:
+
+- :class:`MathService` — numpy-backed math routines callable via handler;
+- :class:`DataStore`   — a host-local numpy shard (the data that is *at*
+  the host, which is why the computation travels to it).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+__all__ = ["MathService", "DataStore", "MATH_SERVICE", "DATASTORE_SERVICE"]
+
+MATH_SERVICE = "math"
+DATASTORE_SERVICE = "datastore"
+
+
+class MathService:
+    """Open math-library service: stateless numpy routines."""
+
+    def rng(self, seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+    def monte_carlo_inside(self, samples: int, seed: int) -> int:
+        """Points of *samples* uniform draws landing inside the unit circle."""
+        rng = self.rng(seed)
+        xy = rng.random((samples, 2))
+        return int(np.count_nonzero((xy**2).sum(axis=1) <= 1.0))
+
+    def matmul(self, a: Any, b: Any) -> np.ndarray:
+        return np.asarray(a) @ np.asarray(b)
+
+    def solve(self, a: Any, b: Any) -> np.ndarray:
+        return np.linalg.solve(np.asarray(a), np.asarray(b))
+
+    def mean(self, values: Any) -> float:
+        return float(np.mean(np.asarray(values)))
+
+    def quantile(self, values: Any, q: float) -> float:
+        return float(np.quantile(np.asarray(values), q))
+
+
+class DataStore:
+    """Host-local named numpy shards."""
+
+    def __init__(self) -> None:
+        self._shards: dict[str, np.ndarray] = {}
+        self._lock = threading.RLock()
+
+    def put(self, key: str, values: Any) -> None:
+        with self._lock:
+            self._shards[key] = np.asarray(values)
+
+    def get(self, key: str) -> np.ndarray:
+        with self._lock:
+            return self._shards[key]
+
+    def has(self, key: str) -> bool:
+        with self._lock:
+            return key in self._shards
+
+    def keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._shards)
+
+    # Shard statistics computed on-site: the whole point of sending the
+    # agent to the data instead of the data to the agent.
+    def partial_sum(self, key: str) -> tuple[float, int]:
+        with self._lock:
+            shard = self._shards[key]
+        return float(shard.sum()), int(shard.size)
+
+    def partial_minmax(self, key: str) -> tuple[float, float]:
+        with self._lock:
+            shard = self._shards[key]
+        return float(shard.min()), float(shard.max())

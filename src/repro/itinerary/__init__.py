@@ -1,0 +1,78 @@
+"""Structured itinerary mechanism (paper §3).
+
+Itineraries are first-class, serializable travel plans separated from agent
+business logic, recursively composed from ``Singleton``, ``Seq``, ``Alt``
+and ``Par`` patterns over (conditional) visits, with per-visit post-actions.
+"""
+
+from repro.itinerary.dsl import parse, render
+from repro.itinerary.itinerary import Itinerary, TravelOps
+from repro.itinerary.operable import (
+    AppendNote,
+    Barrier,
+    ChainOperable,
+    DataComm,
+    NoOp,
+    Operable,
+    ResultReport,
+    SetStateFlag,
+)
+from repro.itinerary.pattern import (
+    AltPattern,
+    ItineraryPattern,
+    JoinPolicy,
+    ParPattern,
+    RepeatPattern,
+    SeqPattern,
+    SingletonPattern,
+    alt,
+    par,
+    repeat,
+    seq,
+    singleton,
+)
+from repro.itinerary.visit import (
+    Always,
+    Guard,
+    Never,
+    NotVisited,
+    StateEquals,
+    StateFlagClear,
+    StateFlagSet,
+    Visit,
+)
+
+__all__ = [
+    "Itinerary",
+    "TravelOps",
+    "ItineraryPattern",
+    "SingletonPattern",
+    "SeqPattern",
+    "AltPattern",
+    "ParPattern",
+    "JoinPolicy",
+    "seq",
+    "alt",
+    "par",
+    "singleton",
+    "repeat",
+    "RepeatPattern",
+    "parse",
+    "render",
+    "Visit",
+    "Guard",
+    "Always",
+    "Never",
+    "NotVisited",
+    "StateEquals",
+    "StateFlagClear",
+    "StateFlagSet",
+    "Operable",
+    "NoOp",
+    "ResultReport",
+    "DataComm",
+    "SetStateFlag",
+    "AppendNote",
+    "Barrier",
+    "ChainOperable",
+]

@@ -1,0 +1,198 @@
+"""Textual itinerary DSL (extension beyond the paper; flagged in DESIGN.md).
+
+A compact front-end for the §3 algebra, convenient in examples, tests and
+benchmark sweeps::
+
+    parse("par(seq(s0, s1), seq(s2, s3))")
+    parse("seq(a, b?, c?)")         # '?'-suffixed visits are conditional on
+                                    # the default search flag being clear
+    parse("alt(mirror1, mirror2)")
+
+Grammar (whitespace-insensitive)::
+
+    pattern  := combinator | visit
+    combinator := ("seq" | "alt" | "par") "(" pattern ("," pattern)* ")"
+    visit    := NAME "?"?
+    NAME     := [A-Za-z0-9_.:/-]+
+
+``?`` attaches a :class:`~repro.itinerary.visit.StateFlagClear` guard on the
+key given by ``guard_key`` (default ``"done"``) — the paper's sequential-
+search shape ("all visits except the first one should be conditional").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import ItineraryError
+from repro.itinerary.pattern import (
+    AltPattern,
+    ItineraryPattern,
+    JoinPolicy,
+    ParPattern,
+    RepeatPattern,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.itinerary.visit import Always, StateFlagClear
+
+__all__ = ["parse", "render"]
+
+_TOKEN_RE = re.compile(r"\s*(?:(?P<lparen>\()|(?P<rparen>\))|(?P<comma>,)|(?P<name>[A-Za-z0-9_.:/-]+\??))")
+
+_COMBINATORS = ("seq", "alt", "par", "repeat")
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise ItineraryError(f"itinerary DSL: unexpected character at {pos}: {text[pos]!r}")
+        pos = match.end()
+        for kind in ("lparen", "rparen", "comma", "name"):
+            if match.group(kind) is not None:
+                tokens.append(_Token(kind=kind, text=match.group(kind), position=match.start()))
+                break
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token], source: str, guard_key: str, join: JoinPolicy) -> None:
+        self._tokens = tokens
+        self._source = source
+        self._index = 0
+        self._guard_key = guard_key
+        self._join = join
+
+    def _peek(self) -> _Token | None:
+        return self._tokens[self._index] if self._index < len(self._tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ItineraryError(f"itinerary DSL: unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ItineraryError(
+                f"itinerary DSL: expected {kind} at {token.position}, got {token.text!r}"
+            )
+        return token
+
+    def parse(self) -> ItineraryPattern:
+        pattern = self._pattern()
+        leftover = self._peek()
+        if leftover is not None:
+            raise ItineraryError(
+                f"itinerary DSL: trailing input at {leftover.position}: {leftover.text!r}"
+            )
+        return pattern
+
+    def _pattern(self) -> ItineraryPattern:
+        token = self._next()
+        if token.kind != "name":
+            raise ItineraryError(
+                f"itinerary DSL: expected a name at {token.position}, got {token.text!r}"
+            )
+        name = token.text
+        nxt = self._peek()
+        if name in _COMBINATORS and nxt is not None and nxt.kind == "lparen":
+            return self._combinator(name)
+        return self._visit(name)
+
+    def _combinator(self, which: str) -> ItineraryPattern:
+        self._expect("lparen")
+        if which == "repeat":
+            child = self._pattern()
+            self._expect("comma")
+            count_token = self._expect("name")
+            if not count_token.text.isdigit():
+                raise ItineraryError(
+                    f"itinerary DSL: repeat count must be an integer at "
+                    f"{count_token.position}, got {count_token.text!r}"
+                )
+            self._expect("rparen")
+            return RepeatPattern(child, int(count_token.text))
+        children = [self._pattern()]
+        while True:
+            token = self._next()
+            if token.kind == "rparen":
+                break
+            if token.kind != "comma":
+                raise ItineraryError(
+                    f"itinerary DSL: expected ',' or ')' at {token.position}, got {token.text!r}"
+                )
+            children.append(self._pattern())
+        if which == "seq":
+            return SeqPattern(children)
+        if which == "alt":
+            return AltPattern(children)
+        return ParPattern(children, join=self._join)
+
+    def _visit(self, name: str) -> SingletonPattern:
+        if name.endswith("?"):
+            server = name[:-1]
+            if not server:
+                raise ItineraryError("itinerary DSL: '?' needs a server name")
+            return SingletonPattern.to(server, guard=StateFlagClear(self._guard_key))
+        return SingletonPattern.to(name)
+
+
+def parse(
+    text: str,
+    guard_key: str = "done",
+    join: JoinPolicy = JoinPolicy.TERMINATE,
+) -> ItineraryPattern:
+    """Parse DSL *text* into a pattern tree.
+
+    ``guard_key`` is the state flag consulted by ``?``-guarded visits;
+    ``join`` is applied to every ``par(...)`` node.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ItineraryError("itinerary DSL: empty input")
+    return _Parser(tokens, text, guard_key, join).parse()
+
+
+def render(pattern: ItineraryPattern, guard_key: str = "done") -> str:
+    """Render a pattern tree back into DSL text (inverse of :func:`parse`).
+
+    Only the DSL-expressible subset renders: visits with no post-action,
+    unguarded or guarded by ``StateFlagClear(guard_key)``.  Anything else
+    raises so callers never get silently lossy output.
+    """
+    if isinstance(pattern, SingletonPattern):
+        visit = pattern.visit
+        if visit.post_action is not None:
+            raise ItineraryError("DSL cannot express per-visit post-actions")
+        if isinstance(visit.guard, Always):
+            return visit.server
+        if visit.guard == StateFlagClear(guard_key):
+            return f"{visit.server}?"
+        raise ItineraryError(f"DSL cannot express guard {visit.guard!r}")
+    if isinstance(pattern, SeqPattern):
+        return f"seq({', '.join(render(c, guard_key) for c in pattern.children)})"
+    if isinstance(pattern, AltPattern):
+        return f"alt({', '.join(render(c, guard_key) for c in pattern.children)})"
+    if isinstance(pattern, ParPattern):
+        if pattern.post_action is not None:
+            raise ItineraryError("DSL cannot express Par post-actions")
+        return f"par({', '.join(render(c, guard_key) for c in pattern.children)})"
+    if isinstance(pattern, RepeatPattern):
+        return f"repeat({render(pattern.child, guard_key)}, {pattern.times})"
+    raise ItineraryError(f"DSL cannot express {type(pattern).__name__}")

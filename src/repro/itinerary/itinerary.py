@@ -1,0 +1,451 @@
+"""Itinerary driver (paper §3).
+
+An :class:`Itinerary` owns a pattern tree and an execution cursor (a stack of
+frames), fully serializable so it travels with the naplet.  The driver
+separates *what to do next* (:meth:`step`, a pure-ish cursor advance that may
+fork clones) from *doing it* (:meth:`travel`, called by agent code at the end
+of ``on_start``; it runs the current visit's post-action, advances, and
+dispatches — unwinding the agent's frame with
+:class:`~repro.core.errors.NapletDeparted` on success or
+:class:`~repro.core.errors.NapletCompleted` when the journey is over).
+
+The runtime operations an itinerary needs (dispatching, spawning clones,
+join notification) are injected through the :class:`TravelOps` protocol; the
+server's Navigator provides the live implementation via the naplet context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Protocol, runtime_checkable
+
+from repro.core.errors import (
+    ItineraryError,
+    NapletCompleted,
+    NapletMigrationError,
+)
+from repro.itinerary.pattern import (
+    AltPattern,
+    ItineraryPattern,
+    JoinPolicy,
+    ParPattern,
+    RepeatPattern,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.itinerary.visit import Visit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.naplet import Naplet
+    from repro.core.naplet_id import NapletID
+
+__all__ = ["Itinerary", "TravelOps"]
+
+
+@runtime_checkable
+class TravelOps(Protocol):
+    """Runtime services the itinerary driver needs from the hosting server."""
+
+    def dispatch(self, naplet: "Naplet", destination: str) -> None:
+        """Migrate *naplet*; raises NapletDeparted on success (in-thread)."""
+        ...
+
+    def spawn(self, parent: "Naplet", clone: "Naplet", destination: str) -> None:
+        """Launch a freshly forked *clone* toward *destination*."""
+        ...
+
+    def issue_clone_credential(self, clone: "Naplet") -> None:
+        """Re-sign a clone's immutable attributes under its owner."""
+        ...
+
+    def await_join(self, naplet: "Naplet", tokens: set[str], timeout: float | None) -> None:
+        """Block until a join notification arrived for every token."""
+        ...
+
+    def notify_join(self, naplet: "Naplet", target: "NapletID", token: str) -> None:
+        """Send a join notification to *target* (located by id)."""
+        ...
+
+    @property
+    def origin_urn(self) -> str:
+        """URN of the server these ops execute on."""
+        ...
+
+
+# ---------------------------------------------------------------------- #
+# Cursor frames (serializable)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _SingleFrame:
+    pattern: SingletonPattern
+    done: bool = False
+
+
+@dataclass
+class _SeqFrame:
+    pattern: SeqPattern
+    index: int = 0
+
+
+@dataclass
+class _AltFrame:
+    pattern: AltPattern
+    entered: bool = False
+    tried_from: int = 0
+
+
+@dataclass
+class _ParFrame:
+    pattern: ParPattern
+    forked: bool = False
+    expected_tokens: tuple[str, ...] = ()
+    post_pending: bool = False
+
+
+@dataclass
+class _RepeatFrame:
+    pattern: RepeatPattern
+    iteration: int = 0
+
+
+_Frame = _SingleFrame | _SeqFrame | _AltFrame | _ParFrame | _RepeatFrame
+
+
+def _frame_for(pattern: ItineraryPattern) -> _Frame:
+    if isinstance(pattern, SingletonPattern):
+        return _SingleFrame(pattern)
+    if isinstance(pattern, SeqPattern):
+        return _SeqFrame(pattern)
+    if isinstance(pattern, AltPattern):
+        return _AltFrame(pattern)
+    if isinstance(pattern, ParPattern):
+        return _ParFrame(pattern)
+    if isinstance(pattern, RepeatPattern):
+        return _RepeatFrame(pattern)
+    raise ItineraryError(f"unknown pattern type: {type(pattern).__name__}")
+
+
+@dataclass
+class _FailureRecord:
+    """A dispatch failure tolerated under the 'skip' policy."""
+
+    server: str
+    error: str
+
+
+class Itinerary:
+    """Travel plan of one naplet: pattern tree + execution cursor.
+
+    Parameters
+    ----------
+    pattern:
+        Root :class:`ItineraryPattern`.  Subclasses may instead override
+        :meth:`build` and call ``super().__init__(None)`` (the paper's
+        ``setItineraryPattern`` style is supported through
+        :meth:`set_itinerary_pattern`).
+    on_failure:
+        ``"abort"`` (default) re-raises dispatch failures;
+        ``"skip"`` records them and continues with the next visit.
+    join_timeout:
+        Upper bound for Par JOIN waits.
+    """
+
+    def __init__(
+        self,
+        pattern: ItineraryPattern | None = None,
+        on_failure: str = "abort",
+        join_timeout: float | None = 30.0,
+    ) -> None:
+        if on_failure not in ("abort", "skip"):
+            raise ItineraryError(f"on_failure must be 'abort' or 'skip', got {on_failure!r}")
+        self._pattern = pattern
+        self._stack: list[_Frame] = []
+        self._started = False
+        self._completed = False
+        self._current_visit: Visit | None = None
+        self._alt_pending: int | None = None  # stack index of a backtrackable Alt
+        self._terminal_notice: tuple["NapletID", str] | None = None
+        self._failures: list[_FailureRecord] = []
+        self.on_failure = on_failure
+        self.join_timeout = join_timeout
+
+    # -- construction ----------------------------------------------------- #
+
+    def set_itinerary_pattern(self, pattern: ItineraryPattern) -> None:
+        """The paper's ``setItineraryPattern`` — only before travel starts."""
+        if self._started:
+            raise ItineraryError("cannot replace the pattern of a started itinerary")
+        self._pattern = pattern
+
+    @property
+    def pattern(self) -> ItineraryPattern:
+        if self._pattern is None:
+            raise ItineraryError("itinerary has no pattern")
+        return self._pattern
+
+    # -- inspection -------------------------------------------------------- #
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    @property
+    def current_visit(self) -> Visit | None:
+        return self._current_visit
+
+    @property
+    def failures(self) -> list[_FailureRecord]:
+        return list(self._failures)
+
+    def servers(self) -> list[str]:
+        return self.pattern.servers()
+
+    # -- cursor ------------------------------------------------------------ #
+
+    def step(self, naplet: "Naplet", ops: TravelOps) -> str | None:
+        """Advance to the next dispatchable visit; return its server.
+
+        Handles Par forking (spawning clones through *ops*) and JOIN waits.
+        Returns ``None`` once the journey is complete — at which point a
+        pending terminal join-notification, if any, has been sent.
+        """
+        if self._completed:
+            return None
+        self._alt_pending = None
+        if not self._started:
+            self._started = True
+            self._stack.append(_frame_for(self.pattern))
+        while self._stack:
+            frame = self._stack[-1]
+            if isinstance(frame, _SingleFrame):
+                if frame.done:
+                    self._stack.pop()
+                    continue
+                frame.done = True
+                visit = frame.pattern.visit
+                if visit.admits(naplet):
+                    self._current_visit = visit
+                    return visit.server
+                continue
+            if isinstance(frame, _SeqFrame):
+                children = frame.pattern.children
+                if frame.index >= len(children):
+                    self._stack.pop()
+                    continue
+                child = children[frame.index]
+                frame.index += 1
+                self._stack.append(_frame_for(child))
+                continue
+            if isinstance(frame, _AltFrame):
+                if frame.entered:
+                    self._stack.pop()
+                    continue
+                chosen = frame.pattern.select(naplet, start=frame.tried_from)
+                if chosen is None:
+                    self._stack.pop()
+                    continue
+                frame.entered = True
+                frame.tried_from = chosen + 1
+                self._alt_pending = len(self._stack) - 1
+                self._stack.append(_frame_for(frame.pattern.children[chosen]))
+                continue
+            if isinstance(frame, _ParFrame):
+                if not frame.forked:
+                    frame.forked = True
+                    frame.expected_tokens = self._fork(naplet, frame.pattern, ops)
+                    frame.post_pending = frame.pattern.post_action is not None
+                    if frame.pattern.join is not JoinPolicy.JOIN and frame.post_pending:
+                        frame.pattern.post_action.operate(naplet)  # type: ignore[union-attr]
+                        frame.post_pending = False
+                    self._stack.append(_frame_for(frame.pattern.children[0]))
+                    continue
+                # original finished its own branch: join, then continue past Par
+                if frame.pattern.join is JoinPolicy.JOIN and frame.expected_tokens:
+                    ops.await_join(naplet, set(frame.expected_tokens), self.join_timeout)
+                    frame.expected_tokens = ()
+                if frame.post_pending:
+                    frame.pattern.post_action.operate(naplet)  # type: ignore[union-attr]
+                    frame.post_pending = False
+                self._stack.pop()
+                continue
+            if isinstance(frame, _RepeatFrame):
+                if frame.iteration >= frame.pattern.times:
+                    self._stack.pop()
+                    continue
+                frame.iteration += 1
+                self._stack.append(_frame_for(frame.pattern.child))
+                continue
+            raise ItineraryError(f"corrupt cursor frame: {frame!r}")
+        self._completed = True
+        self._current_visit = None
+        if self._terminal_notice is not None:
+            target, token = self._terminal_notice
+            self._terminal_notice = None
+            ops.notify_join(naplet, target, token)
+        return None
+
+    # -- forking ------------------------------------------------------------ #
+
+    def _fork(self, naplet: "Naplet", pattern: ParPattern, ops: TravelOps) -> tuple[str, ...]:
+        """Spawn one clone per non-first branch; returns JOIN tokens expected."""
+        from repro.core.address_book import AddressEntry
+
+        clones: list["Naplet"] = []
+        tokens: list[str] = []
+        for branch_index in range(1, len(pattern.children)):
+            branch = pattern.children[branch_index]
+            clone = naplet.clone()
+            ops.issue_clone_credential(clone)
+            clone_itin = self._itinerary_for_clone(clone, branch_index, branch, pattern.join)
+            if pattern.join is JoinPolicy.JOIN:
+                token = str(clone.naplet_id)
+                clone_itin._terminal_notice = (naplet.naplet_id, token)
+                tokens.append(token)
+            clone.set_itinerary(clone_itin)
+            clones.append(clone)
+        # Siblings (original included) learn each other's ids, seeded with
+        # the forking server as initial location — stale by design, the
+        # Locator traces from there.
+        origin = ops.origin_urn
+        family = [naplet, *clones]
+        for member in family:
+            for other in family:
+                if other is not member:
+                    member.address_book.add(
+                        AddressEntry(naplet_id=other.naplet_id, server_urn=origin)
+                    )
+        for clone in clones:
+            destination = clone.itinerary.step(clone, ops)
+            if destination is None:
+                continue  # degenerate branch: nothing admitted; token already notified
+            ops.spawn(naplet, clone, destination)
+        return tuple(tokens)
+
+    def _itinerary_for_clone(
+        self,
+        clone: "Naplet",
+        branch_index: int,
+        branch: ItineraryPattern,
+        join: JoinPolicy,
+    ) -> "Itinerary":
+        """Build the clone's itinerary according to the join policy.
+
+        ``CONTINUE_ALL`` grafts the branch in place of the Par frame on a
+        copy of this cursor so the clone also performs the continuation;
+        the other policies give the clone just its branch.
+        """
+        if join is JoinPolicy.CONTINUE_ALL:
+            # clone.itinerary is already a deep copy of self (clone() copies
+            # the whole naplet); swap its top Par frame for the clone's copy
+            # of the branch, located by position in the copied Par node.
+            grafted = clone.itinerary
+            if not isinstance(grafted, Itinerary) or not grafted._stack:
+                raise ItineraryError("clone cursor out of sync during CONTINUE_ALL fork")
+            top = grafted._stack[-1]
+            if not isinstance(top, _ParFrame):
+                raise ItineraryError("expected a Par frame on top of the clone cursor")
+            branch_copy = top.pattern.children[branch_index]
+            grafted._stack[-1] = _frame_for(branch_copy)
+            grafted._current_visit = None
+            return grafted
+        fresh = Itinerary(
+            pattern=branch,
+            on_failure=self.on_failure,
+            join_timeout=self.join_timeout,
+        )
+        return fresh
+
+    # -- travelling ----------------------------------------------------------- #
+
+    def travel(self, naplet: "Naplet") -> None:
+        """Run the current post-action, advance, dispatch (paper's travel()).
+
+        Called from agent code (typically the tail of ``on_start``).  Does
+        not return normally: raises ``NapletDeparted`` after a successful
+        dispatch or ``NapletCompleted`` when the journey is over.
+        """
+        ops: TravelOps = naplet.require_context().dispatcher  # type: ignore[assignment]
+        if self._current_visit is not None and self._current_visit.post_action is not None:
+            self._current_visit.post_action.operate(naplet)
+        self._current_visit = None
+        while True:
+            destination = self.step(naplet, ops)
+            if destination is None:
+                raise NapletCompleted()
+            try:
+                ops.dispatch(naplet, destination)
+                raise ItineraryError(
+                    "TravelOps.dispatch returned without raising NapletDeparted"
+                )
+            except NapletMigrationError as exc:
+                self._failures.append(_FailureRecord(server=destination, error=str(exc)))
+                if self._try_alt_backtrack():
+                    continue
+                if self.on_failure == "skip":
+                    continue
+                raise
+
+    def first_destination(self, naplet: "Naplet", ops: TravelOps) -> str | None:
+        """Launch-time entry: advance to the first visit (forking if needed)."""
+        if self._started:
+            raise ItineraryError("itinerary already started")
+        return self.step(naplet, ops)
+
+    def launch_with(
+        self,
+        naplet: "Naplet",
+        ops: TravelOps,
+        transfer: Callable[[str], None],
+    ) -> bool:
+        """Launch-time travel loop: same Alt-backtrack / skip semantics as
+        :meth:`travel`, but *transfer* sends the naplet without unwinding a
+        thread (there is no naplet thread yet at the home side).
+
+        Returns True once a transfer succeeded, False when the journey
+        completed without any dispatch (degenerate itinerary).
+        """
+        while True:
+            destination = self.step(naplet, ops)
+            if destination is None:
+                return False
+            try:
+                transfer(destination)
+                return True
+            except NapletMigrationError as exc:
+                self._failures.append(_FailureRecord(server=destination, error=str(exc)))
+                if self._try_alt_backtrack():
+                    continue
+                if self.on_failure == "skip":
+                    continue
+                raise
+
+    def _try_alt_backtrack(self) -> bool:
+        """After a failed dispatch, fall back to the next Alt branch if possible."""
+        if self._alt_pending is None or self._alt_pending >= len(self._stack):
+            return False
+        frame = self._stack[self._alt_pending]
+        if not isinstance(frame, _AltFrame):
+            return False
+        del self._stack[self._alt_pending + 1 :]
+        frame.entered = False
+        self._alt_pending = None
+        self._current_visit = None
+        return True
+
+    # -- misc -------------------------------------------------------------------- #
+
+    def __repr__(self) -> str:
+        status = "completed" if self._completed else ("started" if self._started else "fresh")
+        try:
+            pat = repr(self._pattern)
+        except Exception:  # pragma: no cover - defensive
+            pat = "<?>"
+        return f"<Itinerary {status} {pat}>"
+
+

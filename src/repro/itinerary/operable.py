@@ -1,0 +1,180 @@
+"""Post-actions (paper §3: the ``Operable`` interface).
+
+Operables carry the itinerary-dependent control logic *T* of a visit: result
+reporting, inter-agent communication, synchronisation, exception handling.
+They are serializable and cloneable (they travel inside the itinerary), and
+are executed by the itinerary driver in the naplet's thread, with the naplet
+context bound.
+
+Stock operables reproduce the paper's examples:
+
+- :class:`ResultReport` — `nap.getListener().report(...)` (Example 1);
+- :class:`DataComm`     — broadcast to the address book, then gather one
+  message per entry (Example 2's generic collective operator);
+- plus :class:`Barrier`, :class:`SetStateFlag`, :class:`ChainOperable`,
+  :class:`NoOp` used by examples, tests and ablations.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import NapletCommunicationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.naplet import Naplet
+
+__all__ = [
+    "Operable",
+    "NoOp",
+    "ResultReport",
+    "DataComm",
+    "SetStateFlag",
+    "AppendNote",
+    "Barrier",
+    "ChainOperable",
+]
+
+
+class Operable(abc.ABC):
+    """Serializable post-action executed after a visit."""
+
+    @abc.abstractmethod
+    def operate(self, naplet: "Naplet") -> None:
+        """Perform the control logic on behalf of *naplet*."""
+
+    def __call__(self, naplet: "Naplet") -> None:
+        self.operate(naplet)
+
+
+@dataclass(frozen=True)
+class NoOp(Operable):
+    def operate(self, naplet: "Naplet") -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class ResultReport(Operable):
+    """Report a state entry (default: everything gathered) to the home listener.
+
+    Mirrors the paper's ``ResultReport.operate`` which calls
+    ``nap.getListener().report(...)``.  If ``state_key`` is None the whole
+    state snapshot visible to the naplet is reported.
+    """
+
+    state_key: str | None = None
+
+    def operate(self, naplet: "Naplet") -> None:
+        if naplet.listener is None:
+            return
+        if self.state_key is not None:
+            payload: Any = naplet.state.get(self.state_key)
+        else:
+            payload = {key: naplet.state.get(key) for key in naplet.state.keys()}
+        naplet.report_home(payload)
+
+
+@dataclass(frozen=True)
+class DataComm(Operable):
+    """Collective exchange with every naplet in the address book.
+
+    Reproduces the paper's Example 2 operator: post ``message`` (default: a
+    state snapshot under ``message_key``) to each address-book entry, then
+    gather one message per entry into ``state[gather_key]``.  Posts that
+    fail with a communication error are skipped, exactly as the paper's
+    listing swallows ``NapletCommunicationException``.
+    """
+
+    message_key: str = "message"
+    gather_key: str = "gathered"
+    gather: bool = True
+    timeout: float = 10.0
+
+    def operate(self, naplet: "Naplet") -> None:
+        context = naplet.require_context()
+        book = naplet.address_book
+        payload = naplet.state.get(self.message_key)
+        expected = 0
+        for entry in book.entries():
+            if entry.naplet_id == naplet.naplet_id:
+                continue
+            try:
+                context.messenger.post_message(entry.server_urn, entry.naplet_id, payload)
+                expected += 1
+            except NapletCommunicationError:
+                continue
+        if not self.gather:
+            return
+        received: list[Any] = []
+        for _ in range(expected):
+            try:
+                message = context.messenger.get_message(timeout=self.timeout)
+            except NapletCommunicationError:
+                break
+            received.append(message)
+        naplet.state.set(self.gather_key, received)
+
+
+@dataclass(frozen=True)
+class SetStateFlag(Operable):
+    """Set ``state[key] = value`` — drives conditional-visit guards."""
+
+    key: str
+    value: Any = True
+
+    def operate(self, naplet: "Naplet") -> None:
+        naplet.state.set(self.key, self.value)
+
+
+@dataclass(frozen=True)
+class AppendNote(Operable):
+    """Append a marker to a list in state — used by tests to observe T-order."""
+
+    key: str
+    note: Any
+
+    def operate(self, naplet: "Naplet") -> None:
+        notes = naplet.state.get(self.key) or []
+        notes = list(notes)
+        notes.append(self.note)
+        naplet.state.set(self.key, notes)
+
+
+@dataclass(frozen=True)
+class Barrier(Operable):
+    """Synchronise with the sibling naplets in the address book.
+
+    Each participant posts a token to every sibling and then waits for one
+    token from each — a symmetric barrier implementing the paper's remark
+    that post-actions facilitate inter-agent synchronisation.
+    """
+
+    token: str = "barrier"
+    timeout: float = 30.0
+
+    def operate(self, naplet: "Naplet") -> None:
+        context = naplet.require_context()
+        siblings = [
+            entry
+            for entry in naplet.address_book.entries()
+            if entry.naplet_id != naplet.naplet_id
+        ]
+        for entry in siblings:
+            context.messenger.post_message(
+                entry.server_urn, entry.naplet_id, {"barrier": self.token}
+            )
+        for _ in siblings:
+            context.messenger.get_message(timeout=self.timeout)
+
+
+@dataclass(frozen=True)
+class ChainOperable(Operable):
+    """Run several operables in order."""
+
+    actions: tuple[Operable, ...] = field(default_factory=tuple)
+
+    def operate(self, naplet: "Naplet") -> None:
+        for action in self.actions:
+            action.operate(naplet)

@@ -1,0 +1,28 @@
+"""MAN: Mobile Agents for Network management (paper §6)."""
+
+from repro.man.baseline import ComparisonResult, ComparisonRunner
+from repro.man.framework import DEFAULT_PARAMETERS, ManFramework
+from repro.man.reactive import DiagnosisNaplet, ReactiveDispatcher
+from repro.man.naplet import (
+    DeviceStatusReport,
+    NMItinerary,
+    NMNaplet,
+    SeqNMItinerary,
+)
+from repro.man.service import SERVICE_NAME, NetManagement, net_management_factory
+
+__all__ = [
+    "ManFramework",
+    "DEFAULT_PARAMETERS",
+    "ComparisonRunner",
+    "ComparisonResult",
+    "NMNaplet",
+    "NMItinerary",
+    "SeqNMItinerary",
+    "DeviceStatusReport",
+    "NetManagement",
+    "net_management_factory",
+    "SERVICE_NAME",
+    "ReactiveDispatcher",
+    "DiagnosisNaplet",
+]

@@ -1,0 +1,91 @@
+"""Measured comparison runner: mobile agents vs. conventional polling.
+
+Wraps one :class:`~repro.man.framework.ManFramework` and produces
+:class:`ComparisonResult` rows — station-link bytes, total bytes, virtual
+network seconds and wall time — for each approach under identical
+workloads.  The benchmark harness (experiments E3/E4) prints its tables
+from these rows.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.man.framework import DEFAULT_PARAMETERS, ManFramework
+
+__all__ = ["ComparisonResult", "ComparisonRunner"]
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """One measured collection round."""
+
+    approach: str  # "cnmp", "cnmp-batch", "agent-par", "agent-seq"
+    n_devices: int
+    n_parameters: int
+    station_link_bytes: int
+    total_bytes: int
+    virtual_seconds: float
+    wall_seconds: float
+    table: dict[str, dict[str, Any]]
+
+    @property
+    def complete(self) -> bool:
+        return len(self.table) == self.n_devices
+
+
+class ComparisonRunner:
+    """Runs both approaches over one framework with clean meters."""
+
+    def __init__(self, framework: ManFramework) -> None:
+        self.framework = framework
+
+    def _measure(self, approach: str, parameters: Sequence[str], action) -> ComparisonResult:
+        framework = self.framework
+        framework.wait_idle()
+        framework.reset_measurement()
+        start = time.perf_counter()
+        table = action()
+        framework.wait_idle()
+        wall = time.perf_counter() - start
+        return ComparisonResult(
+            approach=approach,
+            n_devices=len(framework.device_hosts),
+            n_parameters=len(parameters),
+            station_link_bytes=framework.station_link_bytes(),
+            total_bytes=framework.total_bytes(),
+            virtual_seconds=framework.virtual_seconds(),
+            wall_seconds=wall,
+            table=table,
+        )
+
+    def run_cnmp(
+        self, parameters: Sequence[str] = DEFAULT_PARAMETERS, batch: bool = False
+    ) -> ComparisonResult:
+        approach = "cnmp-batch" if batch else "cnmp"
+        return self._measure(
+            approach,
+            parameters,
+            lambda: self.framework.collect_with_station(parameters, batch=batch),
+        )
+
+    def run_agents(
+        self, parameters: Sequence[str] = DEFAULT_PARAMETERS, mode: str = "par"
+    ) -> ComparisonResult:
+        return self._measure(
+            f"agent-{mode}",
+            parameters,
+            lambda: self.framework.collect_with_naplets(parameters, mode=mode),
+        )
+
+    def run_all(
+        self, parameters: Sequence[str] = DEFAULT_PARAMETERS
+    ) -> list[ComparisonResult]:
+        return [
+            self.run_cnmp(parameters, batch=False),
+            self.run_cnmp(parameters, batch=True),
+            self.run_agents(parameters, mode="seq"),
+            self.run_agents(parameters, mode="par"),
+        ]

@@ -1,0 +1,93 @@
+"""NMNaplet: the network-management agent (paper §6.2).
+
+On each device the naplet opens the ``serviceImpl.NetManagement`` channel,
+sends its MIB parameter list through the NapletWriter, reads the result
+from the NapletReader, stores it under ``DeviceStatus`` in a protected
+state space, and travels on.  Reporting follows the itinerary: the default
+``NMItinerary`` is the paper's broadcast (Par over singletons — one spawned
+child per device, each reporting its own results home); ``SeqNMItinerary``
+sends a single agent around all devices and reports the accumulated table
+after the last visit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.listener import ListenerRef
+from repro.core.naplet import Naplet
+from repro.core.state import ProtectedNapletState
+from repro.itinerary.itinerary import Itinerary
+from repro.itinerary.operable import Operable
+from repro.itinerary.pattern import JoinPolicy, ParPattern, SeqPattern
+from repro.man.service import SERVICE_NAME
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+__all__ = ["NMNaplet", "NMItinerary", "SeqNMItinerary", "DeviceStatusReport"]
+
+
+@dataclass(frozen=True)
+class DeviceStatusReport(Operable):
+    """Report the gathered DeviceStatus table to the home listener."""
+
+    def operate(self, naplet: Naplet) -> None:
+        if naplet.listener is None:
+            return
+        naplet.report_home(dict(naplet.state.get("DeviceStatus") or {}))
+
+
+class NMItinerary(Itinerary):
+    """The paper's broadcast itinerary: one child naplet per device."""
+
+    def __init__(self, servers: Sequence[str], join: JoinPolicy = JoinPolicy.TERMINATE) -> None:
+        super().__init__()
+        act = DeviceStatusReport()
+        self.set_itinerary_pattern(
+            ParPattern.of_servers(list(servers), per_branch_action=act, join=join)
+        )
+
+
+class SeqNMItinerary(Itinerary):
+    """Single-agent tour: visit all devices, report after the last one."""
+
+    def __init__(self, servers: Sequence[str]) -> None:
+        super().__init__()
+        self.set_itinerary_pattern(
+            SeqPattern.of_servers(list(servers), post_action=DeviceStatusReport())
+        )
+
+
+class NMNaplet(Naplet):
+    """Mobile network-management agent."""
+
+    def __init__(
+        self,
+        name: str,
+        servers: Sequence[str],
+        parameters: str | Sequence[str],
+        listener: ListenerRef | None = None,
+        itinerary: Itinerary | None = None,
+    ) -> None:
+        super().__init__(name, listener=listener)
+        if isinstance(parameters, str):
+            self.parameters = parameters
+        else:
+            self.parameters = ";".join(parameters)
+        self.set_naplet_state(ProtectedNapletState())
+        self.state.set("DeviceStatus", {})
+        self.set_itinerary(itinerary if itinerary is not None else NMItinerary(servers))
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        server_name = context.hostname
+        channel = context.service_channel(SERVICE_NAME)
+        out = channel.get_naplet_writer()
+        out.write_line(self.parameters)  # pass parameters to the server
+        result = channel.get_naplet_reader().read_line()
+        status = dict(self.state.get("DeviceStatus") or {})
+        status[server_name] = result
+        self.state.set("DeviceStatus", status)
+        self.travel()

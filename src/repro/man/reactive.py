@@ -1,0 +1,139 @@
+"""Reactive management: trap-driven naplet dispatch.
+
+Management by exception: instead of polling every device all the time, the
+station idles until an SNMP trap arrives, then dispatches a diagnosis
+naplet *to the reporting device* to investigate on-site and report a
+digest home.  This combines the two halves of the reproduction — the
+asynchronous SNMP substrate (traps) and the mobile-agent core — into the
+workflow the paper's network-management section motivates.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.listener import NapletListener
+from repro.core.naplet import Naplet
+from repro.itinerary.itinerary import Itinerary
+from repro.itinerary.operable import ResultReport
+from repro.itinerary.pattern import SeqPattern
+from repro.man.service import SERVICE_NAME
+from repro.snmp.trap import Trap, TrapSink, TrapType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.server import NapletServer
+
+__all__ = ["DiagnosisNaplet", "ReactiveDispatcher"]
+
+
+class DiagnosisNaplet(Naplet):
+    """Walks the device's interface table on-site and summarises its health."""
+
+    def __init__(self, name: str, trap_type: str, **kwargs: Any) -> None:
+        super().__init__(name, **kwargs)
+        self.trap_type = trap_type
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        channel = context.service_channel(SERVICE_NAME)
+        channel.get_naplet_writer().write(("walk", "1.3.6.1.2.1.2"))
+        interface_table = channel.get_naplet_reader().read()
+        down = [
+            oid
+            for oid, value in interface_table
+            if oid.startswith("1.3.6.1.2.1.2.2.1.8.") and value == 2
+        ]
+        channel.get_naplet_writer().write_line("sysUpTime;cpuLoad")
+        vitals = channel.get_naplet_reader().read_line()
+        self.state.set(
+            "diagnosis",
+            {
+                "device": context.hostname,
+                "trap": self.trap_type,
+                "interfaces_down": [int(oid.rsplit(".", 1)[1]) for oid in down],
+                "uptime_ticks": vitals["sysUpTime"],
+                "cpu_load": vitals["cpuLoad"],
+            },
+        )
+        self.travel()
+
+
+@dataclass
+class _Dispatch:
+    trap: Trap
+    naplet_id: Any
+
+
+class ReactiveDispatcher:
+    """Dispatches a diagnosis naplet for every trap the sink receives.
+
+    Wire it up as the TrapSink's callback, or call :meth:`handle_trap`
+    directly.  Dispatches run on a small worker thread so trap delivery
+    (which happens on the sender's thread) never blocks on migrations.
+    """
+
+    def __init__(
+        self,
+        station_server: "NapletServer",
+        listener: NapletListener | None = None,
+        naplet_factory: Callable[[Trap], Naplet] | None = None,
+        owner: str = "noc",
+    ) -> None:
+        self.station_server = station_server
+        self.listener = listener or NapletListener()
+        self.owner = owner
+        self._factory = naplet_factory or self._default_factory
+        self._dispatches: list[_Dispatch] = []
+        self._lock = threading.Lock()
+        self.dispatch_errors = 0
+
+    @staticmethod
+    def _default_factory(trap: Trap) -> Naplet:
+        agent = DiagnosisNaplet(
+            name=f"diagnose-{trap.source}", trap_type=str(trap.trap_type)
+        )
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(
+                    [trap.source], post_action=ResultReport("diagnosis")
+                )
+            )
+        )
+        return agent
+
+    # -- the TrapSink callback ------------------------------------------- #
+
+    def handle_trap(self, trap: Trap) -> None:
+        threading.Thread(
+            target=self._dispatch, args=(trap,), name=f"react-{trap.source}", daemon=True
+        ).start()
+
+    def _dispatch(self, trap: Trap) -> None:
+        try:
+            agent = self._factory(trap)
+            nid = self.station_server.launch(
+                agent, owner=self.owner, listener=self.listener
+            )
+        except Exception:
+            with self._lock:
+                self.dispatch_errors += 1
+            return
+        with self._lock:
+            self._dispatches.append(_Dispatch(trap=trap, naplet_id=nid))
+
+    # -- observation -------------------------------------------------------- #
+
+    @property
+    def dispatch_count(self) -> int:
+        with self._lock:
+            return len(self._dispatches)
+
+    def dispatches(self) -> list[_Dispatch]:
+        with self._lock:
+            return list(self._dispatches)
+
+    def sink_for(self, transport, hostname: str) -> TrapSink:
+        """Convenience: a TrapSink already wired to this dispatcher."""
+        return TrapSink(transport, hostname, callback=self.handle_trap)

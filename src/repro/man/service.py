@@ -1,0 +1,94 @@
+"""NetManagement privileged service (paper §6.1).
+
+The Java original bridges naplets to the AdventNet SNMP API; here the
+service is bound to the host's local :class:`~repro.snmp.agent.SnmpAgent`
+(our AdventNet stand-in) and serves commands over its ServiceChannel:
+
+- the paper's text protocol — a ``"name1;name2;..."`` string — answers with
+  a ``{name: value}`` dict resolved through the well-known-name table;
+- structured commands ``("get", [oids...])``, ``("walk", root_oid)`` and
+  ``("set", oid, value)`` expose the full local-agent surface.
+
+One service instance runs per channel, on its own thread, until the naplet
+side closes (EOF) — and can serve any number of inquiries before that, as
+the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.server.service_channel import EOF, PrivilegedService
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.mib import WELL_KNOWN_NAMES
+from repro.snmp.oid import OID
+from repro.snmp.protocol import GetRequest, SetRequest, VarBind
+
+__all__ = ["NetManagement", "net_management_factory", "SERVICE_NAME"]
+
+SERVICE_NAME = "serviceImpl.NetManagement"
+
+
+class NetManagement(PrivilegedService):
+    """Channel-served gateway to the local SNMP agent."""
+
+    def __init__(self, agent: SnmpAgent, community: str = "public") -> None:
+        super().__init__()
+        self.agent = agent
+        self.community = community
+
+    # -- command handling -------------------------------------------------- #
+
+    def _resolve(self, name: str) -> OID:
+        """Accept either a well-known parameter name or a dotted OID."""
+        if name in WELL_KNOWN_NAMES:
+            return OID.parse(WELL_KNOWN_NAMES[name])
+        return OID.parse(name)
+
+    def _retrieve(self, names: list[str]) -> dict[str, Any]:
+        """The paper's ``retrieve()``: one local get per parameter."""
+        out: dict[str, Any] = {}
+        for name in names:
+            try:
+                oid = self._resolve(name)
+            except ValueError:
+                out[name] = None
+                continue
+            response = self.agent.handle(GetRequest(self.community, (oid,)))
+            out[name] = response.bindings[0].value if response.ok and response.bindings else None
+        return out
+
+    def _execute(self, command: Any) -> Any:
+        if isinstance(command, str):
+            names = [part for part in command.split(";") if part]
+            return self._retrieve(names)
+        if isinstance(command, (tuple, list)) and command:
+            op = command[0]
+            if op == "get":
+                return self._retrieve(list(command[1]))
+            if op == "walk":
+                bindings = self.agent.walk(command[1], community=self.community)
+                return [(str(b.oid), b.value) for b in bindings]
+            if op == "set":
+                _op, oid, value = command
+                response = self.agent.handle(
+                    SetRequest(self.community, (VarBind(OID.parse(oid), value),))
+                )
+                return {"ok": response.ok, "error_status": response.error_status}
+        return {"error": f"unrecognised NetManagement command: {command!r}"}
+
+    def run(self) -> None:
+        while True:
+            command = self.input.read()
+            if command is EOF:
+                return
+            self.output.write(self._execute(command))
+
+
+def net_management_factory(agent: SnmpAgent, community: str = "public") -> Callable[[], NetManagement]:
+    """Factory suitable for ``register_privileged_service``."""
+
+    def _factory() -> NetManagement:
+        return NetManagement(agent, community)
+
+    return _factory

@@ -1,0 +1,213 @@
+"""Space administration console.
+
+The paper's NapletManager "provides local users or application programs
+with an interface to launch naplets, monitor their execution states, and
+control their behaviors", and keeps footprints "for management purposes".
+:class:`SpaceAdmin` is that interface lifted to the whole naplet space: it
+aggregates the per-server naplet tables, footprints and monitors into
+space-wide queries — where is naplet X, what has it visited, what is it
+consuming — and routes control operations by location.
+
+This console is in-process (it holds the server objects); for a TCP-split
+deployment one would front it with frames, which the underlying queries
+already support per server.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.errors import NapletError, NapletLocationError
+from repro.core.naplet_id import NapletID
+from repro.server.manager import Footprint
+from repro.server.messages import SystemControl
+from repro.server.monitor import ResourceUsage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.server import NapletServer
+
+__all__ = ["NapletStatus", "ServerSummary", "SpaceAdmin"]
+
+
+@dataclass(frozen=True)
+class NapletStatus:
+    """Space-wide view of one naplet."""
+
+    naplet_id: NapletID
+    resident_at: str | None  # hostname, None when not running anywhere
+    in_transit: bool
+    outcome: str | None  # terminal outcome if retired
+    servers_visited: tuple[str, ...]
+    cpu_seconds: float | None
+    messages_sent: int | None
+
+    @property
+    def alive(self) -> bool:
+        return self.resident_at is not None or self.in_transit
+
+
+@dataclass(frozen=True)
+class ServerSummary:
+    """One server's row in the space summary."""
+
+    hostname: str
+    residents: int
+    admitted_total: int
+    outcomes: dict[str, int]
+    active_channels: int
+    footprints: int
+
+
+class SpaceAdmin:
+    """Administrative console over a set of naplet servers."""
+
+    def __init__(self, servers: "Iterable[NapletServer] | dict[str, NapletServer]") -> None:
+        if isinstance(servers, dict):
+            servers = servers.values()
+        self._servers: dict[str, "NapletServer"] = {s.hostname: s for s in servers}
+        if not self._servers:
+            raise NapletError("SpaceAdmin needs at least one server")
+
+    @property
+    def hostnames(self) -> list[str]:
+        return sorted(self._servers)
+
+    def _any_server(self) -> "NapletServer":
+        return next(iter(self._servers.values()))
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def locate(self, nid: NapletID) -> str | None:
+        """Hostname where *nid* currently resides (None if nowhere)."""
+        for hostname, server in self._servers.items():
+            if server.manager.is_resident(nid):
+                return hostname
+        return None
+
+    def trace(self, nid: NapletID) -> list[Footprint]:
+        """The naplet's journey, reconstructed from per-server footprints,
+        ordered by arrival time."""
+        footprints = [
+            fp
+            for server in self._servers.values()
+            if (fp := server.manager.footprint(nid)) is not None
+        ]
+        footprints.sort(key=lambda fp: fp.arrived_at)
+        return footprints
+
+    def status(self, nid: NapletID) -> NapletStatus:
+        """Aggregate status of one naplet across the space."""
+        resident_at = self.locate(nid)
+        trace = self.trace(nid)
+        outcome = None
+        for footprint in trace:
+            if footprint.outcome is not None:
+                outcome = footprint.outcome
+        in_transit = (
+            resident_at is None
+            and outcome is None
+            and any(fp.departed_to is not None for fp in trace)
+        )
+        usage: ResourceUsage | None = None
+        if resident_at is not None:
+            usage = self._servers[resident_at].monitor.usage_of(nid)
+        visited = tuple(
+            host
+            for fp in trace
+            if (host := _host_of_fp(fp, self._servers)) is not None
+        )
+        return NapletStatus(
+            naplet_id=nid,
+            resident_at=resident_at,
+            in_transit=in_transit,
+            outcome=outcome,
+            servers_visited=visited,
+            cpu_seconds=usage.cpu_seconds if usage else None,
+            messages_sent=usage.messages_sent if usage else None,
+        )
+
+    def alive_naplets(self) -> dict[NapletID, str]:
+        """Every resident naplet in the space: id -> hostname."""
+        alive: dict[NapletID, str] = {}
+        for hostname, server in self._servers.items():
+            for nid in server.manager.resident_ids():
+                alive[nid] = hostname
+        return alive
+
+    def space_summary(self) -> list[ServerSummary]:
+        """Per-server health rows for the whole space."""
+        rows = []
+        for hostname in self.hostnames:
+            server = self._servers[hostname]
+            rows.append(
+                ServerSummary(
+                    hostname=hostname,
+                    residents=server.manager.resident_count,
+                    admitted_total=server.monitor.admitted,
+                    outcomes=dict(server.monitor.outcomes),
+                    active_channels=server.resource_manager.active_channel_count,
+                    footprints=len(server.manager.footprints()),
+                )
+            )
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Control (location-routed)
+    # ------------------------------------------------------------------ #
+
+    def _control(self, nid: NapletID, control: str, payload=None) -> None:
+        hostname = self.locate(nid)
+        if hostname is not None:
+            self._servers[hostname].messenger.send_control(
+                nid, control, payload, dest_urn=self._servers[hostname].urn
+            )
+            return
+        # not resident anywhere: let any server chase it via its directory
+        try:
+            self._any_server().messenger.send_control(nid, control, payload)
+        except NapletLocationError:
+            raise NapletError(f"cannot control {nid}: not found in the space") from None
+
+    def terminate(self, nid: NapletID, reason: str | None = None) -> None:
+        self._control(nid, SystemControl.TERMINATE, reason)
+
+    def suspend(self, nid: NapletID) -> None:
+        self._control(nid, SystemControl.SUSPEND)
+
+    def resume(self, nid: NapletID) -> None:
+        self._control(nid, SystemControl.RESUME)
+
+    def callback(self, nid: NapletID, payload=None) -> None:
+        self._control(nid, SystemControl.CALLBACK, payload)
+
+    def terminate_all(self) -> int:
+        """Emergency stop: terminate every resident naplet. Returns count."""
+        count = 0
+        for nid, hostname in self.alive_naplets().items():
+            self._servers[hostname].messenger.send_control(
+                nid, SystemControl.TERMINATE, "terminate_all",
+                dest_urn=self._servers[hostname].urn,
+            )
+            count += 1
+        return count
+
+    def wait_space_idle(self, timeout: float = 10.0) -> bool:
+        """Block until no naplet runs anywhere in the space."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if not self.alive_naplets():
+                return True
+            time.sleep(0.01)
+        return not self.alive_naplets()
+
+
+def _host_of_fp(footprint: Footprint, servers: dict) -> str | None:
+    """Hostname a footprint belongs to (the server whose manager holds it)."""
+    for hostname, server in servers.items():
+        if server.manager.footprint(footprint.naplet_id) is footprint:
+            return hostname
+    return None

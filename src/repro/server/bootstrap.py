@@ -1,0 +1,48 @@
+"""Deployment helpers: bring a naplet space up on a virtual network.
+
+Every example, test and benchmark starts the same way — build a topology,
+attach one NapletServer per (selected) host, pick a directory mode.  This
+module packages that so experiment code stays about the experiment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable
+
+from repro.server.directory import DirectoryMode
+from repro.server.server import NapletServer, ServerConfig
+from repro.simnet.network import VirtualNetwork
+from repro.transport.base import urn_of
+
+__all__ = ["deploy"]
+
+
+def deploy(
+    network: VirtualNetwork,
+    hostnames: Iterable[str] | None = None,
+    config: ServerConfig | None = None,
+    directory_host: str | None = None,
+) -> dict[str, NapletServer]:
+    """Attach a NapletServer to each host; returns servers by hostname.
+
+    ``directory_host`` switches the space to CENTRAL mode with the directory
+    on that host; otherwise the config's mode (default HOME) applies
+    uniformly.  Each server gets its own config copy so later per-server
+    tweaks don't alias.
+    """
+    base = config or ServerConfig()
+    names = list(hostnames) if hostnames is not None else network.hostnames()
+    if directory_host is not None:
+        base = dataclasses.replace(
+            base,
+            directory_mode=DirectoryMode.CENTRAL,
+            directory_urn=urn_of(directory_host),
+        )
+        if directory_host not in names:
+            names.append(directory_host)
+    servers: dict[str, NapletServer] = {}
+    for name in names:
+        per_server = dataclasses.replace(base)
+        servers[name] = NapletServer.attach(network.host(name), per_server)
+    return servers

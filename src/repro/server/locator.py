@@ -1,0 +1,85 @@
+"""Naplet tracing and location (paper §4.1).
+
+The :class:`Locator` answers "where is naplet X now?" for the Messenger and
+the NapletManager.  It consults, in order:
+
+1. its **cache** of recently inquired locations (reducing the response time
+   of subsequent requests, as the paper prescribes);
+2. the **directory service** via the server's
+   :class:`~repro.server.directory.DirectoryClient` (central or home mode);
+3. nothing — in directory-less systems it returns ``None`` and the
+   Messenger falls back to address-book seeds plus trace forwarding.
+
+Cache entries are invalidated on migration notifications and expire after a
+TTL so stale locations self-heal; a stale answer is *safe* regardless,
+because message forwarding chases naplets along server traces.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.core.naplet_id import NapletID
+from repro.server.directory import DirectoryClient, DirectoryRecord
+
+__all__ = ["Locator"]
+
+
+class Locator:
+    """Location service with a TTL cache in front of the directory."""
+
+    def __init__(self, directory: DirectoryClient, cache_ttl: float = 5.0) -> None:
+        self.directory = directory
+        self.cache_ttl = cache_ttl
+        self._cache: dict[NapletID, tuple[str, float]] = {}
+        self._lock = threading.Lock()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- cache maintenance ----------------------------------------------- #
+
+    def note_location(self, nid: NapletID, urn: str) -> None:
+        """Record a location learned out-of-band (confirmations, arrivals)."""
+        with self._lock:
+            self._cache[nid] = (urn, time.monotonic())
+
+    def invalidate(self, nid: NapletID) -> None:
+        with self._lock:
+            self._cache.pop(nid, None)
+
+    def _cached(self, nid: NapletID) -> str | None:
+        with self._lock:
+            entry = self._cache.get(nid)
+            if entry is None:
+                return None
+            urn, stamp = entry
+            if time.monotonic() - stamp > self.cache_ttl:
+                del self._cache[nid]
+                return None
+            return urn
+
+    # -- location ----------------------------------------------------------- #
+
+    def locate(self, nid: NapletID, use_cache: bool = True) -> str | None:
+        """Best-known server URN for *nid* (None when untraceable)."""
+        if use_cache:
+            cached = self._cached(nid)
+            if cached is not None:
+                self.cache_hits += 1
+                return cached
+        self.cache_misses += 1
+        record = self.directory.lookup(nid)
+        if record is None:
+            return None
+        self.note_location(nid, record.server_urn)
+        return record.server_urn
+
+    def lookup_record(self, nid: NapletID) -> DirectoryRecord | None:
+        """Full directory record (event + server), bypassing the cache."""
+        return self.directory.lookup(nid)
+
+    @property
+    def cache_size(self) -> int:
+        with self._lock:
+            return len(self._cache)

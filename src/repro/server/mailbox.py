@@ -1,0 +1,81 @@
+"""Per-naplet mailboxes (paper §4.2).
+
+A :class:`Mailbox` buffers user messages for one resident naplet; the naplet
+decides when to check it.  Besides FIFO ``get``, a predicate-filtered
+``get_matching`` lets the itinerary driver wait for join notices without
+consuming unrelated messages — everything skipped stays in order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.core.errors import NapletCommunicationError
+from repro.server.messages import UserMessage
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox:
+    """Thread-safe ordered message buffer with filtered retrieval."""
+
+    def __init__(self) -> None:
+        self._messages: deque[UserMessage] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def put(self, message: UserMessage) -> None:
+        with self._cond:
+            if self._closed:
+                raise NapletCommunicationError("mailbox is closed")
+            self._messages.append(message)
+            self._cond.notify_all()
+
+    def get(self, timeout: float | None = None) -> UserMessage:
+        """Oldest message; blocks up to *timeout* (None = forever)."""
+        return self.get_matching(lambda _m: True, timeout)
+
+    def get_matching(
+        self,
+        predicate: Callable[[UserMessage], bool],
+        timeout: float | None = None,
+    ) -> UserMessage:
+        """Oldest message satisfying *predicate*; skipped ones stay queued."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                for index, message in enumerate(self._messages):
+                    if predicate(message):
+                        del self._messages[index]
+                        return message
+                if self._closed:
+                    raise NapletCommunicationError("mailbox closed while waiting")
+                remaining = None if deadline is None else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    raise NapletCommunicationError("timed out waiting for a message")
+                self._cond.wait(remaining)
+
+    def poll(self) -> UserMessage | None:
+        with self._cond:
+            if self._messages:
+                return self._messages.popleft()
+            return None
+
+    def drain(self) -> list[UserMessage]:
+        """Remove and return everything (used when the naplet departs)."""
+        with self._cond:
+            messages = list(self._messages)
+            self._messages.clear()
+            return messages
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._messages)

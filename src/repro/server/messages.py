@@ -1,0 +1,120 @@
+"""Message types (paper §2.2, §4.2).
+
+Two message classes exist on the naplet wire:
+
+- **System messages** control naplets (callback, terminate, suspend,
+  resume): the receiving Messenger casts an interrupt onto the running
+  naplet thread, and the naplet's ``on_interrupt`` defines the reaction.
+- **User messages** carry data between naplets: the receiving Messenger
+  puts them in the target's mailbox, and the naplet decides when to check.
+
+Join notices (Par itinerary synchronisation) ride as user messages with a
+reserved body shape so the itinerary driver can filter for them without a
+separate channel.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.naplet_id import NapletID
+
+__all__ = [
+    "SystemControl",
+    "UserMessage",
+    "SystemMessage",
+    "DeliveryReceipt",
+    "make_join_body",
+    "join_token_of",
+]
+
+_seq = itertools.count(1)
+_seq_lock = threading.Lock()
+
+
+def _next_seq() -> int:
+    with _seq_lock:
+        return next(_seq)
+
+
+class SystemControl:
+    """Well-known system-message controls."""
+
+    CALLBACK = "callback"
+    TERMINATE = "terminate"
+    SUSPEND = "suspend"
+    RESUME = "resume"
+    INTERRUPT = "interrupt"
+    FREEZE = "freeze"  # checkpoint-and-retire (extension; see admin/freeze)
+
+    ALL = (CALLBACK, TERMINATE, SUSPEND, RESUME, INTERRUPT, FREEZE)
+
+
+@dataclass
+class UserMessage:
+    """Data message between naplets."""
+
+    sender: NapletID | str
+    target: NapletID
+    body: Any
+    message_id: int = field(default_factory=_next_seq)
+    sent_at: float = field(default_factory=time.time)
+    hops: int = 0
+
+    def hopped(self) -> "UserMessage":
+        """Copy with the forwarding hop count incremented."""
+        return UserMessage(
+            sender=self.sender,
+            target=self.target,
+            body=self.body,
+            message_id=self.message_id,
+            sent_at=self.sent_at,
+            hops=self.hops + 1,
+        )
+
+
+@dataclass
+class SystemMessage:
+    """Control message for a naplet."""
+
+    control: str
+    target: NapletID
+    payload: Any = None
+    sender: NapletID | str = "system"
+    message_id: int = field(default_factory=_next_seq)
+    sent_at: float = field(default_factory=time.time)
+
+
+@dataclass(frozen=True)
+class DeliveryReceipt:
+    """Confirmation kept by the sending Messenger for later inquiry.
+
+    ``status`` is one of ``delivered`` (mailbox insertion at the first
+    server), ``forwarded`` (caught up after ``hops`` forwarding steps),
+    ``parked`` (target not yet arrived; waiting in a special mailbox).
+    """
+
+    message_id: int
+    target: NapletID
+    status: str
+    final_server: str
+    hops: int = 0
+
+
+_JOIN_KEY = "__naplet_join__"
+
+
+def make_join_body(token: str) -> dict[str, str]:
+    """Body of a Par-join notification message."""
+    return {_JOIN_KEY: token}
+
+
+def join_token_of(body: Any) -> str | None:
+    """Extract a join token from a message body, if it is a join notice."""
+    if isinstance(body, dict) and _JOIN_KEY in body:
+        return str(body[_JOIN_KEY])
+    return None

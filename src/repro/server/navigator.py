@@ -1,0 +1,321 @@
+"""Navigator: launching and migration (paper §2.2, §4.1).
+
+Migration protocol, exactly the paper's sequence:
+
+1. the source Navigator consults its NapletSecurityManager for **LAUNCH**
+   permission;
+2. it contacts the destination Navigator for **LANDING** permission (the
+   destination consults its own security manager and resource manager);
+3. on grant it reports DEPART to the directory, serializes the naplet
+   (transient context dropped) and transfers it;
+4. the destination registers ARRIVAL with the directory and *postpones
+   execution until the registration is acknowledged*, then records the
+   arrival with its NapletManager, creates the mailbox (draining the
+   special mailbox), binds a fresh context and hands control to the
+   NapletMonitor;
+5. success releases all resources the naplet held at the source.
+
+The per-naplet :class:`NavigatorOps` object implements the itinerary
+driver's :class:`~repro.itinerary.itinerary.TravelOps` protocol — dispatch,
+clone spawning, credential re-issue, and Par join signalling.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import TYPE_CHECKING
+
+from repro.core.context import NapletContext
+from repro.core.credential import Credential
+from repro.core.errors import (
+    LandingDeniedError,
+    NapletCommunicationError,
+    NapletDeparted,
+    NapletMigrationError,
+)
+from repro.core.naplet_id import NapletID
+from repro.server.messenger import NapletMessengerProxy
+from repro.server.monitor import NapletOutcome, _ControlBlock
+from repro.server.security import Permission
+from repro.transport.base import Frame, FrameKind, urn_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.naplet import Naplet
+    from repro.server.server import NapletServer
+
+__all__ = ["Navigator", "NavigatorOps"]
+
+
+class Navigator:
+    """Per-server migration endpoint."""
+
+    def __init__(self, server: "NapletServer") -> None:
+        self.server = server
+        self.migrations_out = 0
+        self.migrations_in = 0
+
+    # ------------------------------------------------------------------ #
+    # Outbound
+    # ------------------------------------------------------------------ #
+
+    def launch(self, naplet: "Naplet") -> None:
+        """Initial launch from the home manager (paper: 'similar to agent
+        migration')."""
+        ops = NavigatorOps(self, naplet)
+        nid = naplet.naplet_id
+        # Footprint at home so early messages seeded with the home URN can
+        # chase the naplet by trace forwarding.
+        self.server.manager.record_arrival(naplet, arrived_from=None)
+        sent = {"dest": None}
+
+        def _transfer(destination: str) -> None:
+            self.transfer(naplet, urn_of(destination))
+            sent["dest"] = urn_of(destination)
+
+        try:
+            travelled = naplet.itinerary.launch_with(naplet, ops, _transfer)
+        except NapletMigrationError:
+            self.server.manager.record_retirement(nid, "launch-failed")
+            raise
+        if not travelled:
+            # Degenerate journey: nothing admitted. Retire without travel.
+            self.server.manager.record_retirement(nid, "completed")
+            self.server.events.record("naplet-degenerate-launch", naplet=str(nid))
+            naplet.on_destroy()
+            return
+        self.server.messenger.remove_mailbox(nid, forward_to=sent["dest"])
+        self.migrations_out += 1
+
+    def dispatch(self, naplet: "Naplet", dest_urn: str) -> None:
+        """Migrate a *resident* naplet; raises NapletDeparted on success."""
+        dest_urn = urn_of(dest_urn)
+        nid = naplet.naplet_id
+        self.transfer(naplet, dest_urn)  # marks the departure itself
+        # Success: release everything the naplet held here (paper §2.2).
+        self.server.resource_manager.release(nid)
+        self.server.messenger.remove_mailbox(nid, forward_to=dest_urn)
+        naplet._bind_context(None)
+        self.migrations_out += 1
+        raise NapletDeparted(dest_urn)
+
+    def transfer(self, naplet: "Naplet", dest_urn: str) -> None:
+        """Run the LAUNCH/LANDING/transfer protocol toward *dest_urn*."""
+        nid = naplet.naplet_id
+        credential = naplet.credential
+        # 1. LAUNCH permission at the source.
+        self.server.security.check(credential, Permission.LAUNCH)
+        # 2. LANDING permission at the destination.
+        request = Frame(
+            kind=FrameKind.LANDING_REQUEST,
+            source=self.server.urn,
+            dest=dest_urn,
+            payload=pickle.dumps(credential),
+            headers={"naplet": str(nid)},
+        )
+        try:
+            reply = pickle.loads(self.server.transport.request(request))
+        except NapletCommunicationError as exc:
+            raise NapletMigrationError(f"cannot reach {dest_urn}: {exc}") from exc
+        if not reply.get("granted", False):
+            self.server.events.record(
+                "landing-denied", naplet=str(nid), dest=dest_urn, reason=reply.get("reason")
+            )
+            raise LandingDeniedError(
+                f"{dest_urn} denied landing for {nid}: {reply.get('reason', 'unknown')}"
+            )
+        # 3. Mark the naplet in transit *before* the wire transfer: the
+        # directory's latest event must never run behind the synchronous
+        # landing, and messages arriving here during the transfer must be
+        # forwarded toward the destination, not deposited in a mailbox the
+        # naplet will never read.  Both are rolled back on failure.
+        was_resident = self.server.manager.is_resident(nid)
+        resident_record = self.server.manager.begin_departure(nid, dest_urn)
+        self.server.directory_client.report_departure(nid, self.server.urn)
+        if naplet.navigation_log.current_server() == self.server.urn:
+            naplet.navigation_log.record_departure(self.server.urn)
+        payload = self.server.serializer.dumps(naplet)
+        frame = Frame(
+            kind=FrameKind.NAPLET_TRANSFER,
+            source=self.server.urn,
+            dest=dest_urn,
+            payload=payload,
+            headers={"naplet": str(nid)},
+        )
+        self.server.events.record(
+            "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)
+        )
+        def _rollback() -> None:
+            self.server.manager.abort_departure(nid, resident_record)
+            if naplet.navigation_log.servers_visited() and not naplet.navigation_log.current_server():
+                naplet.navigation_log.record_arrival(self.server.urn)
+            if was_resident:
+                self.server.directory_client.report_arrival(nid, self.server.urn)
+
+        try:
+            ack = pickle.loads(self.server.transport.request(frame))
+        except NapletCommunicationError as exc:
+            _rollback()
+            raise NapletMigrationError(f"transfer to {dest_urn} failed: {exc}") from exc
+        if ack.get("ok") is not True:
+            _rollback()
+            raise NapletMigrationError(
+                f"{dest_urn} rejected the transfer of {nid}: {ack.get('reason')}"
+            )
+        # Messages that were parked here waiting for this naplet chase it.
+        self.server.messenger.forward_parked(nid, dest_urn)
+
+    # ------------------------------------------------------------------ #
+    # Inbound (frame handlers)
+    # ------------------------------------------------------------------ #
+
+    def handle_landing_request(self, frame: Frame) -> bytes:
+        credential: Credential = pickle.loads(frame.payload)
+        try:
+            self.server.security.check(credential, Permission.LANDING)
+        except Exception as exc:
+            return pickle.dumps({"granted": False, "reason": str(exc)})
+        limit = self.server.config.max_residents
+        if limit is not None and self.server.manager.resident_count >= limit:
+            return pickle.dumps(
+                {"granted": False, "reason": f"server full ({limit} residents)"}
+            )
+        owner_limit = self.server.config.max_residents_per_owner
+        if owner_limit is not None:
+            owner = credential.naplet_id.owner
+            if self.server.manager.resident_count_for_owner(owner) >= owner_limit:
+                return pickle.dumps(
+                    {
+                        "granted": False,
+                        "reason": f"owner {owner!r} at capacity ({owner_limit})",
+                    }
+                )
+        self.server.events.record(
+            "landing-granted", naplet=str(credential.naplet_id), source=frame.source
+        )
+        return pickle.dumps({"granted": True})
+
+    def handle_transfer(self, frame: Frame) -> bytes:
+        try:
+            naplet: "Naplet" = self.server.serializer.loads(
+                frame.payload, self.server.code_cache
+            )
+        except Exception as exc:
+            return pickle.dumps({"ok": False, "reason": f"deserialization failed: {exc}"})
+        self.receive(naplet, arrived_from=frame.source, payload_bytes=len(frame.payload))
+        return pickle.dumps({"ok": True})
+
+    def receive(
+        self,
+        naplet: "Naplet",
+        arrived_from: str | None,
+        payload_bytes: int = 0,
+    ) -> None:
+        """Land *naplet* at this server: register, bind, and start it.
+
+        Shared by the wire transfer path and local revival (thaw).
+        """
+        nid = naplet.naplet_id
+        # Postpone execution until the arrival registration is acknowledged.
+        self.server.directory_client.report_arrival(nid, self.server.urn)
+        self.server.manager.record_arrival(naplet, arrived_from=arrived_from)
+        naplet.navigation_log.record_arrival(self.server.urn)
+        self.server.messenger.create_mailbox(nid)
+        self.server.locator.note_location(nid, self.server.urn)
+        self.migrations_in += 1
+        self.server.events.record(
+            "naplet-arrive",
+            naplet=str(nid),
+            source=arrived_from,
+            bytes=payload_bytes,
+        )
+        self._start_naplet(naplet)
+
+    def _start_naplet(self, naplet: "Naplet") -> None:
+        """Bind a fresh context and hand control to the NapletMonitor."""
+        server = self.server
+
+        def prepare(block: _ControlBlock) -> None:
+            context = NapletContext(
+                server_urn=server.urn,
+                hostname=server.hostname,
+                dispatcher=NavigatorOps(self, naplet),
+                messenger=NapletMessengerProxy(server.messenger, naplet),
+                services=server.resource_manager.proxy_for(naplet),
+                monitor_hook=block,
+                extras={"network": server.network},
+            )
+            naplet._bind_context(context)
+
+        def run_body() -> None:
+            naplet.on_start()
+
+        def on_retire(
+            agent: "Naplet", outcome: str, error: BaseException | None
+        ) -> None:
+            nid = agent.naplet_id
+            if outcome == NapletOutcome.DEPARTED:
+                return  # dispatch() already released everything
+            server.manager.record_retirement(nid, outcome)
+            server.resource_manager.release(nid)
+            server.messenger.remove_mailbox(nid)
+            if agent.navigation_log.current_server() == server.urn:
+                agent.navigation_log.record_departure(server.urn)
+            agent._bind_context(None)
+            server.events.record(
+                "naplet-retired",
+                naplet=str(nid),
+                outcome=outcome,
+                error=repr(error) if error else None,
+            )
+
+        quota = server.quota_for(naplet)
+        server.monitor.admit(
+            naplet, run_body, on_retire, quota=quota, prepare=prepare
+        )
+
+
+class NavigatorOps:
+    """TravelOps implementation bound to one naplet at this server."""
+
+    def __init__(self, navigator: Navigator, naplet: "Naplet") -> None:
+        self._navigator = navigator
+        self._naplet = naplet
+
+    @property
+    def origin_urn(self) -> str:
+        return self._navigator.server.urn
+
+    def dispatch(self, naplet: "Naplet", destination: str) -> None:
+        self._navigator.dispatch(naplet, urn_of(destination))
+
+    def spawn(self, parent: "Naplet", clone: "Naplet", destination: str) -> None:
+        server = self._navigator.server
+        server.security.check(parent.credential, Permission.CLONE)
+        # Leave a trace at the fork origin so messages seeded with this
+        # server's URN can chase the clone; transfer() marks the departure
+        # (and rolls it back if the spawn fails).
+        server.manager.record_arrival(clone, arrived_from=None)
+        self._navigator.transfer(clone, urn_of(destination))
+        server.events.record(
+            "clone-spawned",
+            parent=str(parent.naplet_id),
+            clone=str(clone.naplet_id),
+            dest=destination,
+        )
+
+    def issue_clone_credential(self, clone: "Naplet") -> None:
+        server = self._navigator.server
+        credential = server.authority.issue(
+            clone.naplet_id, clone.codebase, clone.inherited_attributes
+        )
+        clone._cred = credential
+
+    def await_join(
+        self, naplet: "Naplet", tokens: set[str], timeout: float | None
+    ) -> None:
+        proxy = NapletMessengerProxy(self._navigator.server.messenger, naplet)
+        proxy.await_join_tokens(tokens, timeout)
+
+    def notify_join(self, naplet: "Naplet", target: NapletID, token: str) -> None:
+        proxy = NapletMessengerProxy(self._navigator.server.messenger, naplet)
+        proxy.post_join_notice(target, token)

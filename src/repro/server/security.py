@@ -1,0 +1,178 @@
+"""Security: policies and the NapletSecurityManager (paper §5).
+
+A :class:`SecurityPolicy` is the paper's access-control matrix: it "maps a
+set of characteristic features of naplets to a set of access permissions
+granted to the naplets".  Features come from the naplet's credential (owner,
+home, codebase, plus application attributes); permissions are namespaced
+strings:
+
+- ``launch``            — leave this server for another;
+- ``landing``           — be admitted by this server;
+- ``message``           — use the messenger;
+- ``clone``             — fork clones here;
+- ``service:<name>``    — call the open service *<name>*;
+- ``channel:<name>``    — obtain a ServiceChannel to privileged *<name>*.
+
+Rules match features with ``fnmatch`` wildcards, so an administrator writes
+``Rule({"owner": "czxu"}, grants={"landing", "channel:NetManagement"})`` or
+a catch-all ``Rule({}, grants={"landing", "launch"})``.  Deny-rules
+(``denies=...``) subtract after all grants union — a conventional
+default-permit/explicit-deny matrix.
+
+The :class:`NapletSecurityManager` verifies credential signatures against
+the network's signing authority before consulting the policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+from repro.core.credential import Credential, SigningAuthority
+from repro.core.errors import CredentialError, PermissionDeniedError
+
+__all__ = ["Permission", "Rule", "SecurityPolicy", "NapletSecurityManager"]
+
+
+class Permission:
+    """Well-known permission names."""
+
+    LAUNCH = "launch"
+    LANDING = "landing"
+    MESSAGE = "message"
+    CLONE = "clone"
+
+    @staticmethod
+    def service(name: str) -> str:
+        return f"service:{name}"
+
+    @staticmethod
+    def channel(name: str) -> str:
+        return f"channel:{name}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One row of the access-control matrix.
+
+    ``match`` maps feature names to fnmatch patterns; a rule applies when
+    every pattern matches the credential's feature (a missing feature never
+    matches).  An empty match applies to every naplet.
+    """
+
+    match: tuple[tuple[str, str], ...]
+    grants: frozenset[str] = frozenset()
+    denies: frozenset[str] = frozenset()
+
+    @classmethod
+    def of(
+        cls,
+        match: dict[str, str] | None = None,
+        grants: set[str] | frozenset[str] = frozenset(),
+        denies: set[str] | frozenset[str] = frozenset(),
+    ) -> "Rule":
+        return cls(
+            match=tuple(sorted((match or {}).items())),
+            grants=frozenset(grants),
+            denies=frozenset(denies),
+        )
+
+    def applies_to(self, features: dict[str, str]) -> bool:
+        for key, pattern in self.match:
+            value = features.get(key)
+            if value is None or not fnmatch(value, pattern):
+                return False
+        return True
+
+
+class SecurityPolicy:
+    """Ordered rule list; grants union, denies subtract afterwards."""
+
+    def __init__(self, rules: list[Rule] | None = None) -> None:
+        self._rules: list[Rule] = list(rules or [])
+        self._lock = threading.RLock()
+
+    @classmethod
+    def permissive(cls) -> "SecurityPolicy":
+        """Grant everything to everyone — the out-of-the-box research posture."""
+        return cls([Rule.of({}, grants={"*"})])
+
+    @classmethod
+    def locked_down(cls) -> "SecurityPolicy":
+        """Grant nothing; administrators add rules explicitly."""
+        return cls([])
+
+    def add_rule(self, rule: Rule) -> None:
+        with self._lock:
+            self._rules.append(rule)
+
+    def rules(self) -> list[Rule]:
+        with self._lock:
+            return list(self._rules)
+
+    def permissions_for(self, credential: Credential) -> tuple[frozenset[str], frozenset[str]]:
+        """(grants, denies) applicable to *credential*'s features."""
+        features = credential.features()
+        grants: set[str] = set()
+        denies: set[str] = set()
+        with self._lock:
+            for rule in self._rules:
+                if rule.applies_to(features):
+                    grants |= rule.grants
+                    denies |= rule.denies
+        return frozenset(grants), frozenset(denies)
+
+    def permits(self, credential: Credential, permission: str) -> bool:
+        grants, denies = self.permissions_for(credential)
+        if _permission_in(permission, denies):
+            return False
+        return _permission_in(permission, grants)
+
+
+def _permission_in(permission: str, granted: frozenset[str]) -> bool:
+    """Wildcard-aware permission membership: '*' and 'channel:*' style."""
+    if permission in granted:
+        return True
+    for pattern in granted:
+        if fnmatch(permission, pattern):
+            return True
+    return False
+
+
+class NapletSecurityManager:
+    """Per-server security decisions: signatures first, then the matrix."""
+
+    def __init__(
+        self,
+        policy: SecurityPolicy,
+        authority: SigningAuthority | None = None,
+        require_signature: bool = True,
+    ) -> None:
+        self.policy = policy
+        self.authority = authority
+        self.require_signature = require_signature and authority is not None
+
+    def verify_credential(self, credential: Credential) -> None:
+        if not self.require_signature:
+            return
+        assert self.authority is not None
+        if not self.authority.verify(credential):
+            raise CredentialError(
+                f"credential signature check failed for {credential.naplet_id}"
+            )
+
+    def check(self, credential: Credential, permission: str) -> None:
+        """Raise unless *permission* is granted to *credential*."""
+        self.verify_credential(credential)
+        if not self.policy.permits(credential, permission):
+            raise PermissionDeniedError(
+                f"{credential.naplet_id} lacks permission {permission!r}"
+            )
+
+    def permits(self, credential: Credential, permission: str) -> bool:
+        try:
+            self.check(credential, permission)
+        except (PermissionDeniedError, CredentialError):
+            return False
+        return True

@@ -1,0 +1,29 @@
+"""Simulated network substrate: hosts, topologies, clock, traffic metering."""
+
+from repro.transport.clock import SimClock
+from repro.simnet.host import VirtualHost
+from repro.simnet.network import GraphLatency, VirtualNetwork
+from repro.simnet.topology import (
+    full_mesh,
+    line,
+    random_geometric,
+    ring,
+    star,
+    tree,
+)
+from repro.transport.traffic import LinkStats, TrafficMeter
+
+__all__ = [
+    "SimClock",
+    "TrafficMeter",
+    "LinkStats",
+    "VirtualHost",
+    "VirtualNetwork",
+    "GraphLatency",
+    "star",
+    "ring",
+    "line",
+    "tree",
+    "full_mesh",
+    "random_geometric",
+]

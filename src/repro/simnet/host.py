@@ -1,0 +1,69 @@
+"""Virtual hosts.
+
+A :class:`VirtualHost` is one machine in the simulated network.  The paper
+allows many JVMs per host but **at most one NapletServer per host** — the
+host object enforces exactly that invariant, and also anchors host-local
+fixtures (a managed SNMP device, arbitrary attachments used by examples).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.core.errors import NapletError
+from repro.transport.base import urn_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.network import VirtualNetwork
+
+__all__ = ["VirtualHost"]
+
+
+class VirtualHost:
+    """One machine: a name, its network, and at most one naplet server."""
+
+    def __init__(self, hostname: str, network: "VirtualNetwork") -> None:
+        self.hostname = hostname
+        self.network = network
+        self._server: Any | None = None
+        self._attachments: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def urn(self) -> str:
+        return urn_of(self.hostname)
+
+    # -- the one-server invariant (paper §2.2) ---------------------------- #
+
+    @property
+    def server(self) -> Any | None:
+        with self._lock:
+            return self._server
+
+    def install_server(self, server: Any) -> None:
+        with self._lock:
+            if self._server is not None:
+                raise NapletError(
+                    f"host {self.hostname!r} already has a NapletServer installed "
+                    "(each host can contain at most one)"
+                )
+            self._server = server
+
+    def remove_server(self) -> None:
+        with self._lock:
+            self._server = None
+
+    # -- host-local fixtures ------------------------------------------------ #
+
+    def attach(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._attachments[key] = value
+
+    def attachment(self, key: str, default: Any = None) -> Any:
+        with self._lock:
+            return self._attachments.get(key, default)
+
+    def __repr__(self) -> str:
+        has_server = self.server is not None
+        return f"<VirtualHost {self.hostname!r} server={'yes' if has_server else 'no'}>"

@@ -1,0 +1,169 @@
+"""Virtual network assembly.
+
+A :class:`VirtualNetwork` bundles everything one experiment needs:
+
+- the topology graph (hostnames + links with latency/bandwidth attributes);
+- a :class:`GraphLatency` model that routes over shortest paths;
+- one shared :class:`InMemoryTransport` with clock and traffic meter;
+- the process-wide fixtures servers expect — a
+  :class:`~repro.core.credential.SigningAuthority` (stand-in PKI) and a
+  :class:`~repro.codeshipping.codebase.CodeBaseRegistry` (codebase host).
+
+Hosts are created from graph nodes; naplet servers attach to hosts (one per
+host).  Fault injection and metering are reached through the transport.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+import networkx as nx
+
+from repro.codeshipping.codebase import CodeBaseRegistry
+from repro.core.credential import SigningAuthority
+from repro.core.errors import NapletError
+from repro.transport.clock import SimClock
+from repro.simnet.host import VirtualHost
+from repro.transport.traffic import TrafficMeter
+from repro.transport.base import host_of
+from repro.transport.inmemory import InMemoryTransport
+from repro.transport.latency import LatencyModel
+
+__all__ = ["GraphLatency", "VirtualNetwork"]
+
+
+class GraphLatency(LatencyModel):
+    """Latency model routed over the topology graph.
+
+    One-way delay between two hosts is the sum of edge latencies along the
+    shortest (latency-weighted) path, plus transfer time at the bottleneck
+    (minimum) bandwidth along that path.  Paths are cached.
+    """
+
+    def __init__(self, graph: nx.Graph) -> None:
+        self._graph = graph
+        self._cache: dict[tuple[str, str], tuple[float, float]] = {}
+        self._lock = threading.Lock()
+
+    def _path_params(self, src: str, dst: str) -> tuple[float, float]:
+        key = (src, dst)
+        with self._lock:
+            cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            path = nx.shortest_path(self._graph, src, dst, weight="latency")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            # Unknown or unreachable hosts: charge nothing; reachability is
+            # the transport's concern, not the latency model's.
+            params = (0.0, 0.0)
+            with self._lock:
+                self._cache[key] = params
+            return params
+        latency = 0.0
+        bandwidth = float("inf")
+        for u, v in zip(path, path[1:]):
+            data = self._graph.edges[u, v]
+            latency += float(data.get("latency", 0.0))
+            bw = float(data.get("bandwidth", 0.0))
+            if bw > 0:
+                bandwidth = min(bandwidth, bw)
+        if bandwidth == float("inf"):
+            bandwidth = 0.0
+        params = (latency, bandwidth)
+        with self._lock:
+            self._cache[key] = params
+        return params
+
+    def delay(self, src: str, dst: str, nbytes: int) -> float:
+        if src == dst:
+            return 0.0
+        latency, bandwidth = self._path_params(src, dst)
+        transfer = (nbytes / bandwidth) if bandwidth > 0 else 0.0
+        return latency + transfer
+
+
+class VirtualNetwork:
+    """A topology of virtual hosts sharing one transport and its fixtures."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        latency: LatencyModel | None = None,
+        sleep_scale: float = 0.0,
+    ) -> None:
+        self.graph = graph
+        self.clock = SimClock(scale=sleep_scale)
+        self.meter = TrafficMeter()
+        self.latency = latency if latency is not None else GraphLatency(graph)
+        self.transport = InMemoryTransport(
+            latency=self.latency, clock=self.clock, meter=self.meter
+        )
+        self.authority = SigningAuthority()
+        self.code_registry = CodeBaseRegistry()
+        self._hosts: dict[str, VirtualHost] = {}
+        self._lock = threading.Lock()
+        for name in graph.nodes:
+            self._hosts[str(name)] = VirtualHost(str(name), self)
+
+    # -- hosts ------------------------------------------------------------- #
+
+    def host(self, hostname: str) -> VirtualHost:
+        hostname = host_of(hostname)
+        with self._lock:
+            try:
+                return self._hosts[hostname]
+            except KeyError:
+                raise NapletError(f"no such host in network: {hostname!r}") from None
+
+    def add_host(self, hostname: str, connect_to: str | None = None, **link_attrs: float) -> VirtualHost:
+        """Grow the topology at runtime (used by elasticity tests)."""
+        with self._lock:
+            if hostname in self._hosts:
+                raise NapletError(f"host already exists: {hostname!r}")
+            self.graph.add_node(hostname)
+            if connect_to is not None:
+                self.graph.add_edge(hostname, connect_to, **link_attrs)
+            host = VirtualHost(hostname, self)
+            self._hosts[hostname] = host
+            if isinstance(self.latency, GraphLatency):
+                # topology changed: drop the path cache
+                self.latency._cache.clear()
+            return host
+
+    def hostnames(self) -> list[str]:
+        with self._lock:
+            return sorted(self._hosts)
+
+    def hosts(self) -> Iterator[VirtualHost]:
+        for name in self.hostnames():
+            yield self.host(name)
+
+    def __contains__(self, hostname: str) -> bool:
+        with self._lock:
+            return host_of(hostname) in self._hosts
+
+    # -- fault injection (delegated) ----------------------------------------- #
+
+    def fail_link(self, a: str, b: str, symmetric: bool = True) -> None:
+        self.transport.fail_link(host_of(a), host_of(b), symmetric)
+
+    def heal_link(self, a: str, b: str, symmetric: bool = True) -> None:
+        self.transport.heal_link(host_of(a), host_of(b), symmetric)
+
+    def partition_host(self, hostname: str) -> None:
+        self.transport.partition_host(host_of(hostname))
+
+    def heal_host(self, hostname: str) -> None:
+        self.transport.heal_host(host_of(hostname))
+
+    # -- lifecycle -------------------------------------------------------------- #
+
+    def shutdown(self) -> None:
+        """Stop every attached server and close the transport."""
+        for host in self.hosts():
+            server = host.server
+            if server is not None and hasattr(server, "shutdown"):
+                server.shutdown()
+        self.transport.close()

@@ -1,0 +1,122 @@
+"""Topology generators for virtual networks.
+
+Each generator returns a ``networkx.Graph`` whose nodes are hostnames and
+whose edges optionally carry ``latency`` (seconds) and ``bandwidth``
+(bytes/s) attributes consumed by :class:`~repro.simnet.network.GraphLatency`.
+
+The MAN experiments use :func:`star` (a management station fronting N
+devices, the paper's Figure 3 shape); itinerary and messaging experiments
+use :func:`ring`, :func:`line` and :func:`tree`.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+__all__ = ["star", "ring", "line", "tree", "full_mesh", "random_geometric"]
+
+
+def _apply_link_attrs(graph: nx.Graph, latency: float, bandwidth: float) -> nx.Graph:
+    for _u, _v, data in graph.edges(data=True):
+        data.setdefault("latency", latency)
+        data.setdefault("bandwidth", bandwidth)
+    return graph
+
+
+def _device_names(count: int, prefix: str) -> list[str]:
+    width = max(2, len(str(count)))
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]
+
+
+def star(
+    n_devices: int,
+    center: str = "station",
+    prefix: str = "dev",
+    latency: float = 0.0,
+    bandwidth: float = 0.0,
+) -> nx.Graph:
+    """Management station at the hub, *n_devices* spokes."""
+    graph = nx.Graph()
+    graph.add_node(center)
+    for name in _device_names(n_devices, prefix):
+        graph.add_edge(center, name)
+    return _apply_link_attrs(graph, latency, bandwidth)
+
+
+def ring(
+    n_hosts: int,
+    prefix: str = "host",
+    latency: float = 0.0,
+    bandwidth: float = 0.0,
+) -> nx.Graph:
+    names = _device_names(n_hosts, prefix)
+    graph = nx.Graph()
+    for i, name in enumerate(names):
+        graph.add_edge(name, names[(i + 1) % n_hosts])
+    return _apply_link_attrs(graph, latency, bandwidth)
+
+
+def line(
+    n_hosts: int,
+    prefix: str = "host",
+    latency: float = 0.0,
+    bandwidth: float = 0.0,
+) -> nx.Graph:
+    names = _device_names(n_hosts, prefix)
+    graph = nx.Graph()
+    graph.add_node(names[0])
+    for i in range(1, n_hosts):
+        graph.add_edge(names[i - 1], names[i])
+    return _apply_link_attrs(graph, latency, bandwidth)
+
+
+def tree(
+    branching: int,
+    depth: int,
+    root: str = "root",
+    latency: float = 0.0,
+    bandwidth: float = 0.0,
+) -> nx.Graph:
+    """Balanced tree; internal nodes named by their path (root, root-0, …)."""
+    graph = nx.Graph()
+    graph.add_node(root)
+    frontier = [root]
+    for _level in range(depth):
+        next_frontier: list[str] = []
+        for parent in frontier:
+            for child_index in range(branching):
+                child = f"{parent}-{child_index}"
+                graph.add_edge(parent, child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    return _apply_link_attrs(graph, latency, bandwidth)
+
+
+def full_mesh(
+    n_hosts: int,
+    prefix: str = "host",
+    latency: float = 0.0,
+    bandwidth: float = 0.0,
+) -> nx.Graph:
+    names = _device_names(n_hosts, prefix)
+    graph = nx.complete_graph(names)
+    return _apply_link_attrs(graph, latency, bandwidth)
+
+
+def random_geometric(
+    n_hosts: int,
+    radius: float = 0.4,
+    seed: int = 7,
+    prefix: str = "host",
+    latency: float = 0.0,
+    bandwidth: float = 0.0,
+) -> nx.Graph:
+    """Random geometric graph, relabelled to hostnames; connectivity ensured
+    by bridging components along a line."""
+    raw = nx.random_geometric_graph(n_hosts, radius, seed=seed)
+    names = _device_names(n_hosts, prefix)
+    graph = nx.relabel_nodes(raw, dict(enumerate(names)))
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    for first, second in zip(components, components[1:]):
+        graph.add_edge(first[0], second[0])
+    return _apply_link_attrs(graph, latency, bandwidth)

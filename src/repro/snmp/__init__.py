@@ -1,0 +1,69 @@
+"""Simulated SNMP/MIB substrate (paper §6 dependency).
+
+Per-device :class:`ManagedDevice` state with synthetic dynamics, an
+RFC1213-like MIB-II tree, community-authenticated :class:`SnmpAgent`
+daemons, network endpoints for remote polling, and the conventional
+centralized :class:`ManagementStation` baseline.
+"""
+
+from repro.snmp.agent import SNMP_FRAME_KIND, SnmpAgent, SnmpEndpoint, snmp_urn
+from repro.snmp.device import DeviceProfile, ManagedDevice
+from repro.snmp.mib import (
+    MIB2,
+    Access,
+    MibTree,
+    MibVariable,
+    WELL_KNOWN_NAMES,
+    build_mib2,
+)
+from repro.snmp.oid import OID
+from repro.snmp.protocol import (
+    ErrorStatus,
+    GetBulkRequest,
+    GetNextRequest,
+    GetRequest,
+    SetRequest,
+    SnmpResponse,
+    VarBind,
+    approx_ber_size,
+)
+from repro.snmp.station import ManagementStation
+from repro.snmp.trap import (
+    TRAP_FRAME_KIND,
+    Trap,
+    TrapSender,
+    TrapSink,
+    TrapType,
+    trap_sink_urn,
+)
+
+__all__ = [
+    "OID",
+    "ManagedDevice",
+    "DeviceProfile",
+    "MibTree",
+    "MibVariable",
+    "Access",
+    "MIB2",
+    "WELL_KNOWN_NAMES",
+    "build_mib2",
+    "SnmpAgent",
+    "SnmpEndpoint",
+    "snmp_urn",
+    "SNMP_FRAME_KIND",
+    "ManagementStation",
+    "Trap",
+    "TrapType",
+    "TrapSender",
+    "TrapSink",
+    "trap_sink_urn",
+    "TRAP_FRAME_KIND",
+    "GetRequest",
+    "GetNextRequest",
+    "GetBulkRequest",
+    "SetRequest",
+    "SnmpResponse",
+    "VarBind",
+    "ErrorStatus",
+    "approx_ber_size",
+]

@@ -1,0 +1,180 @@
+"""The per-device SNMP agent (daemon) and its network endpoint.
+
+Every managed device runs an :class:`SnmpAgent` locally — the paper's
+"SNMP daemon (i.e. SNMP agent) running locally to collect network
+parameters and store them in a MIB".  It answers Get/GetNext/GetBulk/Set
+PDUs against the device's MIB tree after checking the community string.
+
+Local callers (the NetManagement privileged service co-resident with a
+NapletServer) invoke :meth:`SnmpAgent.handle` directly — on-site access,
+no network traffic.  Remote callers (the conventional management station)
+go through :class:`SnmpEndpoint`, which registers ``snmp://<host>`` on the
+transport so every request/response is metered like any other traffic.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.snmp.device import ManagedDevice
+from repro.snmp.mib import MibTree, build_mib2
+from repro.snmp.oid import OID
+from repro.snmp.protocol import (
+    ErrorStatus,
+    GetBulkRequest,
+    GetNextRequest,
+    GetRequest,
+    SetRequest,
+    SnmpResponse,
+    VarBind,
+)
+from repro.transport.base import Frame, Transport
+
+__all__ = ["SnmpAgent", "SnmpEndpoint", "snmp_urn"]
+
+SNMP_FRAME_KIND = "snmp-pdu"
+
+
+def snmp_urn(hostname: str) -> str:
+    return f"snmp://{hostname}"
+
+
+class SnmpAgent:
+    """Community-authenticated PDU processor over one device's MIB."""
+
+    def __init__(
+        self,
+        device: ManagedDevice,
+        mib: MibTree | None = None,
+        community_ro: str = "public",
+        community_rw: str = "private",
+    ) -> None:
+        self.device = device
+        self.mib = mib if mib is not None else build_mib2(device)
+        self.community_ro = community_ro
+        self.community_rw = community_rw
+        self.requests_served = 0
+
+    # -- auth -------------------------------------------------------------- #
+
+    def _authorized(self, community: str, write: bool) -> bool:
+        if write:
+            return community == self.community_rw
+        return community in (self.community_ro, self.community_rw)
+
+    # -- dispatch ------------------------------------------------------------ #
+
+    def handle(self, pdu: object) -> SnmpResponse:
+        self.requests_served += 1
+        if isinstance(pdu, GetRequest):
+            return self._auth_then(pdu.community, False, lambda: self._get(pdu))
+        if isinstance(pdu, GetNextRequest):
+            return self._auth_then(pdu.community, False, lambda: self._get_next(pdu))
+        if isinstance(pdu, GetBulkRequest):
+            return self._auth_then(pdu.community, False, lambda: self._get_bulk(pdu))
+        if isinstance(pdu, SetRequest):
+            return self._auth_then(pdu.community, True, lambda: self._set(pdu))
+        return SnmpResponse(error_status=ErrorStatus.GEN_ERR)
+
+    def _auth_then(self, community: str, write: bool, action) -> SnmpResponse:
+        if not self._authorized(community, write):
+            return SnmpResponse(error_status=ErrorStatus.AUTH_FAILURE)
+        return action()
+
+    # -- operations ------------------------------------------------------------ #
+
+    def _get(self, pdu: GetRequest) -> SnmpResponse:
+        bindings: list[VarBind] = []
+        for index, oid in enumerate(pdu.oids, start=1):
+            variable = self.mib.get(oid)
+            if variable is None:
+                return SnmpResponse(
+                    error_status=ErrorStatus.NO_SUCH_NAME, error_index=index
+                )
+            bindings.append(VarBind(oid=oid, value=variable.read()))
+        return SnmpResponse(bindings=tuple(bindings))
+
+    def _get_next(self, pdu: GetNextRequest) -> SnmpResponse:
+        bindings: list[VarBind] = []
+        for index, oid in enumerate(pdu.oids, start=1):
+            variable = self.mib.get_next(oid)
+            if variable is None:
+                return SnmpResponse(
+                    error_status=ErrorStatus.NO_SUCH_NAME, error_index=index
+                )
+            bindings.append(VarBind(oid=variable.oid, value=variable.read()))
+        return SnmpResponse(bindings=tuple(bindings))
+
+    def _get_bulk(self, pdu: GetBulkRequest) -> SnmpResponse:
+        bindings: list[VarBind] = []
+        for position, oid in enumerate(pdu.oids):
+            if position < pdu.non_repeaters:
+                variable = self.mib.get_next(oid)
+                if variable is not None:
+                    bindings.append(VarBind(oid=variable.oid, value=variable.read()))
+                continue
+            cursor = oid
+            for _ in range(pdu.max_repetitions):
+                variable = self.mib.get_next(cursor)
+                if variable is None:
+                    break
+                bindings.append(VarBind(oid=variable.oid, value=variable.read()))
+                cursor = variable.oid
+        return SnmpResponse(bindings=tuple(bindings))
+
+    def _set(self, pdu: SetRequest) -> SnmpResponse:
+        staged: list[tuple[object, object]] = []
+        for index, binding in enumerate(pdu.bindings, start=1):
+            variable = self.mib.get(binding.oid)
+            if variable is None:
+                return SnmpResponse(
+                    error_status=ErrorStatus.NO_SUCH_NAME, error_index=index
+                )
+            staged.append((variable, binding.value))
+        for index, (variable, value) in enumerate(staged, start=1):
+            try:
+                variable.write(value)  # type: ignore[attr-defined]
+            except PermissionError:
+                return SnmpResponse(
+                    error_status=ErrorStatus.READ_ONLY, error_index=index
+                )
+            except (TypeError, ValueError, KeyError):
+                return SnmpResponse(
+                    error_status=ErrorStatus.BAD_VALUE, error_index=index
+                )
+        return SnmpResponse(bindings=pdu.bindings)
+
+    # -- convenience: a full walk ------------------------------------------------ #
+
+    def walk(self, root: OID | str, community: str = "public") -> list[VarBind]:
+        """Repeated get-next under *root* (local, unmetered)."""
+        root = OID.parse(root)
+        if not self._authorized(community, write=False):
+            return []
+        out: list[VarBind] = []
+        cursor = root
+        while True:
+            variable = self.mib.get_next(cursor)
+            if variable is None or not root.is_prefix_of(variable.oid):
+                break
+            out.append(VarBind(oid=variable.oid, value=variable.read()))
+            cursor = variable.oid
+        return out
+
+
+class SnmpEndpoint:
+    """Network face of one agent: handles ``snmp-pdu`` frames."""
+
+    def __init__(self, agent: SnmpAgent, transport: Transport, hostname: str) -> None:
+        self.agent = agent
+        self.transport = transport
+        self.urn = snmp_urn(hostname)
+        transport.register(self.urn, self._handle)
+
+    def _handle(self, frame: Frame) -> bytes:
+        pdu = pickle.loads(frame.payload)
+        response = self.agent.handle(pdu)
+        return pickle.dumps(response)
+
+    def close(self) -> None:
+        self.transport.unregister(self.urn)

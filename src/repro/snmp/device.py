@@ -1,0 +1,141 @@
+"""Managed devices with synthetic dynamics.
+
+The paper evaluates MAN against real devices running SNMP daemons; we have
+none, so a :class:`ManagedDevice` produces RFC1213-shaped data from a
+deterministic rate model: every counter (interface octets, IP/TCP/UDP
+datagrams) grows linearly with elapsed time at a per-device, per-counter
+rate drawn from a seeded RNG, plus small deterministic jitter.  Gauges
+(CPU load, established connections) oscillate around a base level.
+
+Determinism matters: two reads of the same device at the same virtual
+moment agree, and experiments are reproducible across runs when they pass
+an explicit ``now`` instead of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceProfile", "ManagedDevice"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Static description of one device's hardware/identity."""
+
+    hostname: str
+    n_interfaces: int = 2
+    description: str = "Naplet reproduction managed device"
+    contact: str = "admin@example.net"
+    location: str = "simulated rack"
+    interface_speed: int = 100_000_000  # bits/s
+
+
+class ManagedDevice:
+    """Synthetic device state behind one SNMP agent."""
+
+    def __init__(self, profile: DeviceProfile, seed: int | None = None) -> None:
+        self.profile = profile
+        if seed is None:
+            seed = abs(hash(profile.hostname)) % (2**31)
+        self._rng = np.random.default_rng(seed)
+        self._born = time.monotonic()
+        n = profile.n_interfaces
+        # Per-interface octet rates (bytes/s) and packet rates.
+        self._in_rates = self._rng.uniform(1e3, 5e5, size=n)
+        self._out_rates = self._rng.uniform(1e3, 5e5, size=n)
+        self._pkt_rates = self._rng.uniform(10, 5e3, size=n)
+        self._ip_rate = float(self._rng.uniform(50, 1e4))
+        self._tcp_open_rate = float(self._rng.uniform(0.1, 20))
+        self._udp_rate = float(self._rng.uniform(10, 2e3))
+        self._load_base = float(self._rng.uniform(0.05, 0.7))
+        self._estab_base = int(self._rng.integers(2, 200))
+        self._oper_status = np.ones(n, dtype=int)  # 1=up, 2=down
+        self._writable: dict[str, str] = {
+            "sysContact": profile.contact,
+            "sysName": profile.hostname,
+            "sysLocation": profile.location,
+        }
+        self._lock = threading.RLock()
+
+    # -- time base -------------------------------------------------------- #
+
+    def _elapsed(self, now: float | None) -> float:
+        reference = now if now is not None else (time.monotonic() - self._born)
+        return max(0.0, reference)
+
+    # -- counters (monotone) ------------------------------------------------ #
+
+    def if_in_octets(self, index: int, now: float | None = None) -> int:
+        t = self._elapsed(now)
+        return int(self._in_rates[index] * t)
+
+    def if_out_octets(self, index: int, now: float | None = None) -> int:
+        t = self._elapsed(now)
+        return int(self._out_rates[index] * t)
+
+    def if_in_packets(self, index: int, now: float | None = None) -> int:
+        return int(self._pkt_rates[index] * self._elapsed(now))
+
+    def ip_in_receives(self, now: float | None = None) -> int:
+        return int(self._ip_rate * self._elapsed(now))
+
+    def ip_out_requests(self, now: float | None = None) -> int:
+        return int(self._ip_rate * 0.9 * self._elapsed(now))
+
+    def tcp_active_opens(self, now: float | None = None) -> int:
+        return int(self._tcp_open_rate * self._elapsed(now))
+
+    def udp_in_datagrams(self, now: float | None = None) -> int:
+        return int(self._udp_rate * self._elapsed(now))
+
+    def sys_uptime_ticks(self, now: float | None = None) -> int:
+        """Hundredths of a second, the SNMP TimeTicks unit."""
+        return int(self._elapsed(now) * 100)
+
+    # -- gauges (oscillating) -------------------------------------------------- #
+
+    def cpu_load(self, now: float | None = None) -> float:
+        t = self._elapsed(now)
+        wobble = 0.15 * math.sin(t / 7.0) + 0.05 * math.sin(t / 1.3)
+        return round(min(1.0, max(0.0, self._load_base + wobble)), 4)
+
+    def tcp_curr_estab(self, now: float | None = None) -> int:
+        t = self._elapsed(now)
+        return max(0, int(self._estab_base * (1 + 0.3 * math.sin(t / 11.0))))
+
+    def if_oper_status(self, index: int) -> int:
+        with self._lock:
+            return int(self._oper_status[index])
+
+    def set_interface_down(self, index: int) -> None:
+        with self._lock:
+            self._oper_status[index] = 2
+
+    def set_interface_up(self, index: int) -> None:
+        with self._lock:
+            self._oper_status[index] = 1
+
+    # -- writable identity fields ------------------------------------------------ #
+
+    def get_field(self, name: str) -> str:
+        with self._lock:
+            return self._writable[name]
+
+    def set_field(self, name: str, value: str) -> None:
+        with self._lock:
+            if name not in self._writable:
+                raise KeyError(name)
+            self._writable[name] = str(value)
+
+    @property
+    def n_interfaces(self) -> int:
+        return self.profile.n_interfaces
+
+    def __repr__(self) -> str:
+        return f"<ManagedDevice {self.profile.hostname!r} ifaces={self.n_interfaces}>"

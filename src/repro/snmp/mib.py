@@ -1,0 +1,206 @@
+"""MIB tree with an RFC1213-like MIB-II layout.
+
+A :class:`MibTree` maps OIDs to :class:`MibVariable` bindings and supports
+the traversal primitives SNMP needs: exact ``get``, lexicographic
+``get_next`` (the basis of walks), and access-checked ``set``.
+
+:func:`build_mib2` lays out the classic MIB-II groups under
+``1.3.6.1.2.1`` — system(1), interfaces(2), ip(4), tcp(6), udp(7) — plus a
+small enterprise branch under ``1.3.6.1.4.1.9999`` exposing the load gauges
+the network-management naplets collect.  Values are computed on read from a
+:class:`~repro.snmp.device.ManagedDevice`, so the tree always reflects the
+device's synthetic dynamics.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from repro.snmp.device import ManagedDevice
+from repro.snmp.oid import OID
+
+__all__ = ["Access", "MibVariable", "MibTree", "MIB2", "build_mib2", "WELL_KNOWN_NAMES"]
+
+# The standard mib-2 root.
+MIB2 = OID.parse("1.3.6.1.2.1")
+_ENTERPRISE = OID.parse("1.3.6.1.4.1.9999.1")
+
+
+class Access:
+    READ_ONLY = "read-only"
+    READ_WRITE = "read-write"
+
+
+@dataclass
+class MibVariable:
+    """One leaf binding: name, access mode, and read/write functions."""
+
+    oid: OID
+    name: str
+    reader: Callable[[], Any]
+    writer: Callable[[Any], None] | None = None
+    access: str = Access.READ_ONLY
+
+    def read(self) -> Any:
+        return self.reader()
+
+    def write(self, value: Any) -> None:
+        if self.access != Access.READ_WRITE or self.writer is None:
+            raise PermissionError(f"{self.oid} ({self.name}) is {self.access}")
+        self.writer(value)
+
+
+class MibTree:
+    """Sorted OID → variable store with get / get-next / set."""
+
+    def __init__(self) -> None:
+        self._variables: dict[OID, MibVariable] = {}
+        self._sorted: list[OID] = []
+        self._lock = threading.RLock()
+
+    def register(self, variable: MibVariable) -> None:
+        with self._lock:
+            if variable.oid in self._variables:
+                raise ValueError(f"duplicate OID: {variable.oid}")
+            self._variables[variable.oid] = variable
+            bisect.insort(self._sorted, variable.oid)
+
+    def get(self, oid: OID) -> MibVariable | None:
+        with self._lock:
+            return self._variables.get(oid)
+
+    def get_next(self, oid: OID) -> MibVariable | None:
+        """First variable with OID strictly greater (lexicographic)."""
+        with self._lock:
+            index = bisect.bisect_right(self._sorted, oid)
+            if index >= len(self._sorted):
+                return None
+            return self._variables[self._sorted[index]]
+
+    def walk(self, root: OID | None = None) -> Iterator[MibVariable]:
+        """All variables under *root* (or everything), in OID order."""
+        with self._lock:
+            oids = list(self._sorted)
+        for oid in oids:
+            if root is None or root.is_prefix_of(oid):
+                variable = self.get(oid)
+                if variable is not None:
+                    yield variable
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sorted)
+
+    def oids(self) -> list[OID]:
+        with self._lock:
+            return list(self._sorted)
+
+
+# ---------------------------------------------------------------------- #
+# MIB-II layout
+# ---------------------------------------------------------------------- #
+
+# Well-known names used throughout examples and experiments.
+WELL_KNOWN_NAMES: dict[str, str] = {
+    "sysDescr": "1.3.6.1.2.1.1.1.0",
+    "sysUpTime": "1.3.6.1.2.1.1.3.0",
+    "sysContact": "1.3.6.1.2.1.1.4.0",
+    "sysName": "1.3.6.1.2.1.1.5.0",
+    "sysLocation": "1.3.6.1.2.1.1.6.0",
+    "ifNumber": "1.3.6.1.2.1.2.1.0",
+    "ipInReceives": "1.3.6.1.2.1.4.3.0",
+    "ipOutRequests": "1.3.6.1.2.1.4.10.0",
+    "tcpActiveOpens": "1.3.6.1.2.1.6.5.0",
+    "tcpCurrEstab": "1.3.6.1.2.1.6.9.0",
+    "udpInDatagrams": "1.3.6.1.2.1.7.1.0",
+    "cpuLoad": "1.3.6.1.4.1.9999.1.1.0",
+}
+
+
+def build_mib2(device: ManagedDevice) -> MibTree:
+    """RFC1213-shaped tree over *device*'s synthetic state."""
+    tree = MibTree()
+    system = MIB2.child(1)
+    interfaces = MIB2.child(2)
+    ip = MIB2.child(4)
+    tcp = MIB2.child(6)
+    udp = MIB2.child(7)
+
+    def ro(oid: OID, name: str, reader: Callable[[], Any]) -> None:
+        tree.register(MibVariable(oid=oid, name=name, reader=reader))
+
+    def rw(oid: OID, name: str, field: str) -> None:
+        tree.register(
+            MibVariable(
+                oid=oid,
+                name=name,
+                reader=lambda: device.get_field(field),
+                writer=lambda v: device.set_field(field, v),
+                access=Access.READ_WRITE,
+            )
+        )
+
+    # system group (scalars carry the conventional .0 instance suffix)
+    ro(system.child(1, 0), "sysDescr", lambda: device.profile.description)
+    ro(system.child(2, 0), "sysObjectID", lambda: str(_ENTERPRISE))
+    ro(system.child(3, 0), "sysUpTime", device.sys_uptime_ticks)
+    rw(system.child(4, 0), "sysContact", "sysContact")
+    rw(system.child(5, 0), "sysName", "sysName")
+    rw(system.child(6, 0), "sysLocation", "sysLocation")
+
+    # interfaces group: ifNumber + ifTable(2).ifEntry(1).column.index
+    ro(interfaces.child(1, 0), "ifNumber", lambda: device.n_interfaces)
+    if_entry = interfaces.child(2, 1)
+    for i in range(device.n_interfaces):
+        idx = i + 1  # SNMP interface indices are 1-based
+        ro(if_entry.child(1, idx), f"ifIndex.{idx}", lambda idx=idx: idx)
+        ro(
+            if_entry.child(2, idx),
+            f"ifDescr.{idx}",
+            lambda i=i: f"eth{i}",
+        )
+        ro(
+            if_entry.child(5, idx),
+            f"ifSpeed.{idx}",
+            lambda: device.profile.interface_speed,
+        )
+        ro(
+            if_entry.child(8, idx),
+            f"ifOperStatus.{idx}",
+            lambda i=i: device.if_oper_status(i),
+        )
+        ro(
+            if_entry.child(10, idx),
+            f"ifInOctets.{idx}",
+            lambda i=i: device.if_in_octets(i),
+        )
+        ro(
+            if_entry.child(11, idx),
+            f"ifInUcastPkts.{idx}",
+            lambda i=i: device.if_in_packets(i),
+        )
+        ro(
+            if_entry.child(16, idx),
+            f"ifOutOctets.{idx}",
+            lambda i=i: device.if_out_octets(i),
+        )
+
+    # ip group
+    ro(ip.child(1, 0), "ipForwarding", lambda: 2)  # not forwarding
+    ro(ip.child(3, 0), "ipInReceives", device.ip_in_receives)
+    ro(ip.child(10, 0), "ipOutRequests", device.ip_out_requests)
+
+    # tcp group
+    ro(tcp.child(5, 0), "tcpActiveOpens", device.tcp_active_opens)
+    ro(tcp.child(9, 0), "tcpCurrEstab", device.tcp_curr_estab)
+
+    # udp group
+    ro(udp.child(1, 0), "udpInDatagrams", device.udp_in_datagrams)
+
+    # enterprise branch: load gauges the MAN naplets diagnose with
+    ro(_ENTERPRISE.child(1, 0), "cpuLoad", device.cpu_load)
+
+    return tree

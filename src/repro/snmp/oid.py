@@ -1,0 +1,87 @@
+"""Object identifiers.
+
+SNMP names every managed variable with an OID — a dotted sequence of
+integers ordered lexicographically.  ``get-next`` traversal (the basis of
+MIB walks) depends on that ordering, so :class:`OID` is a total-ordered
+value type with prefix/child helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["OID"]
+
+
+@dataclass(frozen=True, order=True)
+class OID:
+    """Dotted object identifier, e.g. ``1.3.6.1.2.1.1.5.0``."""
+
+    parts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.parts:
+            raise ValueError("OID cannot be empty")
+        if any(p < 0 for p in self.parts):
+            raise ValueError(f"OID arcs must be non-negative: {self.parts}")
+
+    @classmethod
+    def parse(cls, text: "str | OID | tuple[int, ...]") -> "OID":
+        if isinstance(text, OID):
+            return text
+        if isinstance(text, tuple):
+            return cls(text)
+        text = text.strip().lstrip(".")
+        try:
+            return cls(tuple(int(p) for p in text.split(".")))
+        except ValueError:
+            raise ValueError(f"not an OID: {text!r}") from None
+
+    # -- structure -------------------------------------------------------- #
+
+    def child(self, *arcs: int) -> "OID":
+        return OID(self.parts + arcs)
+
+    def parent(self) -> "OID | None":
+        if len(self.parts) == 1:
+            return None
+        return OID(self.parts[:-1])
+
+    def is_prefix_of(self, other: "OID") -> bool:
+        """True when *other* lies under this OID (strictly or equal)."""
+        return other.parts[: len(self.parts)] == self.parts
+
+    def strictly_contains(self, other: "OID") -> bool:
+        return len(other.parts) > len(self.parts) and self.is_prefix_of(other)
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.parts)
+
+    # -- rendering ----------------------------------------------------------- #
+
+    def __str__(self) -> str:
+        return ".".join(str(p) for p in self.parts)
+
+    def __repr__(self) -> str:
+        return f"OID({str(self)!r})"
+
+    @property
+    def dotted(self) -> str:
+        return str(self)
+
+    def encoded_size(self) -> int:
+        """Approximate BER-encoded size in bytes (identifier octets)."""
+        size = 2  # tag + length
+        for index, arc in enumerate(self.parts):
+            if index == 1:
+                continue  # first two arcs share one octet
+            octets = 1
+            while arc >= 128:
+                arc >>= 7
+                octets += 1
+            size += octets
+        return size

@@ -1,0 +1,119 @@
+"""SNMP-shaped PDUs (the subset the paper's workloads need).
+
+Get / GetNext / GetBulk / Set requests and the Response PDU, with community
+-string authentication and the classic v1 error statuses.  Encoding is
+pickle (both the agent baseline and the naplet path use the same encoding,
+so traffic *ratios* between the approaches stay meaningful); an approximate
+BER size is also computable for reporting absolute-ish byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.snmp.oid import OID
+
+__all__ = [
+    "ErrorStatus",
+    "VarBind",
+    "GetRequest",
+    "GetNextRequest",
+    "GetBulkRequest",
+    "SetRequest",
+    "SnmpResponse",
+    "approx_ber_size",
+]
+
+
+class ErrorStatus:
+    NO_ERROR = 0
+    TOO_BIG = 1
+    NO_SUCH_NAME = 2
+    BAD_VALUE = 3
+    READ_ONLY = 4
+    GEN_ERR = 5
+    AUTH_FAILURE = 16  # v2c-style; surfaced for bad communities
+
+
+@dataclass(frozen=True)
+class VarBind:
+    """One (OID, value) pair."""
+
+    oid: OID
+    value: Any = None
+
+
+@dataclass(frozen=True)
+class GetRequest:
+    community: str
+    oids: tuple[OID, ...]
+
+
+@dataclass(frozen=True)
+class GetNextRequest:
+    community: str
+    oids: tuple[OID, ...]
+
+
+@dataclass(frozen=True)
+class GetBulkRequest:
+    community: str
+    oids: tuple[OID, ...]
+    non_repeaters: int = 0
+    max_repetitions: int = 10
+
+
+@dataclass(frozen=True)
+class SetRequest:
+    community: str
+    bindings: tuple[VarBind, ...]
+
+
+@dataclass(frozen=True)
+class SnmpResponse:
+    bindings: tuple[VarBind, ...] = ()
+    error_status: int = ErrorStatus.NO_ERROR
+    error_index: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.error_status == ErrorStatus.NO_ERROR
+
+    def values(self) -> list[Any]:
+        return [b.value for b in self.bindings]
+
+
+def _value_size(value: Any) -> int:
+    if value is None:
+        return 2
+    if isinstance(value, bool):
+        return 3
+    if isinstance(value, int):
+        size = 3
+        v = abs(value)
+        while v >= 256:
+            v >>= 8
+            size += 1
+        return size
+    if isinstance(value, float):
+        return 10
+    return 2 + len(str(value).encode())
+
+
+def approx_ber_size(pdu: Any) -> int:
+    """Rough BER-encoded octet count of a PDU, for absolute reporting."""
+    size = 10  # message header + version
+    community = getattr(pdu, "community", None)
+    if community is not None:
+        size += 2 + len(community.encode())
+    size += 12  # PDU header, request-id, error fields
+    oids = getattr(pdu, "oids", None)
+    if oids is not None:
+        for oid in oids:
+            size += oid.encoded_size() + 2  # null value placeholder
+    bindings = getattr(pdu, "bindings", None)
+    if bindings is not None:
+        for binding in bindings:
+            size += binding.oid.encoded_size() + _value_size(binding.value)
+    return size

@@ -1,0 +1,124 @@
+"""Conventional centralized management station — the CNMP baseline.
+
+The paper's §6 motivation: "a management station communicates to the SNMP
+agents via a number of fine-grained get and set operations for MIB
+parameters.  This centralized micro-management approach for large networks
+tends to generate heavy traffic between the management station and network
+devices and excessive computational overhead on the management station."
+
+:class:`ManagementStation` is exactly that client/server pole of the
+comparison: it polls every device over the (metered) network, one
+round-trip per OID in fine-grained mode, or one batched Get per device for
+a fairer baseline; MIB walks cost one round-trip per get-next step.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.core.errors import NapletCommunicationError
+from repro.snmp.agent import SNMP_FRAME_KIND, snmp_urn
+from repro.snmp.oid import OID
+from repro.snmp.protocol import (
+    GetNextRequest,
+    GetRequest,
+    SetRequest,
+    SnmpResponse,
+    VarBind,
+)
+from repro.transport.base import Frame, Transport, urn_of
+
+__all__ = ["ManagementStation"]
+
+
+class ManagementStation:
+    """Central poller speaking SNMP over the network to device endpoints."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        hostname: str = "station",
+        community: str = "public",
+        write_community: str = "private",
+    ) -> None:
+        self.transport = transport
+        self.hostname = hostname
+        self.urn = urn_of(hostname)
+        self.community = community
+        self.write_community = write_community
+        self.requests_sent = 0
+
+    # -- wire ----------------------------------------------------------------- #
+
+    def _round_trip(self, device_host: str, pdu: Any) -> SnmpResponse:
+        frame = Frame(
+            kind=SNMP_FRAME_KIND,
+            source=self.urn,
+            dest=snmp_urn(device_host),
+            payload=pickle.dumps(pdu),
+        )
+        self.requests_sent += 1
+        reply = self.transport.request(frame)
+        response = pickle.loads(reply)
+        if not isinstance(response, SnmpResponse):
+            raise NapletCommunicationError(
+                f"malformed SNMP response from {device_host}"
+            )
+        return response
+
+    # -- operations --------------------------------------------------------------- #
+
+    def get(self, device_host: str, oids: list[OID | str], batch: bool = False) -> dict[str, Any]:
+        """Read *oids* from one device.
+
+        ``batch=False`` (default) issues one Get per OID — the paper's
+        fine-grained micro-management; ``batch=True`` issues a single
+        multi-varbind Get.
+        """
+        parsed = [OID.parse(o) for o in oids]
+        values: dict[str, Any] = {}
+        if batch:
+            response = self._round_trip(device_host, GetRequest(self.community, tuple(parsed)))
+            if response.ok:
+                for binding in response.bindings:
+                    values[str(binding.oid)] = binding.value
+            return values
+        for oid in parsed:
+            response = self._round_trip(device_host, GetRequest(self.community, (oid,)))
+            if response.ok and response.bindings:
+                values[str(oid)] = response.bindings[0].value
+        return values
+
+    def poll_all(
+        self,
+        device_hosts: list[str],
+        oids: list[OID | str],
+        batch: bool = False,
+    ) -> dict[str, dict[str, Any]]:
+        """One management round over every device (sequential, centralized)."""
+        return {host: self.get(host, oids, batch=batch) for host in device_hosts}
+
+    def walk(self, device_host: str, root: OID | str) -> list[VarBind]:
+        """MIB walk over the network: one round-trip per get-next step."""
+        root = OID.parse(root)
+        cursor = root
+        out: list[VarBind] = []
+        while True:
+            response = self._round_trip(
+                device_host, GetNextRequest(self.community, (cursor,))
+            )
+            if not response.ok or not response.bindings:
+                break
+            binding = response.bindings[0]
+            if not root.is_prefix_of(binding.oid):
+                break
+            out.append(binding)
+            cursor = binding.oid
+        return out
+
+    def set(self, device_host: str, oid: OID | str, value: Any) -> SnmpResponse:
+        binding = VarBind(oid=OID.parse(oid), value=value)
+        return self._round_trip(
+            device_host, SetRequest(self.write_community, (binding,))
+        )

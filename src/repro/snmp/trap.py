@@ -1,0 +1,182 @@
+"""SNMP traps: asynchronous device-to-station notifications.
+
+Polling (get/getnext) is only half of SNMP management; devices also *push*
+traps when something happens — an interface going down, a cold start, an
+enterprise-specific alarm.  This module provides:
+
+- :class:`Trap` — the notification PDU (generic type OID + varbinds);
+- :class:`TrapSender` — the device-side emitter, wired to a managed device
+  so operational changes (``link_down``/``link_up``) both mutate the MIB
+  and notify the sink;
+- :class:`TrapSink` — the station-side receiver: a transport endpoint that
+  queues traps and invokes an optional callback, which is what trap-driven
+  agent dispatch (see :mod:`repro.man.reactive`) hooks into.
+
+Traps ride the same metered transport as everything else, so "management
+by exception" experiments can compare trap traffic against polling.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import NapletCommunicationError
+from repro.snmp.device import ManagedDevice
+from repro.snmp.oid import OID
+from repro.snmp.protocol import VarBind
+from repro.transport.base import Frame, Transport
+
+__all__ = [
+    "TRAP_FRAME_KIND",
+    "TrapType",
+    "Trap",
+    "TrapSender",
+    "TrapSink",
+    "trap_sink_urn",
+]
+
+TRAP_FRAME_KIND = "snmp-trap"
+
+
+def trap_sink_urn(hostname: str) -> str:
+    return f"trapsink://{hostname}"
+
+
+class TrapType:
+    """Standard SNMPv2 notification OIDs plus our enterprise alarms."""
+
+    COLD_START = OID.parse("1.3.6.1.6.3.1.1.5.1")
+    LINK_DOWN = OID.parse("1.3.6.1.6.3.1.1.5.3")
+    LINK_UP = OID.parse("1.3.6.1.6.3.1.1.5.4")
+    CPU_HIGH = OID.parse("1.3.6.1.4.1.9999.0.1")  # enterprise-specific
+
+
+@dataclass(frozen=True)
+class Trap:
+    """One notification."""
+
+    trap_type: OID
+    source: str  # device hostname
+    uptime_ticks: int
+    varbinds: tuple[VarBind, ...] = ()
+    sent_at: float = field(default_factory=time.time)
+
+    def varbind(self, oid: OID | str) -> VarBind | None:
+        oid = OID.parse(oid)
+        for binding in self.varbinds:
+            if binding.oid == oid:
+                return binding
+        return None
+
+
+_IF_INDEX_OID = OID.parse("1.3.6.1.2.1.2.2.1.1")
+_CPU_LOAD_OID = OID.parse("1.3.6.1.4.1.9999.1.1.0")
+
+
+class TrapSender:
+    """Device-side trap emitter."""
+
+    def __init__(
+        self,
+        device: ManagedDevice,
+        transport: Transport,
+        sink_urn: str,
+    ) -> None:
+        self.device = device
+        self.transport = transport
+        self.sink_urn = sink_urn
+        self.sent = 0
+
+    def send(self, trap_type: OID, varbinds: tuple[VarBind, ...] = ()) -> None:
+        trap = Trap(
+            trap_type=trap_type,
+            source=self.device.profile.hostname,
+            uptime_ticks=self.device.sys_uptime_ticks(),
+            varbinds=varbinds,
+        )
+        frame = Frame(
+            kind=TRAP_FRAME_KIND,
+            source=f"snmp://{trap.source}",
+            dest=self.sink_urn,
+            payload=pickle.dumps(trap),
+        )
+        try:
+            self.transport.send(frame)
+            self.sent += 1
+        except NapletCommunicationError:
+            # SNMP traps are unacknowledged datagrams: loss is silent.
+            return
+
+    # -- operational events that both mutate the MIB and notify ---------- #
+
+    def cold_start(self) -> None:
+        self.send(TrapType.COLD_START)
+
+    def link_down(self, if_index: int) -> None:
+        """Take interface *if_index* (1-based) down and notify the sink."""
+        self.device.set_interface_down(if_index - 1)
+        self.send(
+            TrapType.LINK_DOWN,
+            (VarBind(_IF_INDEX_OID.child(if_index), if_index),),
+        )
+
+    def link_up(self, if_index: int) -> None:
+        self.device.set_interface_up(if_index - 1)
+        self.send(
+            TrapType.LINK_UP,
+            (VarBind(_IF_INDEX_OID.child(if_index), if_index),),
+        )
+
+    def cpu_high(self) -> None:
+        self.send(
+            TrapType.CPU_HIGH,
+            (VarBind(_CPU_LOAD_OID, self.device.cpu_load()),),
+        )
+
+
+class TrapSink:
+    """Station-side trap receiver: queue + optional dispatch callback.
+
+    The callback runs on the delivering thread and must be quick; reactive
+    dispatchers should enqueue work (see :mod:`repro.man.reactive`).
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        hostname: str,
+        callback: Callable[[Trap], None] | None = None,
+    ) -> None:
+        self.transport = transport
+        self.urn = trap_sink_urn(hostname)
+        self._queue: "queue.Queue[Trap]" = queue.Queue()
+        self._callback = callback
+        self._lock = threading.Lock()
+        self.received = 0
+        transport.register(self.urn, self._handle)
+
+    def _handle(self, frame: Frame) -> None:
+        trap: Trap = pickle.loads(frame.payload)
+        with self._lock:
+            self.received += 1
+        self._queue.put(trap)
+        if self._callback is not None:
+            self._callback(trap)
+        return None
+
+    def next_trap(self, timeout: float | None = 10.0) -> Trap:
+        return self._queue.get(timeout=timeout)
+
+    def try_next(self) -> Trap | None:
+        try:
+            return self._queue.get_nowait()
+        except queue.Empty:
+            return None
+
+    def close(self) -> None:
+        self.transport.unregister(self.urn)

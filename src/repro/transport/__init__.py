@@ -1,0 +1,27 @@
+"""Wire layer: frames, transports, latency models, and serialization."""
+
+from repro.transport.base import Frame, FrameKind, Transport, host_of, urn_of
+from repro.transport.inmemory import InMemoryTransport
+from repro.transport.latency import (
+    LatencyModel,
+    PerLinkLatency,
+    UniformLatency,
+    ZeroLatency,
+)
+from repro.transport.serializer import NapletSerializer
+from repro.transport.tcp import TcpTransport
+
+__all__ = [
+    "Frame",
+    "FrameKind",
+    "Transport",
+    "InMemoryTransport",
+    "TcpTransport",
+    "NapletSerializer",
+    "LatencyModel",
+    "ZeroLatency",
+    "UniformLatency",
+    "PerLinkLatency",
+    "urn_of",
+    "host_of",
+]

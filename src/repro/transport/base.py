@@ -1,0 +1,138 @@
+"""Transport abstraction: wire frames and the endpoint interface.
+
+Servers talk to each other in :class:`Frame` units — naplet transfers,
+inter-naplet messages, directory events, landing-permission requests.  A
+:class:`Transport` routes frames between named endpoints (server URNs of the
+form ``naplet://<hostname>``).  Two implementations exist:
+
+- :class:`repro.transport.inmemory.InMemoryTransport` — in-process routing
+  with a latency/bandwidth model, per-link byte metering, and fault
+  injection; the substrate for experiments at scale;
+- :class:`repro.transport.tcp.TcpTransport` — real localhost TCP sockets,
+  proving the protocol end-to-end outside one call stack.
+
+Semantics shared by both: :meth:`Transport.send` is one-way fire-and-forget;
+:meth:`Transport.request` is synchronous request/reply returning the
+responder's payload.  Handlers run on the delivering thread and must not
+block indefinitely.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import NapletCommunicationError
+
+__all__ = [
+    "Frame",
+    "FrameKind",
+    "FrameHandler",
+    "Transport",
+    "urn_of",
+    "host_of",
+]
+
+
+class FrameKind:
+    """Well-known frame kinds (plain strings for wire friendliness)."""
+
+    LANDING_REQUEST = "landing-request"
+    NAPLET_TRANSFER = "naplet-transfer"
+    MESSAGE = "message"
+    MESSAGE_CONFIRM = "message-confirm"
+    DIRECTORY_EVENT = "directory-event"
+    DIRECTORY_QUERY = "directory-query"
+    LOCATE_QUERY = "locate-query"
+    REPORT = "report"
+    CONTROL = "control"
+    CODEBASE_FETCH = "codebase-fetch"
+    PING = "ping"
+
+
+def urn_of(hostname: str) -> str:
+    """Canonical server URN for a hostname."""
+    if hostname.startswith("naplet://"):
+        return hostname
+    return f"naplet://{hostname}"
+
+
+def host_of(urn: str) -> str:
+    """Hostname carried by a URN (any scheme: naplet://, snmp://, …)."""
+    _scheme, sep, rest = urn.partition("://")
+    return rest if sep else urn
+
+
+@dataclass
+class Frame:
+    """One unit on the wire.
+
+    ``payload`` is opaque bytes (usually produced by the
+    :class:`~repro.transport.serializer.NapletSerializer`); ``headers`` are
+    small string pairs used for routing decisions without deserializing.
+    """
+
+    kind: str
+    source: str
+    dest: str
+    payload: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Approximate on-wire size in bytes (payload + header text)."""
+        header_bytes = sum(len(k) + len(v) for k, v in self.headers.items())
+        return len(self.payload) + header_bytes + len(self.kind) + len(self.source) + len(self.dest)
+
+
+FrameHandler = Callable[[Frame], bytes | None]
+
+
+class Transport(abc.ABC):
+    """Routes frames between registered endpoints."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, FrameHandler] = {}
+        self._lock = threading.RLock()
+
+    # -- endpoint management --------------------------------------------- #
+
+    def register(self, urn: str, handler: FrameHandler) -> None:
+        with self._lock:
+            if urn in self._handlers:
+                raise NapletCommunicationError(f"endpoint already registered: {urn}")
+            self._handlers[urn] = handler
+
+    def unregister(self, urn: str) -> None:
+        with self._lock:
+            self._handlers.pop(urn, None)
+
+    def endpoints(self) -> list[str]:
+        with self._lock:
+            return list(self._handlers)
+
+    def is_registered(self, urn: str) -> bool:
+        with self._lock:
+            return urn in self._handlers
+
+    def _handler_for(self, urn: str) -> FrameHandler:
+        with self._lock:
+            handler = self._handlers.get(urn)
+        if handler is None:
+            raise NapletCommunicationError(f"no endpoint registered at {urn}")
+        return handler
+
+    # -- wire operations --------------------------------------------------- #
+
+    @abc.abstractmethod
+    def send(self, frame: Frame) -> None:
+        """Deliver *frame* one-way; raises on unreachable destination."""
+
+    @abc.abstractmethod
+    def request(self, frame: Frame, timeout: float | None = None) -> bytes:
+        """Deliver *frame* and return the handler's reply payload."""
+
+    def close(self) -> None:
+        """Release transport resources (sockets, threads)."""

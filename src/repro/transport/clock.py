@@ -1,0 +1,51 @@
+"""Simulation clock.
+
+The reproduction runs real threads, so it cannot do classical discrete-event
+time warping; instead the :class:`SimClock` *accounts* virtual network
+delays (reported by the latency model) and optionally *sleeps* a scaled
+fraction of them so that wall-clock measurements — what pytest-benchmark
+sees — exhibit the simulated shape.  ``scale=0`` makes experiments free of
+sleeping (pure byte/delay accounting); ``scale=0.01`` turns a simulated
+100 ms link into a real 1 ms pause.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Accumulates virtual seconds; optionally sleeps scaled real time."""
+
+    def __init__(self, scale: float = 0.0) -> None:
+        if scale < 0:
+            raise ValueError("scale must be >= 0")
+        self._scale = scale
+        self._virtual = 0.0
+        self._lock = threading.Lock()
+
+    @property
+    def scale(self) -> float:
+        return self._scale
+
+    @property
+    def virtual_time(self) -> float:
+        """Total virtual seconds accounted so far (across all flows)."""
+        with self._lock:
+            return self._virtual
+
+    def advance(self, seconds: float) -> None:
+        """Account *seconds* of virtual delay; sleep ``seconds*scale`` real."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        with self._lock:
+            self._virtual += seconds
+        if self._scale > 0 and seconds > 0:
+            time.sleep(seconds * self._scale)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._virtual = 0.0

@@ -1,0 +1,101 @@
+"""In-memory transport: the workhorse substrate for experiments.
+
+Frames are delivered by direct handler invocation on the sending thread —
+the synchronous-call analogue of a blocking network send.  Before delivery
+the latency model's delay is accounted on the :class:`SimClock` and the
+frame is metered on the :class:`TrafficMeter`.  Fault injection supports
+dropped links (one-way failures) and host partitions, exercising the
+paper's "intermittent or unreliable Internet connections" motivation.
+
+Handlers therefore run on foreign threads: server components keep their
+handler work short (enqueue long work to their own executors) and
+thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.core.errors import NapletCommunicationError
+from repro.transport.clock import SimClock
+from repro.transport.traffic import TrafficMeter
+from repro.transport.base import Frame, Transport, host_of
+from repro.transport.latency import LatencyModel, ZeroLatency
+
+__all__ = ["InMemoryTransport"]
+
+
+class InMemoryTransport(Transport):
+    """Synchronous in-process frame router with metering and fault injection."""
+
+    def __init__(
+        self,
+        latency: LatencyModel | None = None,
+        clock: SimClock | None = None,
+        meter: TrafficMeter | None = None,
+    ) -> None:
+        super().__init__()
+        self.latency = latency or ZeroLatency()
+        self.clock = clock or SimClock()
+        self.meter = meter or TrafficMeter()
+        self._down_links: set[tuple[str, str]] = set()
+        self._down_hosts: set[str] = set()
+        self._fault_lock = threading.Lock()
+
+    # -- fault injection ---------------------------------------------------- #
+
+    def fail_link(self, src_host: str, dst_host: str, symmetric: bool = True) -> None:
+        """Make frames from *src_host* to *dst_host* fail."""
+        with self._fault_lock:
+            self._down_links.add((src_host, dst_host))
+            if symmetric:
+                self._down_links.add((dst_host, src_host))
+
+    def heal_link(self, src_host: str, dst_host: str, symmetric: bool = True) -> None:
+        with self._fault_lock:
+            self._down_links.discard((src_host, dst_host))
+            if symmetric:
+                self._down_links.discard((dst_host, src_host))
+
+    def partition_host(self, host: str) -> None:
+        """Isolate *host* from everyone."""
+        with self._fault_lock:
+            self._down_hosts.add(host)
+
+    def heal_host(self, host: str) -> None:
+        with self._fault_lock:
+            self._down_hosts.discard(host)
+
+    def _check_reachable(self, src: str, dst: str) -> None:
+        with self._fault_lock:
+            if src in self._down_hosts or dst in self._down_hosts:
+                raise NapletCommunicationError(f"host partitioned: {src} -> {dst}")
+            if (src, dst) in self._down_links:
+                raise NapletCommunicationError(f"link down: {src} -> {dst}")
+
+    # -- delivery ----------------------------------------------------------- #
+
+    def _deliver(self, frame: Frame) -> bytes | None:
+        src, dst = host_of(frame.source), host_of(frame.dest)
+        self._check_reachable(src, dst)
+        handler = self._handler_for(frame.dest)
+        delay = self.latency.delay(src, dst, frame.size)
+        self.meter.record(src, dst, frame.kind, frame.size, delay)
+        self.clock.advance(delay)
+        return handler(frame)
+
+    def send(self, frame: Frame) -> None:
+        self._deliver(frame)
+
+    def request(self, frame: Frame, timeout: float | None = None) -> bytes:
+        reply = self._deliver(frame)
+        if reply is None:
+            raise NapletCommunicationError(
+                f"no reply from {frame.dest} for {frame.kind} frame"
+            )
+        # The reply travels back over the same link: meter and account it.
+        src, dst = host_of(frame.source), host_of(frame.dest)
+        delay = self.latency.delay(dst, src, len(reply))
+        self.meter.record(dst, src, frame.kind + "-reply", len(reply), delay)
+        self.clock.advance(delay)
+        return reply

@@ -1,0 +1,130 @@
+"""Naplet serialization (the Java-serialization analogue).
+
+``NapletSerializer.dumps`` turns a naplet (or message body) into
+transport-ready bytes; ``loads`` restores it on the destination.  Transient
+fields are dropped by the objects' own ``__getstate__`` (the
+``NapletContext`` refuses pickling outright, catching protocol bugs).
+
+Code shipping integrates here: instances of *stamped* classes (bundled into
+a :class:`~repro.codeshipping.codebase.CodeBase`) are reduced to
+``(codebase, module, qualname, state)`` tuples.  In **lazy** mode (default,
+the paper's model) only the tuple travels and the destination's
+:class:`~repro.codeshipping.codebase.CodeCache` fetches code on a miss; in
+**eager** mode the referenced module sources are attached to the envelope so
+no fetch is ever needed — the E8 benchmark compares the two.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from typing import Any
+
+from repro.codeshipping.codebase import CodeBaseRegistry, CodeCache
+from repro.codeshipping.shipping import (
+    _reconstruct_shipped,
+    resolver_installed,
+    shipping_stamp_of,
+)
+from repro.core.errors import SerializationError
+
+__all__ = ["NapletSerializer"]
+
+_ENVELOPE_VERSION = 1
+
+
+class _ShippingPickler(pickle.Pickler):
+    """Pickler that reduces stamped instances by codebase reference."""
+
+    def __init__(self, file: io.BytesIO, protocol: int) -> None:
+        super().__init__(file, protocol)
+        self.stamps_seen: set[tuple[str, str, str]] = set()
+
+    def reducer_override(self, obj: Any) -> Any:
+        if isinstance(obj, type):
+            return NotImplemented
+        stamp = shipping_stamp_of(obj)
+        if stamp is None:
+            return NotImplemented
+        self.stamps_seen.add(stamp)
+        getstate = getattr(obj, "__getstate__", None)
+        state = getstate() if callable(getstate) else dict(obj.__dict__)
+        return (_reconstruct_shipped, stamp, state)
+
+
+class NapletSerializer:
+    """Envelope-based serializer with optional eager code bundling."""
+
+    def __init__(
+        self,
+        registry: CodeBaseRegistry | None = None,
+        eager_code: bool = False,
+        protocol: int = pickle.HIGHEST_PROTOCOL,
+    ) -> None:
+        if eager_code and registry is None:
+            raise SerializationError("eager code shipping needs a codebase registry")
+        self._registry = registry
+        self._eager = eager_code
+        self._protocol = protocol
+
+    @property
+    def eager_code(self) -> bool:
+        return self._eager
+
+    # -- encode --------------------------------------------------------------- #
+
+    def dumps(self, obj: Any) -> bytes:
+        """Serialize *obj* into an envelope ready for a frame payload."""
+        buffer = io.BytesIO()
+        pickler = _ShippingPickler(buffer, self._protocol)
+        try:
+            pickler.dump(obj)
+        except (TypeError, AttributeError, pickle.PicklingError) as exc:
+            raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
+        bundles: dict[tuple[str, str], str] = {}
+        if self._eager and pickler.stamps_seen:
+            assert self._registry is not None
+            for codebase_name, module_key, _qualname in pickler.stamps_seen:
+                codebase = self._registry.get(codebase_name)
+                bundles[(codebase_name, module_key)] = codebase.source_of(module_key)
+        envelope = {
+            "v": _ENVELOPE_VERSION,
+            "payload": buffer.getvalue(),
+            "bundles": bundles,
+        }
+        return pickle.dumps(envelope, self._protocol)
+
+    # -- decode --------------------------------------------------------------- #
+
+    def loads(self, data: bytes, cache: CodeCache | None = None) -> Any:
+        """Deserialize an envelope; *cache* resolves shipped classes."""
+        try:
+            envelope = pickle.loads(data)
+        except Exception as exc:
+            raise SerializationError(f"corrupt envelope: {exc}") from exc
+        if not isinstance(envelope, dict) or envelope.get("v") != _ENVELOPE_VERSION:
+            raise SerializationError("unrecognised envelope format")
+        bundles: dict[tuple[str, str], str] = envelope["bundles"]
+        if bundles:
+            if cache is None:
+                raise SerializationError(
+                    "envelope carries code bundles but no code cache was provided"
+                )
+            for (codebase_name, module_key), source in bundles.items():
+                cache.install_source(codebase_name, module_key, source)
+        payload: bytes = envelope["payload"]
+        try:
+            if cache is not None:
+                with resolver_installed(cache):
+                    return pickle.loads(payload)
+            return pickle.loads(payload)
+        except SerializationError:
+            raise
+        except Exception as exc:
+            raise SerializationError(f"cannot deserialize payload: {exc}") from exc
+
+    # -- sizing ----------------------------------------------------------------- #
+
+    def payload_size(self, obj: Any) -> int:
+        """On-wire size of *obj* under this serializer's settings."""
+        return len(self.dumps(obj))

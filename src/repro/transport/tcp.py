@@ -1,0 +1,165 @@
+"""Localhost TCP transport.
+
+Proves the Naplet wire protocol over real sockets: each registered endpoint
+gets a listening socket on 127.0.0.1 and an accept loop; frames travel as
+length-prefixed pickled tuples; ``request`` keeps the connection open for
+the reply.  Intended for integration tests and small deployments — the
+large-scale experiments use the in-memory transport.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+
+from repro.core.errors import NapletCommunicationError
+from repro.transport.base import Frame, FrameHandler, Transport
+
+__all__ = ["TcpTransport"]
+
+_LEN = struct.Struct("!I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _send_blob(sock: socket.socket, blob: bytes) -> None:
+    sock.sendall(_LEN.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise NapletCommunicationError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_blob(sock: socket.socket) -> bytes:
+    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
+    if length > _MAX_FRAME:
+        raise NapletCommunicationError(f"frame too large: {length} bytes")
+    return _recv_exact(sock, length)
+
+
+class _Endpoint:
+    """Listening socket + accept loop for one registered URN."""
+
+    def __init__(self, urn: str, handler: FrameHandler) -> None:
+        self.urn = urn
+        self.handler = handler
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(64)
+        self.port = self.sock.getsockname()[1]
+        self._closing = threading.Event()
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"tcp-accept-{urn}", daemon=True
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _addr = self.sock.accept()
+            except OSError:
+                return  # socket closed
+            threading.Thread(
+                target=self._serve, args=(conn,), name=f"tcp-conn-{self.urn}", daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                blob = _recv_blob(conn)
+                frame, expects_reply = pickle.loads(blob)
+                reply = self.handler(frame)
+                if expects_reply:
+                    _send_blob(conn, pickle.dumps(reply if reply is not None else b""))
+        except Exception:
+            # Connection-scoped failure (bad frame, handler error, dead
+            # peer): drop this connection; the requester times out or sees
+            # a communication error. The accept loop keeps serving.
+            return
+
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class TcpTransport(Transport):
+    """Frame router over localhost TCP sockets."""
+
+    def __init__(self, connect_timeout: float = 5.0) -> None:
+        super().__init__()
+        self._endpoints: dict[str, _Endpoint] = {}
+        self._ports: dict[str, int] = {}
+        self._connect_timeout = connect_timeout
+        self._eplock = threading.RLock()
+
+    def register(self, urn: str, handler: FrameHandler) -> None:
+        super().register(urn, handler)
+        endpoint = _Endpoint(urn, handler)
+        with self._eplock:
+            self._endpoints[urn] = endpoint
+            self._ports[urn] = endpoint.port
+
+    def unregister(self, urn: str) -> None:
+        super().unregister(urn)
+        with self._eplock:
+            endpoint = self._endpoints.pop(urn, None)
+            self._ports.pop(urn, None)
+        if endpoint is not None:
+            endpoint.close()
+
+    def port_of(self, urn: str) -> int:
+        with self._eplock:
+            try:
+                return self._ports[urn]
+            except KeyError:
+                raise NapletCommunicationError(f"no endpoint registered at {urn}") from None
+
+    def _connect(self, urn: str) -> socket.socket:
+        port = self.port_of(urn)
+        try:
+            sock = socket.create_connection(("127.0.0.1", port), timeout=self._connect_timeout)
+        except OSError as exc:
+            raise NapletCommunicationError(f"cannot reach {urn}: {exc}") from exc
+        return sock
+
+    def send(self, frame: Frame) -> None:
+        sock = self._connect(frame.dest)
+        try:
+            with sock:
+                _send_blob(sock, pickle.dumps((frame, False)))
+        except OSError as exc:
+            raise NapletCommunicationError(f"send to {frame.dest} failed: {exc}") from exc
+
+    def request(self, frame: Frame, timeout: float | None = None) -> bytes:
+        sock = self._connect(frame.dest)
+        try:
+            with sock:
+                if timeout is not None:
+                    sock.settimeout(timeout)
+                _send_blob(sock, pickle.dumps((frame, True)))
+                return pickle.loads(_recv_blob(sock))
+        except socket.timeout as exc:
+            raise NapletCommunicationError(f"request to {frame.dest} timed out") from exc
+        except OSError as exc:
+            raise NapletCommunicationError(f"request to {frame.dest} failed: {exc}") from exc
+
+    def close(self) -> None:
+        with self._eplock:
+            endpoints = list(self._endpoints.values())
+            self._endpoints.clear()
+            self._ports.clear()
+        for endpoint in endpoints:
+            endpoint.close()

@@ -1,0 +1,102 @@
+"""Traffic metering for the simulated network.
+
+Every frame that crosses the in-memory transport is accounted here:
+per-link byte/frame counts, per-host ingress/egress, per-kind totals and
+accumulated virtual latency.  The MAN experiments (E3/E4) read their
+"network load" series straight from these counters, so the meter is the
+measurement instrument of the reproduction.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+__all__ = ["LinkStats", "TrafficMeter"]
+
+
+@dataclass
+class LinkStats:
+    """Counters for one directed (src, dst) link."""
+
+    frames: int = 0
+    bytes: int = 0
+    virtual_seconds: float = 0.0
+
+    def add(self, nbytes: int, delay: float) -> None:
+        self.frames += 1
+        self.bytes += nbytes
+        self.virtual_seconds += delay
+
+
+class TrafficMeter:
+    """Thread-safe traffic accounting across the whole virtual network."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._links: dict[tuple[str, str], LinkStats] = {}
+        self._by_kind: dict[str, LinkStats] = {}
+        self._total = LinkStats()
+
+    def record(self, src: str, dst: str, kind: str, nbytes: int, delay: float) -> None:
+        with self._lock:
+            link = self._links.setdefault((src, dst), LinkStats())
+            link.add(nbytes, delay)
+            by_kind = self._by_kind.setdefault(kind, LinkStats())
+            by_kind.add(nbytes, delay)
+            self._total.add(nbytes, delay)
+
+    # -- queries ----------------------------------------------------------- #
+
+    def link(self, src: str, dst: str) -> LinkStats:
+        with self._lock:
+            stats = self._links.get((src, dst))
+            return LinkStats(stats.frames, stats.bytes, stats.virtual_seconds) if stats else LinkStats()
+
+    def host_bytes(self, host: str) -> tuple[int, int]:
+        """(egress, ingress) byte totals for *host*."""
+        egress = ingress = 0
+        with self._lock:
+            for (src, dst), stats in self._links.items():
+                if src == host:
+                    egress += stats.bytes
+                if dst == host:
+                    ingress += stats.bytes
+        return egress, ingress
+
+    def host_total(self, host: str) -> int:
+        egress, ingress = self.host_bytes(host)
+        return egress + ingress
+
+    def kind_stats(self, kind: str) -> LinkStats:
+        with self._lock:
+            stats = self._by_kind.get(kind)
+            return LinkStats(stats.frames, stats.bytes, stats.virtual_seconds) if stats else LinkStats()
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._total.bytes
+
+    @property
+    def total_frames(self) -> int:
+        with self._lock:
+            return self._total.frames
+
+    @property
+    def total_virtual_seconds(self) -> float:
+        with self._lock:
+            return self._total.virtual_seconds
+
+    def links(self) -> dict[tuple[str, str], LinkStats]:
+        with self._lock:
+            return {
+                key: LinkStats(v.frames, v.bytes, v.virtual_seconds)
+                for key, v in self._links.items()
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._links.clear()
+            self._by_kind.clear()
+            self._total = LinkStats()

@@ -1,0 +1,27 @@
+"""Shared utilities for the Naplet reproduction.
+
+This package deliberately contains only dependency-free helpers that every
+other subpackage may import: concurrency primitives, time formatting that
+matches the paper's timestamp encoding, and a lightweight structured event
+log used by servers and benchmarks.
+"""
+
+from repro.util.concurrency import (
+    AtomicCounter,
+    CountDownLatch,
+    StoppableThread,
+    wait_until,
+)
+from repro.util.eventlog import EventLog, EventRecord
+from repro.util.timeutil import compact_timestamp, parse_compact_timestamp
+
+__all__ = [
+    "AtomicCounter",
+    "CountDownLatch",
+    "StoppableThread",
+    "wait_until",
+    "EventLog",
+    "EventRecord",
+    "compact_timestamp",
+    "parse_compact_timestamp",
+]

@@ -1,0 +1,75 @@
+"""Structured event log.
+
+Server components (Navigator, Messenger, Monitor…) append :class:`EventRecord`
+entries describing protocol events (LAUNCH, LANDING, ARRIVAL, DEPART, message
+forwarding hops, quota trips).  Tests and benchmarks assert against these
+records rather than scraping textual logs, which keeps the protocol
+observable without coupling to formatting.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["EventRecord", "EventLog"]
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One structured event: a kind, a wall-clock stamp, and free-form detail."""
+
+    kind: str
+    detail: dict[str, Any] = field(default_factory=dict)
+    timestamp: float = field(default_factory=time.monotonic)
+
+    def matches(self, kind: str, **detail: Any) -> bool:
+        """True when this record has *kind* and every given detail item."""
+        if self.kind != kind:
+            return False
+        return all(self.detail.get(k) == v for k, v in detail.items())
+
+
+class EventLog:
+    """Append-only, thread-safe list of :class:`EventRecord`.
+
+    A bounded ``maxlen`` discards the oldest entries, mirroring the paper's
+    remark that footprints of *past and current* naplets are recorded for
+    management purposes without growing unboundedly.
+    """
+
+    def __init__(self, maxlen: int | None = None) -> None:
+        self._records: list[EventRecord] = []
+        self._lock = threading.Lock()
+        self._maxlen = maxlen
+
+    def record(self, kind: str, **detail: Any) -> EventRecord:
+        rec = EventRecord(kind=kind, detail=detail)
+        with self._lock:
+            self._records.append(rec)
+            if self._maxlen is not None and len(self._records) > self._maxlen:
+                del self._records[: len(self._records) - self._maxlen]
+        return rec
+
+    def snapshot(self) -> list[EventRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def find(self, kind: str, **detail: Any) -> list[EventRecord]:
+        return [r for r in self.snapshot() if r.matches(kind, **detail)]
+
+    def count(self, kind: str, **detail: Any) -> int:
+        return len(self.find(kind, **detail))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        return iter(self.snapshot())

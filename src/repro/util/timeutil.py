@@ -1,0 +1,57 @@
+"""Timestamp helpers matching the paper's compact naplet-ID encoding.
+
+The paper (Fig. 1) encodes creation time as ``YYMMDDHHMMSS``: the naplet id
+``czxu@ece:010512172720:0`` was created at 17:27:20 on May 12, 2001.  We keep
+exactly that 12-digit format so reproduced identifiers render like the
+figure.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import threading as _threading
+
+__all__ = ["compact_timestamp", "parse_compact_timestamp", "unique_compact_timestamp"]
+
+_FORMAT = "%y%m%d%H%M%S"
+
+
+def compact_timestamp(when: _dt.datetime | None = None) -> str:
+    """Render *when* (default: now, UTC) as the paper's 12-digit stamp."""
+    if when is None:
+        when = _dt.datetime.now(_dt.timezone.utc)
+    return when.strftime(_FORMAT)
+
+
+_last_issued: str | None = None
+_issue_lock = _threading.Lock()
+
+
+def unique_compact_timestamp(when: _dt.datetime | None = None) -> str:
+    """A compact stamp guaranteed unique within this process.
+
+    Naplet identifiers are ``owner@host:stamp:heritage`` and must be
+    system-wide unique, but the paper's stamp format has one-second
+    granularity — two launches in the same second would collide.  This
+    allocator runs a logical clock on top of wall time: if the wall stamp
+    was already issued, it hands out the successor second instead.
+    """
+    global _last_issued
+    stamp = compact_timestamp(when)
+    with _issue_lock:
+        if _last_issued is not None and stamp <= _last_issued:
+            bumped = parse_compact_timestamp(_last_issued) + _dt.timedelta(seconds=1)
+            stamp = bumped.strftime(_FORMAT)
+        _last_issued = stamp
+    return stamp
+
+
+def parse_compact_timestamp(stamp: str) -> _dt.datetime:
+    """Parse a 12-digit ``YYMMDDHHMMSS`` stamp back into a datetime.
+
+    Raises ``ValueError`` for malformed stamps; the returned datetime is
+    naive (the paper's format carries no zone).
+    """
+    if len(stamp) != 12 or not stamp.isdigit():
+        raise ValueError(f"not a compact YYMMDDHHMMSS timestamp: {stamp!r}")
+    return _dt.datetime.strptime(stamp, _FORMAT)

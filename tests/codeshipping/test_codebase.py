@@ -1,0 +1,77 @@
+"""CodeBase / CodeBaseRegistry: bundling and registration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codeshipping.codebase import SHIPPING_STAMP, CodeBase, CodeBaseRegistry
+from repro.core.errors import CodeShippingError
+from tests.transport.shipped_fixture import StampedPayload
+
+
+class TestCodeBase:
+    def test_needs_name(self):
+        with pytest.raises(CodeShippingError):
+            CodeBase("")
+
+    def test_add_source_and_read_back(self):
+        codebase = CodeBase("cb")
+        codebase.add_source("mod", "X = 1\n")
+        assert codebase.source_of("mod") == "X = 1\n"
+        assert "mod" in codebase
+
+    def test_duplicate_module_rejected(self):
+        codebase = CodeBase("cb")
+        codebase.add_source("mod", "X = 1\n")
+        with pytest.raises(CodeShippingError):
+            codebase.add_source("mod", "X = 2\n")
+
+    def test_missing_module_raises(self):
+        with pytest.raises(CodeShippingError):
+            CodeBase("cb").source_of("ghost")
+
+    def test_add_class_captures_module_and_stamps(self):
+        codebase = CodeBase("cb-stamp")
+        codebase.add_class(StampedPayload)
+        stamp = StampedPayload.__dict__.get(SHIPPING_STAMP) or getattr(
+            StampedPayload, SHIPPING_STAMP
+        )
+        assert stamp[0] == "cb-stamp"
+        assert stamp[2] == "StampedPayload"
+        assert StampedPayload.__module__ in codebase
+
+    def test_total_bytes(self):
+        codebase = CodeBase("cb")
+        codebase.add_source("m", "x = 'é'\n")
+        assert codebase.total_bytes == len("x = 'é'\n".encode())
+
+    def test_dedents_source(self):
+        codebase = CodeBase("cb")
+        codebase.add_source("m", "    X = 1\n")
+        assert codebase.source_of("m") == "X = 1\n"
+
+
+class TestRegistry:
+    def test_create_and_get(self):
+        registry = CodeBaseRegistry()
+        codebase = registry.create("cb")
+        assert registry.get("cb") is codebase
+        assert "cb" in registry
+        assert registry.names() == ["cb"]
+
+    def test_duplicate_create_rejected(self):
+        registry = CodeBaseRegistry()
+        registry.create("cb")
+        with pytest.raises(CodeShippingError):
+            registry.create("cb")
+
+    def test_add_existing_codebase(self):
+        registry = CodeBaseRegistry()
+        registry.add(CodeBase("external"))
+        assert "external" in registry
+        with pytest.raises(CodeShippingError):
+            registry.add(CodeBase("external"))
+
+    def test_unknown_codebase_raises(self):
+        with pytest.raises(CodeShippingError):
+            CodeBaseRegistry().get("ghost")

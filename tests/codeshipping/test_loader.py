@@ -1,0 +1,85 @@
+"""RestrictedLoader: best-effort confinement of shipped source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codeshipping.loader import (
+    DEFAULT_ALLOWED_IMPORTS,
+    DENIED_BUILTINS,
+    RestrictedLoader,
+)
+from repro.core.errors import CodeShippingError
+
+
+@pytest.fixture
+def loader():
+    return RestrictedLoader()
+
+
+class TestExecution:
+    def test_executes_classes_and_functions(self, loader):
+        module = loader.execute(
+            "class A:\n    x = 1\n\ndef f(n):\n    return n + 1\n", "m1"
+        )
+        assert module.A.x == 1
+        assert module.f(2) == 3
+
+    def test_module_not_in_sys_modules(self, loader):
+        import sys
+
+        loader.execute("y = 2", "isolated_mod_xyz")
+        assert "isolated_mod_xyz" not in sys.modules
+
+    def test_allowed_imports_work(self, loader):
+        module = loader.execute("import math\nv = math.sqrt(9)", "m2")
+        assert module.v == 3.0
+
+    def test_allowed_submodule_import(self, loader):
+        module = loader.execute(
+            "from repro.core.naplet_id import NapletID\n"
+            "nid = NapletID.parse('a@h:240101120000:0')\n",
+            "m3",
+        )
+        assert str(module.nid) == "a@h:240101120000:0"
+
+    def test_syntax_error_wrapped(self, loader):
+        with pytest.raises(CodeShippingError):
+            loader.execute("def broken(:", "bad")
+
+    def test_runtime_error_wrapped(self, loader):
+        with pytest.raises(CodeShippingError):
+            loader.execute("raise ValueError('boom')", "boom")
+
+
+class TestConfinement:
+    @pytest.mark.parametrize("module", ["os", "sys", "subprocess", "socket", "pickle"])
+    def test_denied_imports(self, loader, module):
+        with pytest.raises(CodeShippingError):
+            loader.execute(f"import {module}", f"deny_{module}")
+
+    def test_denied_submodule_of_denied_root(self, loader):
+        with pytest.raises(CodeShippingError):
+            loader.execute("import os.path", "deny_os_path")
+
+    @pytest.mark.parametrize("name", sorted(DENIED_BUILTINS))
+    def test_denied_builtins_absent(self, loader, name):
+        with pytest.raises(CodeShippingError):
+            loader.execute(f"x = {name}", f"builtin_{name}")
+
+    def test_custom_allowlist(self):
+        loader = RestrictedLoader(allowed_imports=("math",))
+        loader.execute("import math", "ok")
+        with pytest.raises(CodeShippingError):
+            loader.execute("import repro", "denied_repro")
+
+    def test_safe_builtins_still_available(self, loader):
+        module = loader.execute(
+            "vals = sorted([3, 1, 2])\ntext = str(len(vals))", "safe"
+        )
+        assert module.vals == [1, 2, 3]
+        assert module.text == "3"
+
+    def test_default_allowlist_contents(self):
+        assert "repro" in DEFAULT_ALLOWED_IMPORTS
+        assert "os" not in DEFAULT_ALLOWED_IMPORTS

@@ -1,0 +1,109 @@
+"""AddressBook: contacts for inter-naplet communication (paper §2.1)."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.core.address_book import AddressBook, AddressEntry
+from repro.core.naplet_id import NapletID
+
+
+def _nid(owner: str = "a", suffix: str = "0") -> NapletID:
+    return NapletID.parse(f"{owner}@home:240101120000:{suffix}")
+
+
+class TestBasics:
+    def test_add_and_lookup(self):
+        book = AddressBook()
+        nid = _nid()
+        book.add_contact(nid, "naplet://s1")
+        entry = book.lookup(nid)
+        assert entry is not None
+        assert entry.server_urn == "naplet://s1"
+
+    def test_lookup_unknown_is_none(self):
+        assert AddressBook().lookup(_nid()) is None
+
+    def test_knows_and_contains(self):
+        book = AddressBook()
+        nid = _nid()
+        book.add_contact(nid, "naplet://s1")
+        assert book.knows(nid)
+        assert nid in book
+        assert "not-an-id" not in book
+
+    def test_add_same_id_updates_location(self):
+        book = AddressBook()
+        nid = _nid()
+        book.add_contact(nid, "naplet://s1")
+        book.add_contact(nid, "naplet://s2")
+        assert len(book) == 1
+        assert book.lookup(nid).server_urn == "naplet://s2"
+
+    def test_update_location(self):
+        book = AddressBook()
+        nid = _nid()
+        book.add_contact(nid, "naplet://s1")
+        assert book.update_location(nid, "naplet://s9")
+        assert book.lookup(nid).server_urn == "naplet://s9"
+
+    def test_update_location_unknown_returns_false(self):
+        assert not AddressBook().update_location(_nid(), "naplet://x")
+
+    def test_remove(self):
+        book = AddressBook()
+        nid = _nid()
+        book.add_contact(nid, "naplet://s1")
+        book.remove(nid)
+        assert not book.knows(nid)
+        book.remove(nid)  # idempotent
+
+    def test_iteration_and_ids(self):
+        book = AddressBook()
+        ids = [_nid(suffix=s) for s in ("0", "0.1", "0.2")]
+        for nid in ids:
+            book.add_contact(nid, "naplet://s")
+        assert set(book.naplet_ids()) == set(ids)
+        assert len(list(book)) == 3
+
+
+class TestInheritanceAndMerge:
+    def test_inherit_is_independent_copy(self):
+        book = AddressBook()
+        nid = _nid()
+        book.add_contact(nid, "naplet://s1")
+        child = book.inherit()
+        child.add_contact(_nid(suffix="0.1"), "naplet://s2")
+        assert len(book) == 1
+        assert len(child) == 2
+        assert child.lookup(nid).server_urn == "naplet://s1"
+
+    def test_merge_takes_other_locations(self):
+        a, b = AddressBook(), AddressBook()
+        nid = _nid()
+        a.add_contact(nid, "naplet://old")
+        b.add_contact(nid, "naplet://new")
+        b.add_contact(_nid(suffix="0.9"), "naplet://extra")
+        a.merge(b)
+        assert a.lookup(nid).server_urn == "naplet://new"
+        assert len(a) == 2
+
+
+class TestEntry:
+    def test_with_location(self):
+        entry = AddressEntry(naplet_id=_nid(), server_urn="naplet://a")
+        moved = entry.with_location("naplet://b")
+        assert moved.naplet_id == entry.naplet_id
+        assert moved.server_urn == "naplet://b"
+        assert entry.server_urn == "naplet://a"  # frozen original untouched
+
+
+class TestPickling:
+    def test_roundtrip(self):
+        book = AddressBook()
+        ids = [_nid(suffix=s) for s in ("0", "0.1")]
+        for nid in ids:
+            book.add_contact(nid, f"naplet://srv-{nid.heritage[-1]}")
+        copy = pickle.loads(pickle.dumps(book))
+        assert set(copy.naplet_ids()) == set(ids)
+        assert copy.lookup(ids[1]).server_urn == book.lookup(ids[1]).server_urn

@@ -1,0 +1,124 @@
+"""NapletContext: the transient confined execution environment."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.context import NapletContext
+from repro.core.errors import ServiceNotFoundError
+
+
+class FakeDispatcher:
+    origin_urn = "naplet://h"
+
+    def dispatch(self, naplet, destination):
+        raise AssertionError("not used")
+
+    def spawn_clone(self, naplet, clone, destination):
+        raise AssertionError("not used")
+
+
+class FakeMessenger:
+    def post_message(self, server_urn, target, body):
+        return None
+
+    def get_message(self, timeout=None):
+        return None
+
+    def poll_message(self):
+        return None
+
+
+class FakeServices:
+    def __init__(self):
+        self.granted = {}
+        self.requests = []
+
+    def open_service(self, name):
+        if name != "math":
+            raise ServiceNotFoundError(name)
+        return "math-handler"
+
+    def request_service_channel(self, name):
+        if name == "forbidden":
+            raise ServiceNotFoundError(name)
+        self.requests.append(name)
+        channel = f"channel:{name}"
+        self.granted[name] = channel
+        return channel
+
+    def service_channel_list(self):
+        return dict(self.granted)
+
+
+class FakeHook:
+    def __init__(self):
+        self.count = 0
+
+    def checkpoint(self):
+        self.count += 1
+
+
+def _context(hook=None, extras=None) -> tuple[NapletContext, FakeServices]:
+    services = FakeServices()
+    context = NapletContext(
+        server_urn="naplet://hostA",
+        hostname="hostA",
+        dispatcher=FakeDispatcher(),
+        messenger=FakeMessenger(),
+        services=services,
+        monitor_hook=hook,
+        extras=extras,
+    )
+    return context, services
+
+
+class TestBasics:
+    def test_identity_properties(self):
+        context, _ = _context()
+        assert context.server_urn == "naplet://hostA"
+        assert context.hostname == "hostA"
+
+    def test_open_service_delegates(self):
+        context, _ = _context()
+        assert context.open_service("math") == "math-handler"
+
+    def test_service_channel_requests_then_caches(self):
+        context, services = _context()
+        first = context.service_channel("svc")
+        assert first == "channel:svc"
+        second = context.service_channel("svc")
+        assert second == first
+        assert services.requests == ["svc"]  # only one request issued
+
+    def test_service_channel_unknown_raises(self):
+        context, _ = _context()
+        with pytest.raises(ServiceNotFoundError):
+            context.service_channel("forbidden")
+
+    def test_extras(self):
+        context, _ = _context(extras={"network": "net-object"})
+        assert context.extra("network") == "net-object"
+        assert context.extra("absent", 7) == 7
+
+
+class TestCheckpoint:
+    def test_checkpoint_calls_hook(self):
+        hook = FakeHook()
+        context, _ = _context(hook=hook)
+        context.checkpoint()
+        context.checkpoint()
+        assert hook.count == 2
+
+    def test_checkpoint_without_hook_is_noop(self):
+        context, _ = _context(hook=None)
+        context.checkpoint()
+
+
+class TestTransience:
+    def test_refuses_pickling(self):
+        context, _ = _context()
+        with pytest.raises(TypeError):
+            pickle.dumps(context)

@@ -1,0 +1,79 @@
+"""NapletListener / ListenerRef: home-side result reporting."""
+
+from __future__ import annotations
+
+import pickle
+import queue
+
+import pytest
+
+from repro.core.listener import ListenerRef, NapletListener, ReportEnvelope
+
+
+def _envelope(payload, key="k1") -> ReportEnvelope:
+    return ReportEnvelope(listener_key=key, reporter="agent-id", payload=payload)
+
+
+class TestListener:
+    def test_deliver_and_next_report(self):
+        listener = NapletListener()
+        listener.deliver(_envelope({"x": 1}))
+        report = listener.next_report(timeout=1)
+        assert report.payload == {"x": 1}
+        assert listener.received == 1
+
+    def test_reports_blocks_for_count(self):
+        listener = NapletListener()
+        for i in range(3):
+            listener.deliver(_envelope(i))
+        got = listener.reports(3, timeout=1)
+        assert [e.payload for e in got] == [0, 1, 2]
+
+    def test_reports_times_out(self):
+        listener = NapletListener()
+        with pytest.raises(queue.Empty):
+            listener.reports(1, timeout=0.05)
+
+    def test_try_next_nonblocking(self):
+        listener = NapletListener()
+        assert listener.try_next() is None
+        listener.deliver(_envelope("a"))
+        assert listener.try_next().payload == "a"
+
+    def test_callback_invoked_synchronously(self):
+        seen = []
+        listener = NapletListener(callback=lambda e: seen.append(e.payload))
+        listener.deliver(_envelope("ping"))
+        assert seen == ["ping"]
+
+
+class TestListenerRef:
+    def test_serializable(self):
+        ref = ListenerRef(home_urn="naplet://home", listener_key="abc")
+        copy = pickle.loads(pickle.dumps(ref))
+        assert copy == ref
+
+    def test_report_requires_bound_context(self):
+        from tests.core.test_naplet import ProbeNaplet
+
+        ref = ListenerRef(home_urn="naplet://home", listener_key="abc")
+        agent = ProbeNaplet("p")
+        with pytest.raises(RuntimeError):
+            ref.report(agent, {"x": 1})
+
+    def test_report_routes_through_context_messenger(self):
+        from tests.core.test_naplet import ProbeNaplet
+
+        calls = []
+
+        class FakeMessenger:
+            def post_report(self, home_urn, key, payload):
+                calls.append((home_urn, key, payload))
+
+        class FakeContext:
+            messenger = FakeMessenger()
+
+        agent = ProbeNaplet("p")
+        agent._context = FakeContext()  # type: ignore[assignment]
+        ListenerRef("naplet://home", "k9").report(agent, {"v": 7})
+        assert calls == [("naplet://home", "k9", {"v": 7})]

@@ -1,0 +1,158 @@
+"""Naplet base class: attributes, lifecycle wiring, cloning, serialization."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.credential import SigningAuthority
+from repro.core.errors import NapletError
+from repro.core.naplet import Naplet
+from repro.core.naplet_id import NapletID
+from repro.core.state import NapletState
+from repro.itinerary.itinerary import Itinerary
+from repro.itinerary.pattern import SeqPattern
+
+
+class ProbeNaplet(Naplet):
+    """Minimal concrete naplet for unit tests."""
+
+    def on_start(self) -> None:  # pragma: no cover - not executed here
+        self.travel()
+
+
+def _identified(name: str = "probe") -> ProbeNaplet:
+    agent = ProbeNaplet(name)
+    auth = SigningAuthority()
+    auth.register_owner("alice")
+    nid = NapletID.create("alice", "home", stamp="240101120000")
+    agent._assign_identity(nid, auth.issue(nid, agent.codebase, {"role": "tester"}))
+    return agent
+
+
+class TestIdentity:
+    def test_unlaunched_has_no_id(self):
+        agent = ProbeNaplet("p")
+        assert not agent.has_id
+        with pytest.raises(NapletError):
+            _ = agent.naplet_id
+        with pytest.raises(NapletError):
+            _ = agent.credential
+
+    def test_assign_identity_is_one_shot(self):
+        agent = _identified()
+        auth = SigningAuthority()
+        auth.register_owner("alice")
+        nid2 = NapletID.create("alice", "home", stamp="240101120001")
+        with pytest.raises(NapletError):
+            agent._assign_identity(nid2, auth.issue(nid2, "local"))
+
+    def test_codebase_default_and_custom(self):
+        assert ProbeNaplet("p").codebase == "local"
+
+        class Custom(ProbeNaplet):
+            def __init__(self):
+                super().__init__("c", codebase="codebase://app")
+
+        assert Custom().codebase == "codebase://app"
+
+    def test_abstract_on_start_required(self):
+        with pytest.raises(TypeError):
+            Naplet("nope")  # type: ignore[abstract]
+
+
+class TestAttributes:
+    def test_state_replaceable(self):
+        agent = ProbeNaplet("p")
+        fresh = NapletState()
+        fresh.set("k", 1)
+        agent.set_naplet_state(fresh)
+        assert agent.state.get("k") == 1
+
+    def test_itinerary_accessors(self):
+        agent = ProbeNaplet("p")
+        assert not agent.has_itinerary
+        with pytest.raises(NapletError):
+            _ = agent.itinerary
+        agent.set_itinerary(Itinerary(SeqPattern.of_servers(["s1"])))
+        assert agent.has_itinerary
+
+    def test_context_lifecycle(self):
+        agent = ProbeNaplet("p")
+        assert agent.context is None
+        with pytest.raises(NapletError):
+            agent.require_context()
+
+    def test_default_hooks_are_noops(self):
+        agent = ProbeNaplet("p")
+        agent.on_interrupt("callback")
+        agent.on_stop()
+        agent.on_destroy()
+
+    def test_checkpoint_without_context_is_noop(self):
+        ProbeNaplet("p").checkpoint()
+
+    def test_report_home_without_listener_is_noop(self):
+        ProbeNaplet("p").report_home({"x": 1})
+
+
+class TestClone:
+    def test_clone_gets_next_heritage_id(self):
+        agent = _identified()
+        clone = agent.clone()
+        assert clone.naplet_id == NapletID.parse("alice@home:240101120000:0.1")
+        assert agent.naplet_id.is_ancestor_of(clone.naplet_id)
+
+    def test_clone_has_no_credential_but_inherits_attributes(self):
+        agent = _identified()
+        clone = agent.clone()
+        with pytest.raises(NapletError):
+            _ = clone.credential
+        assert clone.inherited_attributes == {"role": "tester"}
+
+    def test_clone_deep_copies_state(self):
+        agent = _identified()
+        agent.state.set("data", [1, 2])
+        clone = agent.clone()
+        clone.state.get("data").append(3)
+        assert agent.state.get("data") == [1, 2]
+
+    def test_clone_inherits_address_book(self):
+        agent = _identified()
+        other = NapletID.create("bob", "elsewhere", stamp="240101120000")
+        agent.address_book.add_contact(other, "naplet://s9")
+        clone = agent.clone()
+        assert clone.address_book.knows(other)
+
+    def test_clone_never_copies_context(self):
+        agent = _identified()
+        sentinel = object()
+        agent._context = sentinel  # type: ignore[assignment]
+        clone = agent.clone()
+        assert clone.context is None
+        assert agent.context is sentinel  # restored on the original
+
+
+class TestSerialization:
+    def test_context_is_transient(self):
+        agent = _identified()
+        agent._context = "not-really-a-context"  # type: ignore[assignment]
+        copy = pickle.loads(pickle.dumps(agent))
+        assert copy.context is None
+        assert copy.naplet_id == agent.naplet_id
+
+    def test_roundtrip_preserves_travelling_attributes(self):
+        agent = _identified()
+        agent.state.set("visited", ["a"])
+        agent.navigation_log.record_arrival("naplet://s0")
+        copy = pickle.loads(pickle.dumps(agent))
+        assert copy.state.get("visited") == ["a"]
+        assert copy.navigation_log.current_server() == "naplet://s0"
+        assert copy.credential.signature == agent.credential.signature
+
+    def test_repr_mentions_name_and_id(self):
+        agent = _identified("walker")
+        assert "walker" in repr(agent)
+        assert "alice@home" in repr(agent)
+        assert "<unlaunched>" in repr(ProbeNaplet("new"))

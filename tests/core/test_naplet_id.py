@@ -1,0 +1,180 @@
+"""NapletID: hierarchical identifiers and clone heritage (paper Fig. 1)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.naplet_id import NapletID
+
+
+class TestParseAndRender:
+    def test_paper_example_roundtrip(self):
+        text = "czxu@ece.eng.wayne.edu:010512172720:2.1"
+        nid = NapletID.parse(text)
+        assert nid.owner == "czxu"
+        assert nid.home == "ece.eng.wayne.edu"
+        assert nid.stamp == "010512172720"
+        assert nid.heritage == (2, 1)
+        assert str(nid) == text
+
+    def test_original_heritage_is_zero(self):
+        nid = NapletID.create("alice", "hostA", stamp="240101120000")
+        assert nid.heritage == (0,)
+        assert nid.is_original
+        assert str(nid).endswith(":0")
+
+    def test_parse_original(self):
+        nid = NapletID.parse("czxu@ece:010512172720:0")
+        assert nid.is_original
+        assert nid.generation == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "no-at-sign:010512172720:0",
+            "a@b:short:0",
+            "a@b:010512172720:",
+            "a@b:010512172720:1.x",
+            "a@b:010512172720",
+            "@b:010512172720:0",
+            "a@:010512172720:0",
+            "",
+        ],
+    )
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            NapletID.parse(bad)
+
+    def test_repr_contains_full_text(self):
+        nid = NapletID.create("bob", "h", stamp="240101120000")
+        assert "bob@h:240101120000:0" in repr(nid)
+
+    def test_create_uses_current_time_format(self):
+        nid = NapletID.create("alice", "hostA")
+        assert len(nid.stamp) == 12
+        assert nid.stamp.isdigit()
+
+
+class TestValidation:
+    def test_rejects_owner_with_separator(self):
+        with pytest.raises(ValueError):
+            NapletID(owner="a@b", home="h", stamp="240101120000")
+
+    def test_rejects_home_with_colon(self):
+        with pytest.raises(ValueError):
+            NapletID(owner="a", home="h:1", stamp="240101120000")
+
+    def test_rejects_bad_stamp(self):
+        with pytest.raises(ValueError):
+            NapletID(owner="a", home="h", stamp="24010112000")  # 11 digits
+
+    def test_rejects_negative_heritage(self):
+        with pytest.raises(ValueError):
+            NapletID(owner="a", home="h", stamp="240101120000", heritage=(0, -1))
+
+    def test_rejects_empty_heritage(self):
+        with pytest.raises(ValueError):
+            NapletID(owner="a", home="h", stamp="240101120000", heritage=())
+
+
+class TestCloneHeritage:
+    def test_clone_sequence_matches_figure(self):
+        """Fig. 1: clones of ...:2 are ...:2.1, ...:2.2 (0 reserved)."""
+        nid = NapletID(owner="czxu", home="ece", stamp="010512172720", heritage=(2,))
+        first = nid.next_clone()
+        second = nid.next_clone()
+        assert str(first) == "czxu@ece:010512172720:2.1"
+        assert str(second) == "czxu@ece:010512172720:2.2"
+
+    def test_generation_originator_is_dot_zero(self):
+        nid = NapletID(owner="czxu", home="ece", stamp="010512172720", heritage=(2,))
+        assert str(nid.generation_originator()) == "czxu@ece:010512172720:2.0"
+
+    def test_recursive_cloning_extends_sequence(self):
+        root = NapletID.create("a", "h", stamp="240101120000")
+        child = root.next_clone()
+        grandchild = child.next_clone()
+        assert grandchild.heritage == (0, 1, 1)
+        assert grandchild.generation == 2
+
+    def test_clone_counters_are_per_instance(self):
+        root = NapletID.create("a", "h", stamp="240101120000")
+        c1, c2, c3 = root.next_clone(), root.next_clone(), root.next_clone()
+        assert [c.heritage[-1] for c in (c1, c2, c3)] == [1, 2, 3]
+
+    def test_parent_of_clone(self):
+        root = NapletID.create("a", "h", stamp="240101120000")
+        clone = root.next_clone()
+        assert clone.parent() == root
+
+    def test_parent_of_original_is_none(self):
+        root = NapletID.create("a", "h", stamp="240101120000")
+        assert root.parent() is None
+
+    def test_ancestry(self):
+        root = NapletID.create("a", "h", stamp="240101120000")
+        clone = root.next_clone()
+        grand = clone.next_clone()
+        assert root.is_ancestor_of(clone)
+        assert root.is_ancestor_of(grand)
+        assert clone.is_ancestor_of(grand)
+        assert not grand.is_ancestor_of(root)
+        assert not root.is_ancestor_of(root)
+
+    def test_ancestry_requires_same_family(self):
+        a = NapletID.create("a", "h", stamp="240101120000")
+        b = NapletID.create("b", "h", stamp="240101120000")
+        assert not a.is_ancestor_of(b.next_clone())
+
+    def test_same_family(self):
+        a = NapletID.create("a", "h", stamp="240101120000")
+        assert a.same_family(a.next_clone())
+        b = NapletID.create("a", "h", stamp="240101120001")
+        assert not a.same_family(b)
+
+    def test_lineage_walks_to_root(self):
+        root = NapletID.create("a", "h", stamp="240101120000")
+        grand = root.next_clone().next_clone()
+        lineage = list(grand.lineage())
+        assert lineage[0] == grand
+        assert lineage[-1].is_original
+        assert len(lineage) == 3
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = NapletID.parse("x@h:240101120000:1.2")
+        b = NapletID.parse("x@h:240101120000:1.2")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != NapletID.parse("x@h:240101120000:1.3")
+
+    def test_not_equal_to_string(self):
+        nid = NapletID.parse("x@h:240101120000:0")
+        assert nid != "x@h:240101120000:0"
+
+    def test_usable_as_dict_key(self):
+        nid = NapletID.parse("x@h:240101120000:0")
+        table = {nid: "resident"}
+        assert table[NapletID.parse("x@h:240101120000:0")] == "resident"
+
+
+class TestPickling:
+    def test_roundtrip_preserves_identity(self):
+        nid = NapletID.parse("czxu@ece:010512172720:2.1")
+        copy = pickle.loads(pickle.dumps(nid))
+        assert copy == nid
+        assert str(copy) == str(nid)
+
+    def test_roundtrip_preserves_clone_counter(self):
+        nid = NapletID.create("a", "h", stamp="240101120000")
+        nid.next_clone()
+        nid.next_clone()
+        copy = pickle.loads(pickle.dumps(nid))
+        assert copy.next_clone().heritage == (0, 3)
+
+    def test_unpickled_id_can_clone(self):
+        nid = pickle.loads(pickle.dumps(NapletID.create("a", "h", stamp="240101120000")))
+        assert nid.next_clone().heritage == (0, 1)

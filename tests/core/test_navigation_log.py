@@ -1,0 +1,80 @@
+"""NavigationLog: arrival/departure history for post-analysis (paper §2.1)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.navigation_log import NavigationLog
+
+
+class TestVisits:
+    def test_arrival_then_departure(self):
+        log = NavigationLog()
+        log.record_arrival("naplet://s1", when=100.0)
+        rec = log.record_departure("naplet://s1", when=103.5)
+        assert rec.complete
+        assert rec.dwell == pytest.approx(3.5)
+
+    def test_current_server_tracks_open_visit(self):
+        log = NavigationLog()
+        assert log.current_server() is None
+        log.record_arrival("naplet://s1")
+        assert log.current_server() == "naplet://s1"
+        log.record_departure("naplet://s1")
+        assert log.current_server() is None
+
+    def test_departure_without_arrival_raises(self):
+        log = NavigationLog()
+        with pytest.raises(ValueError):
+            log.record_departure("naplet://s1")
+
+    def test_departure_closes_most_recent_open_visit(self):
+        log = NavigationLog()
+        log.record_arrival("naplet://s1", when=1.0)
+        log.record_departure("naplet://s1", when=2.0)
+        log.record_arrival("naplet://s1", when=5.0)  # revisit
+        rec = log.record_departure("naplet://s1", when=9.0)
+        assert rec.dwell == pytest.approx(4.0)
+        assert log.visits()[0].dwell == pytest.approx(1.0)
+
+    def test_servers_visited_keeps_order_and_repeats(self):
+        log = NavigationLog()
+        for server in ("a", "b", "a"):
+            log.record_arrival(server)
+            log.record_departure(server)
+        assert log.servers_visited() == ["a", "b", "a"]
+
+    def test_total_dwell_ignores_open_visits(self):
+        log = NavigationLog()
+        log.record_arrival("a", when=0.0)
+        log.record_departure("a", when=2.0)
+        log.record_arrival("b", when=3.0)  # still open
+        assert log.total_dwell() == pytest.approx(2.0)
+
+    def test_len_and_iter(self):
+        log = NavigationLog()
+        log.record_arrival("a")
+        log.record_arrival("b")  # overlapping open visits allowed in the log
+        assert len(log) == 2
+        assert [r.server_urn for r in log] == ["a", "b"]
+
+    def test_dwell_none_while_open(self):
+        log = NavigationLog()
+        rec = log.record_arrival("a")
+        assert rec.dwell is None
+        assert not rec.complete
+
+
+class TestPickling:
+    def test_roundtrip(self):
+        log = NavigationLog()
+        log.record_arrival("a", when=0.0)
+        log.record_departure("a", when=1.0)
+        log.record_arrival("b", when=2.0)
+        copy = pickle.loads(pickle.dumps(log))
+        assert copy.servers_visited() == ["a", "b"]
+        assert copy.current_server() == "b"
+        copy.record_departure("b", when=4.0)  # usable after restore
+        assert copy.total_dwell() == pytest.approx(3.0)

@@ -1,0 +1,134 @@
+"""NapletState: protection modes and the server-access matrix (paper §2.1)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.errors import StateAccessError
+from repro.core.state import AccessMode, NapletState, ProtectedNapletState
+
+
+@pytest.fixture
+def state():
+    return NapletState()
+
+
+class TestNapletSideAccess:
+    def test_set_get_roundtrip(self, state):
+        state.set("k", 42)
+        assert state.get("k") == 42
+
+    def test_get_default(self, state):
+        assert state.get("absent") is None
+        assert state.get("absent", "dflt") == "dflt"
+
+    def test_default_mode_is_private(self, state):
+        state.set("secret", 1)
+        assert state.mode_of("secret") is AccessMode.PRIVATE
+
+    def test_update_keeps_mode(self, state):
+        state.set("k", 1, mode=AccessMode.PUBLIC)
+        state.update("k", 2)
+        assert state.get("k") == 2
+        assert state.mode_of("k") is AccessMode.PUBLIC
+
+    def test_update_missing_raises(self, state):
+        with pytest.raises(KeyError):
+            state.update("absent", 1)
+
+    def test_delete(self, state):
+        state.set("k", 1)
+        state.delete("k")
+        assert "k" not in state
+
+    def test_container_protocol(self, state):
+        state.set("a", 1)
+        state.set("b", 2)
+        assert len(state) == 2
+        assert set(state) == {"a", "b"}
+        assert "a" in state
+
+    def test_overwrite_replaces_mode(self, state):
+        state.set("k", 1, mode=AccessMode.PUBLIC)
+        state.set("k", 2)  # back to default (private)
+        assert state.mode_of("k") is AccessMode.PRIVATE
+
+
+class TestModeValidation:
+    def test_protected_requires_servers(self, state):
+        with pytest.raises(ValueError):
+            state.set("k", 1, mode=AccessMode.PROTECTED)
+
+    def test_servers_only_for_protected(self, state):
+        with pytest.raises(ValueError):
+            state.set("k", 1, mode=AccessMode.PUBLIC, allowed_servers={"s1"})
+
+
+class TestServerSideAccess:
+    def test_public_readable_by_any_server(self, state):
+        state.set("k", "data", mode=AccessMode.PUBLIC)
+        assert state.server_get("k", "anyserver") == "data"
+
+    def test_private_denied_to_servers(self, state):
+        state.set("k", "secret", mode=AccessMode.PRIVATE)
+        with pytest.raises(StateAccessError):
+            state.server_get("k", "server1")
+
+    def test_protected_allows_named_servers_only(self, state):
+        state.set("k", 1, mode=AccessMode.PROTECTED, allowed_servers={"trusted"})
+        assert state.server_get("k", "trusted") == 1
+        with pytest.raises(StateAccessError):
+            state.server_get("k", "stranger")
+
+    def test_server_set_updates_protected_entry(self, state):
+        """The paper: a server can update a returning naplet with new info."""
+        state.set("prices", {"old": 1}, mode=AccessMode.PROTECTED, allowed_servers={"shop"})
+        state.server_set("prices", {"new": 2}, "shop")
+        assert state.get("prices") == {"new": 2}
+
+    def test_server_set_denied_for_private(self, state):
+        state.set("k", 1)
+        with pytest.raises(StateAccessError):
+            state.server_set("k", 2, "server1")
+
+    def test_server_get_missing_key_raises_keyerror(self, state):
+        with pytest.raises(KeyError):
+            state.server_get("absent", "server1")
+
+    def test_visible_to_filters_by_mode(self, state):
+        state.set("private", 1)
+        state.set("public", 2, mode=AccessMode.PUBLIC)
+        state.set("protected", 3, mode=AccessMode.PROTECTED, allowed_servers={"s1"})
+        assert state.visible_to("s1") == {"public": 2, "protected": 3}
+        assert state.visible_to("other") == {"public": 2}
+
+
+class TestPickling:
+    def test_roundtrip_preserves_entries_and_modes(self, state):
+        state.set("a", [1, 2], mode=AccessMode.PUBLIC)
+        state.set("b", "x", mode=AccessMode.PROTECTED, allowed_servers={"s"})
+        copy = pickle.loads(pickle.dumps(state))
+        assert copy.get("a") == [1, 2]
+        assert copy.mode_of("b") is AccessMode.PROTECTED
+        assert copy.server_get("b", "s") == "x"
+
+    def test_roundtrip_preserves_default_mode(self):
+        protected = ProtectedNapletState()
+        copy = pickle.loads(pickle.dumps(protected))
+        copy.set("k", 1)
+        assert copy.mode_of("k") is AccessMode.PUBLIC
+
+
+class TestProtectedNapletState:
+    def test_defaults_to_public(self):
+        state = ProtectedNapletState()
+        state.set("DeviceStatus", {})
+        assert state.mode_of("DeviceStatus") is AccessMode.PUBLIC
+
+    def test_explicit_private_still_possible(self):
+        state = ProtectedNapletState()
+        state.set("secret", 1, mode=AccessMode.PRIVATE)
+        with pytest.raises(StateAccessError):
+            state.server_get("secret", "s")

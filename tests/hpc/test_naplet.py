@@ -1,0 +1,95 @@
+"""Compute naplets: parallel pi and data-local aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.hpc import (
+    DATASTORE_SERVICE,
+    MATH_SERVICE,
+    DataStore,
+    MathService,
+    MonteCarloPiNaplet,
+    ShardAggregateNaplet,
+    combine_mean_reports,
+    combine_pi_reports,
+)
+from repro.simnet import full_mesh
+
+
+@pytest.fixture
+def compute_space(space):
+    network, servers = space(full_mesh(4, prefix="n"))
+    rng = np.random.default_rng(11)
+    shards = {}
+    for hostname, server in servers.items():
+        server.register_open_service(MATH_SERVICE, MathService())
+        store = DataStore()
+        shard = rng.normal(5.0, 1.0, size=2_000)
+        shards[hostname] = shard
+        store.put("vals", shard)
+        server.register_open_service(DATASTORE_SERVICE, store)
+    return network, servers, shards
+
+
+class TestMonteCarloPi:
+    def test_parallel_estimate(self, compute_space):
+        network, servers, _ = compute_space
+        workers = [h for h in sorted(servers) if h != "n00"]
+        listener = repro.NapletListener()
+        agent = MonteCarloPiNaplet("pi", workers, samples_per_host=50_000)
+        servers["n00"].launch(agent, owner="hpc", listener=listener)
+        estimate = combine_pi_reports(listener, expected=len(workers))
+        assert abs(estimate - np.pi) < 0.05
+        for server in servers.values():
+            assert server.wait_idle(5)
+
+    def test_children_draw_distinct_streams(self, compute_space):
+        _network, servers, _ = compute_space
+        workers = [h for h in sorted(servers) if h != "n00"]
+        listener = repro.NapletListener()
+        agent = MonteCarloPiNaplet("pi2", workers, samples_per_host=10_000)
+        servers["n00"].launch(agent, owner="hpc", listener=listener)
+        reports = listener.reports(len(workers), timeout=15)
+        counts = [e.payload["inside"] for e in reports]
+        assert len(set(counts)) > 1  # not all identical
+
+    def test_combine_requires_samples(self):
+        from repro.core.listener import ReportEnvelope
+
+        listener = repro.NapletListener()
+        listener.deliver(ReportEnvelope("k", "r", {"inside": 0, "samples": 0}))
+        with pytest.raises(ValueError):
+            combine_pi_reports(listener, expected=1)
+
+
+class TestShardAggregate:
+    @pytest.mark.parametrize("mode,expected_reports", [("seq", 1), ("par", 3)])
+    def test_global_mean_exact(self, compute_space, mode, expected_reports):
+        _network, servers, shards = compute_space
+        workers = [h for h in sorted(servers) if h != "n00"]
+        listener = repro.NapletListener()
+        agent = ShardAggregateNaplet(f"mean-{mode}", workers, shard_key="vals", mode=mode)
+        servers["n00"].launch(agent, owner="hpc", listener=listener)
+        envelopes = listener.reports(expected_reports, timeout=15)
+        estimate = combine_mean_reports(envelopes)
+        truth = float(np.concatenate([shards[w] for w in workers]).mean())
+        assert estimate == pytest.approx(truth)
+        for server in servers.values():
+            assert server.wait_idle(5)
+
+    def test_missing_shard_tolerated(self, compute_space):
+        _network, servers, shards = compute_space
+        workers = [h for h in sorted(servers) if h != "n00"]
+        listener = repro.NapletListener()
+        agent = ShardAggregateNaplet("mean-miss", workers, shard_key="other", mode="seq")
+        servers["n00"].launch(agent, owner="hpc", listener=listener)
+        envelopes = listener.reports(1, timeout=15)
+        with pytest.raises(ValueError):
+            combine_mean_reports(envelopes)  # nothing aggregated
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            ShardAggregateNaplet("x", ["a"], shard_key="k", mode="diagonal")

@@ -1,0 +1,66 @@
+"""HPC stationary services: MathService and DataStore."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hpc.service import DataStore, MathService
+
+
+class TestMathService:
+    def test_rng_deterministic(self):
+        service = MathService()
+        assert service.rng(5).random() == service.rng(5).random()
+
+    def test_monte_carlo_inside_bounds(self):
+        service = MathService()
+        inside = service.monte_carlo_inside(10_000, seed=3)
+        assert 0 < inside < 10_000
+        # pi/4 of uniform points land inside the quarter circle
+        assert abs(inside / 10_000 - np.pi / 4) < 0.05
+
+    def test_monte_carlo_deterministic(self):
+        service = MathService()
+        assert service.monte_carlo_inside(1000, 9) == service.monte_carlo_inside(1000, 9)
+
+    def test_matmul(self):
+        service = MathService()
+        result = service.matmul([[1, 2], [3, 4]], [[1, 0], [0, 1]])
+        assert np.array_equal(result, [[1, 2], [3, 4]])
+
+    def test_solve(self):
+        service = MathService()
+        x = service.solve([[2.0, 0.0], [0.0, 4.0]], [2.0, 8.0])
+        assert np.allclose(x, [1.0, 2.0])
+
+    def test_statistics(self):
+        service = MathService()
+        assert service.mean([1, 2, 3]) == pytest.approx(2.0)
+        assert service.quantile([1, 2, 3, 4], 0.5) == pytest.approx(2.5)
+
+
+class TestDataStore:
+    def test_put_get(self):
+        store = DataStore()
+        store.put("shard", [1.0, 2.0])
+        assert np.array_equal(store.get("shard"), [1.0, 2.0])
+        assert store.has("shard")
+        assert not store.has("absent")
+        assert store.keys() == ["shard"]
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyError):
+            DataStore().get("ghost")
+
+    def test_partial_sum(self):
+        store = DataStore()
+        store.put("s", [1.0, 2.0, 3.0])
+        total, count = store.partial_sum("s")
+        assert total == pytest.approx(6.0)
+        assert count == 3
+
+    def test_partial_minmax(self):
+        store = DataStore()
+        store.put("s", [4.0, -1.0, 9.0])
+        assert store.partial_minmax("s") == (-1.0, 9.0)

@@ -1,0 +1,22 @@
+"""Shippable agent fixture — imports restricted-loader-safe modules only."""
+
+from __future__ import annotations
+
+from repro.core.naplet import Naplet
+
+
+class RoamingProbe(Naplet):
+    """Collects hostnames under 'hops'; doubles a shipped payload if present."""
+
+    def __init__(self, name, **kwargs):
+        kwargs.setdefault("codebase", "codebase://tests/probe")
+        super().__init__(name, **kwargs)
+
+    def on_start(self):
+        context = self.require_context()
+        hops = (self.state.get("hops") or []) + [context.hostname]
+        self.state.set("hops", hops)
+        payload = self.state.get("payload")
+        if payload is not None:
+            self.state.set("doubled", payload.doubled())
+        self.travel()

@@ -1,0 +1,59 @@
+"""Admission policies: global and per-owner resident caps."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.errors import NapletMigrationError
+from repro.itinerary import Itinerary, seq
+from repro.server import ServerConfig
+from repro.simnet import line
+from repro.util.concurrency import wait_until
+from tests.conftest import StallNaplet
+
+
+def _park_agent(servers, name: str, owner: str):
+    agent = StallNaplet(name, spin_seconds=30.0)
+    agent.set_itinerary(Itinerary(seq("s01")))
+    return servers["s00"].launch(agent, owner=owner)
+
+
+class TestPerOwnerCap:
+    def test_owner_cap_blocks_third_agent(self, space):
+        config = ServerConfig(max_residents_per_owner=2)
+        _network, servers = space(line(2, prefix="s"), config=config)
+        first = _park_agent(servers, "a1", "alice")
+        second = _park_agent(servers, "a2", "alice")
+        assert wait_until(lambda: servers["s01"].manager.resident_count == 2)
+        with pytest.raises(NapletMigrationError, match="at capacity"):
+            _park_agent(servers, "a3", "alice")
+        # a different owner still gets in
+        third = _park_agent(servers, "b1", "bob")
+        assert wait_until(lambda: servers["s01"].manager.resident_count == 3)
+        for nid in (first, second, third):
+            servers["s00"].terminate_naplet(nid)
+        assert servers["s01"].wait_idle(10)
+
+    def test_cap_frees_up_after_departure(self, space):
+        config = ServerConfig(max_residents_per_owner=1)
+        _network, servers = space(line(2, prefix="s"), config=config)
+        first = _park_agent(servers, "a1", "alice")
+        assert wait_until(lambda: servers["s01"].manager.resident_count == 1)
+        with pytest.raises(NapletMigrationError):
+            _park_agent(servers, "a2", "alice")
+        servers["s00"].terminate_naplet(first)
+        assert servers["s01"].wait_idle(10)
+        # slot is free again
+        second = _park_agent(servers, "a3", "alice")
+        assert wait_until(lambda: servers["s01"].manager.resident_count == 1)
+        servers["s00"].terminate_naplet(second)
+
+    def test_global_cap_interacts_with_owner_cap(self, space):
+        config = ServerConfig(max_residents=1, max_residents_per_owner=5)
+        _network, servers = space(line(2, prefix="s"), config=config)
+        first = _park_agent(servers, "a1", "alice")
+        assert wait_until(lambda: servers["s01"].manager.resident_count == 1)
+        with pytest.raises(NapletMigrationError, match="server full"):
+            _park_agent(servers, "b1", "bob")
+        servers["s00"].terminate_naplet(first)

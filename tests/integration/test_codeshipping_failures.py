@@ -1,0 +1,102 @@
+"""Failure injection on the lazy-loading path.
+
+A naplet whose codebase is *not* in the registry cannot be reconstructed at
+the destination: the transfer must be rejected cleanly, the source must
+roll back (the agent keeps running / retires there), and the space must
+stay healthy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.codeshipping.codebase import SHIPPING_STAMP
+from repro.core.errors import NapletMigrationError
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.server import ServerConfig, deploy
+from repro.simnet import VirtualNetwork, line
+from tests.integration.shipped_agent import RoamingProbe
+
+
+@pytest.fixture
+def broken_registry_space():
+    """A space whose servers have never heard of the probe's codebase."""
+    network = VirtualNetwork(line(3, prefix="srv"))
+    servers = deploy(network, config=ServerConfig(codebase_host="srv00"))
+    # Stamp the class as shipped WITHOUT registering the bundle anywhere.
+    RoamingProbe.__dict__  # ensure class loaded
+    setattr(
+        RoamingProbe, SHIPPING_STAMP,
+        ("codebase://ghost/unregistered", RoamingProbe.__module__, "RoamingProbe"),
+    )
+    yield network, servers
+    # un-stamp so other tests see the class fresh
+    if SHIPPING_STAMP in RoamingProbe.__dict__:
+        delattr(RoamingProbe, SHIPPING_STAMP)
+    network.shutdown()
+
+
+class TestMissingCodebase:
+    def test_launch_fails_cleanly(self, broken_registry_space):
+        network, servers = broken_registry_space
+        agent = RoamingProbe("ghost-probe")
+        agent.set_itinerary(Itinerary(SeqPattern.of_servers(["srv01"])))
+        with pytest.raises(NapletMigrationError, match="deserialization failed"):
+            servers["srv00"].launch(agent, owner="ship")
+        # destination never admitted anything
+        assert servers["srv01"].monitor.admitted == 0
+        assert servers["srv01"].manager.resident_count == 0
+
+    def test_space_still_serves_registered_codebases(self, broken_registry_space):
+        network, servers = broken_registry_space
+        # now register the bundle properly: the same class ships fine
+        codebase = network.code_registry.create("codebase://tests/probe")
+        codebase.add_class(RoamingProbe)  # re-stamps with the real codebase
+        listener = repro.NapletListener()
+        agent = RoamingProbe("healed-probe")
+        agent.set_itinerary(
+            Itinerary(SeqPattern.of_servers(["srv01"], post_action=ResultReport("hops")))
+        )
+        servers["srv00"].launch(agent, owner="ship", listener=listener)
+        assert listener.next_report(timeout=15).payload == ["srv01"]
+
+
+class Inquirer(repro.Naplet):
+    """Posts one message, then inquires its kept receipt (§4.2)."""
+
+    def __init__(self, name, peer, **kw):
+        super().__init__(name, **kw)
+        self.peer = peer
+
+    def on_start(self):
+        context = self.require_context()
+        receipt = context.messenger.post_message(None, self.peer, "hi")
+        kept = context.messenger.inquire(receipt.message_id)
+        self.state.set("inquiry", kept.status if kept else None)
+        self.travel()
+
+
+class TestReceiptInquiry:
+    def test_agent_can_inquire_its_own_receipts(self, space):
+        """§4.2: confirmations kept for inquiry by the sending naplet."""
+        from repro.simnet import star
+        from repro.util.concurrency import wait_until
+        from tests.conftest import StallNaplet
+
+        network, servers = space(star(2))
+        target = StallNaplet("receiver", spin_seconds=30.0)
+        from repro.itinerary import seq
+
+        target.set_itinerary(Itinerary(seq("dev01")))
+        target_id = servers["station"].launch(target, owner="ops")
+        assert wait_until(lambda: servers["dev01"].manager.is_resident(target_id))
+
+        listener = repro.NapletListener()
+        agent = Inquirer("inquirer", target_id)
+        agent.set_itinerary(
+            Itinerary(SeqPattern.of_servers(["dev00"], post_action=ResultReport("inquiry")))
+        )
+        servers["station"].launch(agent, owner="ops", listener=listener)
+        assert listener.next_report(timeout=15).payload == "delivered"
+        servers["station"].terminate_naplet(target_id)

@@ -1,0 +1,109 @@
+"""MAN write path: a configuration naplet performing SNMP sets (§6).
+
+The paper's motivation mentions "fine-grained get and set operations for
+MIB parameters" — this covers the *set* side through the mobile-agent
+path: a ConfigNaplet tours the devices and rewrites sysContact/sysLocation
+through a read-write NetManagement service, something the default
+read-only service must refuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.man import SERVICE_NAME, ManFramework, net_management_factory
+from repro.snmp.mib import WELL_KNOWN_NAMES
+
+RW_SERVICE = "serviceImpl.NetManagementRW"
+
+
+class ConfigNaplet(repro.Naplet):
+    """Applies a {oid: value} configuration at every device."""
+
+    def __init__(self, name, settings, service=RW_SERVICE, **kwargs):
+        super().__init__(name, **kwargs)
+        self.settings = settings
+        self.service = service
+
+    def on_start(self):
+        context = self.require_context()
+        channel = context.service_channel(self.service)
+        results = dict(self.state.get("results") or {})
+        per_device = {}
+        for oid, value in self.settings.items():
+            channel.get_naplet_writer().write(("set", oid, value))
+            per_device[oid] = channel.get_naplet_reader().read()
+        results[context.hostname] = per_device
+        self.state.set("results", results)
+        self.travel()
+
+
+@pytest.fixture
+def man():
+    framework = ManFramework(n_devices=3, device_seed=21)
+    # install a read-write variant of the privileged service on each device
+    for hostname, server in framework.servers.items():
+        if hostname == framework.station_host:
+            continue
+        server.register_privileged_service(
+            RW_SERVICE, net_management_factory(framework.agents[hostname], community="private")
+        )
+    yield framework
+    framework.shutdown()
+
+
+class TestConfigurationNaplet:
+    def test_set_applies_on_every_device(self, man):
+        listener = repro.NapletListener()
+        agent = ConfigNaplet(
+            "configurator",
+            settings={WELL_KNOWN_NAMES["sysContact"]: "noc@example.net"},
+        )
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(man.device_hosts, post_action=ResultReport("results"))
+            )
+        )
+        man.station_server.launch(agent, owner="noc", listener=listener)
+        report = listener.next_report(timeout=15)
+        for host in man.device_hosts:
+            assert report.payload[host][WELL_KNOWN_NAMES["sysContact"]]["ok"] is True
+            assert man.devices[host].get_field("sysContact") == "noc@example.net"
+
+    def test_read_only_service_refuses_set(self, man):
+        listener = repro.NapletListener()
+        agent = ConfigNaplet(
+            "rogue",
+            settings={WELL_KNOWN_NAMES["sysName"]: "pwned"},
+            service=SERVICE_NAME,  # the default read-only community
+        )
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(man.device_hosts[:1], post_action=ResultReport("results"))
+            )
+        )
+        man.station_server.launch(agent, owner="noc", listener=listener)
+        report = listener.next_report(timeout=15)
+        host = man.device_hosts[0]
+        assert report.payload[host][WELL_KNOWN_NAMES["sysName"]]["ok"] is False
+        assert man.devices[host].get_field("sysName") == host  # unchanged
+
+    def test_cross_check_with_station_poll(self, man):
+        """After agent-side configuration, the CNMP poll sees the new value."""
+        listener = repro.NapletListener()
+        agent = ConfigNaplet(
+            "configurator",
+            settings={WELL_KNOWN_NAMES["sysLocation"]: "rack B-12"},
+        )
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(man.device_hosts, post_action=ResultReport("results"))
+            )
+        )
+        man.station_server.launch(agent, owner="noc", listener=listener)
+        listener.next_report(timeout=15)
+        polled = man.collect_with_station(["sysLocation"])
+        for values in polled.values():
+            assert values["sysLocation"] == "rack B-12"

@@ -1,0 +1,158 @@
+"""The paper's worked examples, reproduced end-to-end.
+
+§3 Example 1 — single-agent information collection over s1..sn, results
+reported back after the last visit.
+§3 Example 2 — the same application with one agent per server in parallel,
+each reporting home directly, plus the DataComm collective.
+§3 Example 3 — four servers visited as par(seq(s0,s1), seq(s2,s3)).
+§6           — the NMNaplet/NetManagement listing (broadcast itinerary over
+managed devices, results in a protected DeviceStatus space).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.itinerary import (
+    ChainOperable,
+    DataComm,
+    Itinerary,
+    JoinPolicy,
+    ParPattern,
+    ResultReport,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.man import ManFramework
+from repro.simnet import full_mesh
+from tests.conftest import CollectorNaplet
+
+
+class InfoCollector(CollectorNaplet):
+    """The examples' information-gathering agent: one 'measurement' per stop."""
+
+    def on_start(self):
+        context = self.require_context()
+        gathered = dict(self.state.get("gathered_info") or {})
+        gathered[context.hostname] = f"workload@{context.hostname}"
+        self.state.set("gathered_info", gathered)
+        self.state.set("message", f"result-of-{context.hostname}")
+        self.travel()
+
+
+@pytest.fixture
+def mesh(space):
+    return space(full_mesh(5, prefix="s"))
+
+
+class TestExample1SequentialCollection:
+    def test_single_agent_reports_after_last_visit(self, mesh):
+        _network, servers = mesh
+        servers_to_visit = ["s01", "s02", "s03", "s04"]
+        listener = repro.NapletListener()
+        agent = InfoCollector("ex1")
+        # the paper: new SeqPattern(servers, act) with act = ResultReport
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(
+                    servers_to_visit, post_action=ResultReport("gathered_info")
+                )
+            )
+        )
+        servers["s00"].launch(agent, owner="czxu", listener=listener)
+        report = listener.next_report(timeout=15)
+        assert sorted(report.payload) == servers_to_visit
+        # exactly ONE report: results come back after the last visit only
+        assert listener.try_next() is None
+
+
+class TestExample2ParallelCollection:
+    def test_one_agent_per_server_reports_directly(self, mesh):
+        _network, servers = mesh
+        targets = ["s01", "s02", "s03", "s04"]
+        listener = repro.NapletListener()
+        agent = InfoCollector("ex2")
+        # the paper: SingletonItinerary(server, act) per server, wrapped in
+        # a ParPattern
+        branches = [
+            SingletonPattern.to(server, post_action=ResultReport("gathered_info"))
+            for server in targets
+        ]
+        agent.set_itinerary(Itinerary(ParPattern(branches)))
+        servers["s00"].launch(agent, owner="czxu", listener=listener)
+        reports = listener.reports(len(targets), timeout=20)
+        covered = sorted(host for r in reports for host in r.payload)
+        assert covered == targets
+
+    def test_datacomm_synchronises_the_agents(self, mesh):
+        """The paper's generic collective-communication operator."""
+        _network, servers = mesh
+        targets = ["s01", "s02", "s03"]
+        listener = repro.NapletListener()
+        agent = InfoCollector("ex2-sync")
+        action = ChainOperable(
+            (DataComm(message_key="message", gather_key="gathered", timeout=20.0),
+             ResultReport("gathered"))
+        )
+        agent.set_itinerary(
+            Itinerary(ParPattern.of_servers(targets, per_branch_action=action))
+        )
+        servers["s00"].launch(agent, owner="czxu", listener=listener)
+        reports = listener.reports(len(targets), timeout=30)
+        for envelope in reports:
+            bodies = sorted(m.body for m in envelope.payload)
+            assert len(bodies) == len(targets) - 1
+            assert all(b.startswith("result-of-s") for b in bodies)
+
+
+class TestExample3ParOfSeq:
+    def test_two_naplets_cover_two_paths(self, mesh):
+        _network, servers = mesh
+        listener = repro.NapletListener()
+        agent = InfoCollector("ex3")
+        # the paper: par(seq(s0, s1), seq(s2, s3))
+        path0 = SeqPattern.of_servers(
+            ["s01", "s02"], post_action=ResultReport("gathered_info")
+        )
+        path1 = SeqPattern.of_servers(
+            ["s03", "s04"], post_action=ResultReport("gathered_info")
+        )
+        agent.set_itinerary(Itinerary(ParPattern([path0, path1])))
+        nid = servers["s00"].launch(agent, owner="czxu", listener=listener)
+        reports = listener.reports(2, timeout=20)
+        payloads = sorted(sorted(r.payload) for r in reports)
+        assert payloads == [["s01", "s02"], ["s03", "s04"]]
+        # one naplet and its clone (heritage child) did the work
+        reporters = sorted(str(r.reporter) for r in reports)
+        assert reporters == [str(nid), f"{nid}.1"]
+
+
+class TestSection6Listing:
+    def test_nm_naplet_matches_the_listing(self):
+        """NMNaplet: protected DeviceStatus space, broadcast itinerary,
+        parameters passed through the NetManagement channel."""
+        framework = ManFramework(n_devices=3, device_seed=77)
+        try:
+            table = framework.collect_with_naplets(
+                ["sysName", "sysUpTime"], mode="par"
+            )
+            assert set(table) == set(framework.device_hosts)
+            for host, values in table.items():
+                assert values["sysName"] == host
+                assert values["sysUpTime"] >= 0
+        finally:
+            framework.shutdown()
+
+    def test_device_status_space_is_server_visible(self):
+        """The listing stores results in a ProtectedNapletState: servers in
+        the itinerary may read it (our PUBLIC-to-servers default)."""
+        from repro.core.state import ProtectedNapletState
+        from repro.man import NMNaplet
+
+        agent = NMNaplet("probe", servers=["d1"], parameters="sysName")
+        assert isinstance(agent.state, ProtectedNapletState)
+        agent.state.update("DeviceStatus", {"d1": {"sysName": "d1"}})
+        assert agent.state.server_get("DeviceStatus", "anyserver") == {
+            "d1": {"sysName": "d1"}
+        }

@@ -1,0 +1,96 @@
+"""Resource quotas enforced on travelling naplets (paper §5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.itinerary import Itinerary, ResultReport, SeqPattern, seq
+from repro.server import NapletOutcome, ResourceQuota, ServerConfig
+from repro.simnet import line
+from repro.util.concurrency import wait_until
+from tests.conftest import CollectorNaplet, StallNaplet
+
+
+class GreedyNaplet(repro.Naplet):
+    """Burns CPU at its first stop (checkpointing cooperatively)."""
+
+    def on_start(self):
+        total = 0
+        while True:
+            for i in range(5000):
+                total += i * i
+            self.checkpoint()
+
+
+class Spammer(repro.Naplet):
+    """Posts messages to its victim in a loop (for message-quota tests)."""
+
+    def __init__(self, name, victim, **kw):
+        super().__init__(name, **kw)
+        self.victim = victim
+
+    def on_start(self):
+        context = self.require_context()
+        while True:
+            context.messenger.post_message(None, self.victim, "spam")
+            self.checkpoint()
+
+
+class TestQuotaEnforcement:
+    def test_cpu_quota_retires_greedy_agent(self, space):
+        config = ServerConfig(default_quota=ResourceQuota(cpu_seconds=0.05))
+        _network, servers = space(line(2, prefix="s"), config=config)
+        agent = GreedyNaplet("greedy")
+        agent.set_itinerary(Itinerary(seq("s01")))
+        nid = servers["s00"].launch(agent, owner="ops")
+        assert wait_until(
+            lambda: servers["s01"].monitor.outcomes.get(NapletOutcome.QUOTA, 0) == 1,
+            timeout=20,
+        )
+        footprint = servers["s01"].manager.footprint(nid)
+        assert footprint.outcome == NapletOutcome.QUOTA
+
+    def test_quota_policy_targets_specific_owners(self, space):
+        def policy(credential):
+            if credential.owner == "greedy-owner":
+                return ResourceQuota(cpu_seconds=0.05)
+            return None  # default (unlimited)
+
+        config = ServerConfig(quota_policy=policy)
+        _network, servers = space(line(2, prefix="s"), config=config)
+
+        limited = GreedyNaplet("limited")
+        limited.set_itinerary(Itinerary(seq("s01")))
+        servers["s00"].launch(limited, owner="greedy-owner")
+        assert wait_until(
+            lambda: servers["s01"].monitor.outcomes.get(NapletOutcome.QUOTA, 0) == 1,
+            timeout=20,
+        )
+
+        # a normal agent passes through the same server untouched
+        listener = repro.NapletListener()
+        normal = CollectorNaplet("normal")
+        normal.set_itinerary(
+            Itinerary(SeqPattern.of_servers(["s01"], post_action=ResultReport("visited")))
+        )
+        servers["s00"].launch(normal, owner="citizen", listener=listener)
+        assert listener.next_report(timeout=10).payload == ["s01"]
+
+    def test_message_quota_stops_spammer(self, space):
+        config = ServerConfig(default_quota=ResourceQuota(max_messages=5))
+        _network, servers = space(line(3, prefix="s"), config=config)
+
+        target = StallNaplet("target", spin_seconds=30.0)
+        target.set_itinerary(Itinerary(seq("s02")))
+        target_id = servers["s00"].launch(target, owner="ops")
+        assert wait_until(lambda: servers["s02"].manager.is_resident(target_id))
+
+        spammer = Spammer("spammer", target_id)
+        spammer.set_itinerary(Itinerary(seq("s01")))
+        servers["s00"].launch(spammer, owner="ops")
+        assert wait_until(
+            lambda: servers["s01"].monitor.outcomes.get(NapletOutcome.QUOTA, 0) == 1,
+            timeout=20,
+        )
+        servers["s00"].terminate_naplet(target_id)

@@ -1,0 +1,81 @@
+"""Trap-driven naplet dispatch: management by exception."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.man import ManFramework, ReactiveDispatcher
+from repro.snmp.trap import TrapSender, TrapType
+from repro.util.concurrency import wait_until
+
+
+@pytest.fixture
+def reactive_man():
+    framework = ManFramework(n_devices=3, device_seed=55)
+    dispatcher = ReactiveDispatcher(framework.station_server)
+    sink = dispatcher.sink_for(framework.network.transport, framework.station_host)
+    senders = {
+        hostname: TrapSender(framework.devices[hostname], framework.network.transport, sink.urn)
+        for hostname in framework.device_hosts
+    }
+    yield framework, dispatcher, sink, senders
+    sink.close()
+    framework.shutdown()
+
+
+class TestReactiveDispatch:
+    def test_link_down_trap_triggers_onsite_diagnosis(self, reactive_man):
+        framework, dispatcher, _sink, senders = reactive_man
+        victim = framework.device_hosts[1]
+        senders[victim].link_down(2)
+        report = dispatcher.listener.next_report(timeout=20)
+        diagnosis = report.payload
+        assert diagnosis["device"] == victim
+        assert diagnosis["interfaces_down"] == [2]
+        assert str(TrapType.LINK_DOWN) in diagnosis["trap"]
+        assert 0.0 <= diagnosis["cpu_load"] <= 1.0
+        assert dispatcher.dispatch_count == 1
+
+    def test_each_trap_dispatches_one_agent(self, reactive_man):
+        framework, dispatcher, _sink, senders = reactive_man
+        for hostname in framework.device_hosts:
+            senders[hostname].cpu_high()
+        reports = dispatcher.listener.reports(len(framework.device_hosts), timeout=30)
+        diagnosed = sorted(r.payload["device"] for r in reports)
+        assert diagnosed == framework.device_hosts
+        assert dispatcher.dispatch_count == len(framework.device_hosts)
+
+    def test_diagnosis_sees_healthy_interfaces_after_recovery(self, reactive_man):
+        framework, dispatcher, _sink, senders = reactive_man
+        victim = framework.device_hosts[0]
+        senders[victim].link_down(1)
+        first = dispatcher.listener.next_report(timeout=20)
+        assert first.payload["interfaces_down"] == [1]
+        senders[victim].link_up(1)
+        second = dispatcher.listener.next_report(timeout=20)
+        assert second.payload["interfaces_down"] == []
+
+    def test_custom_naplet_factory(self, reactive_man):
+        framework, _dispatcher, sink, senders = reactive_man
+        from repro.core.listener import NapletListener
+        from repro.itinerary import Itinerary, ResultReport, SeqPattern
+        from tests.conftest import CollectorNaplet
+
+        listener = NapletListener()
+
+        def factory(trap):
+            agent = CollectorNaplet(f"custom-{trap.source}")
+            agent.set_itinerary(
+                Itinerary(
+                    SeqPattern.of_servers([trap.source], post_action=ResultReport("visited"))
+                )
+            )
+            return agent
+
+        custom = ReactiveDispatcher(
+            framework.station_server, listener=listener, naplet_factory=factory
+        )
+        sink._callback = custom.handle_trap  # rewire the shared sink
+        senders[framework.device_hosts[2]].cold_start()
+        report = listener.next_report(timeout=20)
+        assert report.payload == [framework.device_hosts[2]]

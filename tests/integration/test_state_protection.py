@@ -1,0 +1,101 @@
+"""State protection modes exercised across a real journey (paper §2.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import AccessMode, StateAccessError
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.simnet import line
+from tests.conftest import CollectorNaplet
+
+
+class VendorDesk:
+    """Stationary service that inspects/updates a visiting naplet's state."""
+
+    def __init__(self, hostname: str) -> None:
+        self.hostname = hostname
+        self.denied_reads = 0
+        self.denied_writes = 0
+
+    def inspect(self, naplet: repro.Naplet) -> dict:
+        visible = naplet.state.visible_to(self.hostname)
+        try:
+            naplet.state.server_get("private_quotes", self.hostname)
+        except StateAccessError:
+            self.denied_reads += 1
+        try:
+            naplet.state.server_set(
+                "trusted_notes", f"note-from-{self.hostname}", self.hostname
+            )
+        except StateAccessError:
+            self.denied_writes += 1
+        return visible
+
+
+class AuditedNaplet(CollectorNaplet):
+    """Carries private, public and protected entries; visits vendor desks."""
+
+    def on_start(self):
+        context = self.require_context()
+        desk: VendorDesk = context.open_service("desk")
+        visible = desk.inspect(self)
+        log = dict(self.state.get("audit") or {})
+        log[context.hostname] = sorted(visible)
+        self.state.set("audit", log, mode=AccessMode.PRIVATE)
+        self.travel()
+
+
+@pytest.fixture
+def audited_space(space):
+    network, servers = space(line(4, prefix="s"))
+    desks = {}
+    for hostname, server in servers.items():
+        desk = VendorDesk(hostname)
+        desks[hostname] = desk
+        server.register_open_service("desk", desk)
+    return network, servers, desks
+
+
+class TestProtectionAcrossJourney:
+    def _launch(self, servers):
+        listener = repro.NapletListener()
+        agent = AuditedNaplet("audited")
+        agent.state.set("private_quotes", {"secret": 1}, mode=AccessMode.PRIVATE)
+        agent.state.set("public_banner", "hello", mode=AccessMode.PUBLIC)
+        agent.state.set(
+            "trusted_notes", None, mode=AccessMode.PROTECTED, allowed_servers={"s02"}
+        )
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(["s01", "s02", "s03"], post_action=ResultReport())
+            )
+        )
+        servers["s00"].launch(agent, owner="auditor", listener=listener)
+        return listener.next_report(timeout=15).payload
+
+    def test_private_entries_hidden_everywhere(self, audited_space):
+        _network, servers, desks = audited_space
+        payload = self._launch(servers)
+        # every visited desk tried and failed to read the private entry
+        assert desks["s01"].denied_reads == 1
+        assert desks["s02"].denied_reads == 1
+        assert desks["s03"].denied_reads == 1
+        for hostname, visible in payload["audit"].items():
+            assert "private_quotes" not in visible
+
+    def test_public_entries_visible_everywhere(self, audited_space):
+        _network, servers, _desks = audited_space
+        payload = self._launch(servers)
+        for visible in payload["audit"].values():
+            assert "public_banner" in visible
+
+    def test_protected_entry_writable_only_by_named_server(self, audited_space):
+        _network, servers, desks = audited_space
+        payload = self._launch(servers)
+        # s02 updated the returning naplet; s01/s03 were denied
+        assert payload["trusted_notes"] == "note-from-s02"
+        assert desks["s01"].denied_writes == 1
+        assert desks["s02"].denied_writes == 0
+        assert desks["s03"].denied_writes == 1

@@ -1,0 +1,102 @@
+"""Stress: many concurrent agents crossing the same space.
+
+These are race detectors, not benchmarks — lots of simultaneous
+migrations, forks and reports over shared servers, asserting nothing is
+lost and every server ends quiescent.
+"""
+
+from __future__ import annotations
+
+import queue
+
+import pytest
+
+import repro
+from repro.itinerary import Itinerary, ParPattern, ResultReport, SeqPattern
+from repro.server import SpaceAdmin
+from repro.simnet import full_mesh, star
+from tests.conftest import CollectorNaplet
+
+
+class TestMigrationStorm:
+    def test_twenty_agents_ten_hops_each(self, space):
+        network, servers = space(full_mesh(6, prefix="m"))
+        hosts = sorted(servers)
+        listener = repro.NapletListener()
+        n_agents = 20
+        for index in range(n_agents):
+            # every agent gets a different rotation of the hosts, 10 hops
+            rotation = [hosts[(index + k) % len(hosts)] for k in range(1, 11)]
+            agent = CollectorNaplet(f"storm-{index}")
+            agent.set_itinerary(
+                Itinerary(
+                    SeqPattern.of_servers(rotation, post_action=ResultReport("visited"))
+                )
+            )
+            servers[hosts[index % len(hosts)]].launch(
+                agent, owner=f"owner{index % 3}", listener=listener
+            )
+        reports = listener.reports(n_agents, timeout=60)
+        assert len(reports) == n_agents
+        for envelope in reports:
+            assert len(envelope.payload) == 10
+        admin = SpaceAdmin(servers)
+        assert admin.wait_space_idle(20)
+        # no naplet left a dangling channel or thread anywhere (departure
+        # cleanup on origin threads may lag the journey by a moment)
+        from repro.util.concurrency import wait_until
+
+        for server in servers.values():
+            assert server.resource_manager.active_channel_count == 0
+            assert wait_until(lambda s=server: s.monitor.active_count == 0, timeout=10)
+
+    def test_parallel_fan_out_storm(self, space):
+        network, servers = space(star(8))
+        devices = sorted(h for h in servers if h != "station")
+        listener = repro.NapletListener()
+        n_waves = 6
+        for wave in range(n_waves):
+            agent = CollectorNaplet(f"wave-{wave}")
+            agent.set_itinerary(
+                Itinerary(
+                    ParPattern.of_servers(devices, per_branch_action=ResultReport("visited"))
+                )
+            )
+            servers["station"].launch(agent, owner="storm", listener=listener)
+        expected = n_waves * len(devices)
+        reports = listener.reports(expected, timeout=60)
+        assert len(reports) == expected
+        visits: dict[str, int] = {}
+        for envelope in reports:
+            visits[envelope.payload[0]] = visits.get(envelope.payload[0], 0) + 1
+        assert all(count == n_waves for count in visits.values())
+        admin = SpaceAdmin(servers)
+        assert admin.wait_space_idle(20)
+
+    def test_interleaved_messaging_storm(self, space):
+        """Concurrent DataComm collectives across sibling groups."""
+        from repro.itinerary import ChainOperable, DataComm
+        from tests.integration.test_messaging import Exchanger
+
+        network, servers = space(full_mesh(5, prefix="m"))
+        hosts = sorted(servers)
+        listener = repro.NapletListener()
+        n_groups = 4
+        for group in range(n_groups):
+            agent = Exchanger(f"group-{group}")
+            action = ChainOperable(
+                (DataComm(message_key="message", gather_key="gathered", timeout=20.0),
+                 ResultReport("gathered"))
+            )
+            targets = [hosts[(group + k) % len(hosts)] for k in range(1, 4)]
+            agent.set_itinerary(
+                Itinerary(ParPattern.of_servers(targets, per_branch_action=action))
+            )
+            servers[hosts[group % len(hosts)]].launch(
+                agent, owner=f"grp{group}", listener=listener
+            )
+        reports = listener.reports(n_groups * 3, timeout=90)
+        for envelope in reports:
+            assert len(envelope.payload) == 2  # exactly the two siblings
+        admin = SpaceAdmin(servers)
+        assert admin.wait_space_idle(30)

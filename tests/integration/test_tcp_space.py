@@ -1,0 +1,75 @@
+"""A naplet space over real TCP sockets: the protocol works off-stack."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.codeshipping.codebase import CodeBaseRegistry
+from repro.core.credential import SigningAuthority
+from repro.itinerary import Itinerary, ParPattern, ResultReport, SeqPattern
+from repro.server import NapletServer, ServerConfig
+from repro.transport.tcp import TcpTransport
+from tests.conftest import CollectorNaplet
+
+
+@pytest.fixture
+def tcp_space():
+    transport = TcpTransport()
+    authority = SigningAuthority()
+    registry = CodeBaseRegistry()
+    servers = {
+        name: NapletServer(
+            hostname=name,
+            transport=transport,
+            authority=authority,
+            code_registry=registry,
+            config=ServerConfig(),
+        )
+        for name in ("t00", "t01", "t02")
+    }
+    yield servers
+    for server in servers.values():
+        server.shutdown()
+    transport.close()
+
+
+class TestTcpSpace:
+    def test_seq_tour_over_sockets(self, tcp_space):
+        listener = repro.NapletListener()
+        agent = CollectorNaplet("tcp-tour")
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(["t01", "t02"], post_action=ResultReport("visited"))
+            )
+        )
+        tcp_space["t00"].launch(agent, owner="alice", listener=listener)
+        report = listener.next_report(timeout=20)
+        assert report.payload == ["t01", "t02"]
+
+    def test_par_broadcast_over_sockets(self, tcp_space):
+        listener = repro.NapletListener()
+        agent = CollectorNaplet("tcp-bcast")
+        agent.set_itinerary(
+            Itinerary(
+                ParPattern.of_servers(["t01", "t02"], per_branch_action=ResultReport("visited"))
+            )
+        )
+        tcp_space["t00"].launch(agent, owner="alice", listener=listener)
+        reports = listener.reports(2, timeout=20)
+        assert sorted(r.payload[0] for r in reports) == ["t01", "t02"]
+
+    def test_messaging_over_sockets(self, tcp_space):
+        from repro.util.concurrency import wait_until
+        from tests.conftest import EchoNaplet
+
+        listener = repro.NapletListener()
+        agent = EchoNaplet("tcp-echo")
+        agent.set_itinerary(
+            Itinerary(SeqPattern.of_servers(["t01"], post_action=ResultReport("echo")))
+        )
+        nid = tcp_space["t00"].launch(agent, owner="alice", listener=listener)
+        assert wait_until(lambda: tcp_space["t01"].manager.is_resident(nid), timeout=10)
+        receipt = tcp_space["t00"].messenger.post(None, nid, {"over": "tcp"})
+        assert receipt.status == "delivered"
+        assert listener.next_report(timeout=20).payload == {"over": "tcp"}

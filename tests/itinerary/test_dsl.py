@@ -1,0 +1,97 @@
+"""Itinerary text DSL (extension): parsing and error reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ItineraryError
+from repro.itinerary.dsl import parse
+from repro.itinerary.pattern import (
+    AltPattern,
+    JoinPolicy,
+    ParPattern,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.itinerary.visit import StateFlagClear
+
+
+class TestShapes:
+    def test_bare_name_is_singleton(self):
+        pattern = parse("serverA")
+        assert isinstance(pattern, SingletonPattern)
+        assert pattern.servers() == ["serverA"]
+
+    def test_seq(self):
+        pattern = parse("seq(a, b, c)")
+        assert isinstance(pattern, SeqPattern)
+        assert pattern.servers() == ["a", "b", "c"]
+
+    def test_alt(self):
+        assert isinstance(parse("alt(a, b)"), AltPattern)
+
+    def test_par(self):
+        assert isinstance(parse("par(a, b)"), ParPattern)
+
+    def test_paper_example3_shape(self):
+        pattern = parse("par(seq(s0, s1), seq(s2, s3))")
+        assert isinstance(pattern, ParPattern)
+        assert [c.servers() for c in pattern.children] == [["s0", "s1"], ["s2", "s3"]]
+
+    def test_deep_nesting(self):
+        pattern = parse("seq(par(a, alt(b, c)), d)")
+        assert pattern.servers() == ["a", "b", "c", "d"]
+
+    def test_whitespace_insensitive(self):
+        assert parse("  seq( a ,b )  ").servers() == ["a", "b"]
+
+    def test_hostnames_with_punctuation(self):
+        pattern = parse("seq(ece.eng.wayne.edu, node-07, x_y)")
+        assert pattern.servers() == ["ece.eng.wayne.edu", "node-07", "x_y"]
+
+    def test_combinator_names_usable_as_hosts_without_paren(self):
+        # a bare name 'seq' not followed by '(' is just a server
+        assert parse("seq(par, alt)").servers() == ["par", "alt"]
+
+
+class TestGuardsAndJoin:
+    def test_question_mark_attaches_guard(self):
+        pattern = parse("seq(a, b?, c?)")
+        visits = list(pattern.visits())
+        assert not visits[0].conditional
+        assert visits[1].guard == StateFlagClear("done")
+        assert visits[2].guard == StateFlagClear("done")
+
+    def test_custom_guard_key(self):
+        pattern = parse("a?", guard_key="found")
+        visit = next(iter(pattern.visits()))
+        assert visit.guard == StateFlagClear("found")
+
+    def test_join_policy_applied_to_par(self):
+        pattern = parse("par(a, b)", join=JoinPolicy.JOIN)
+        assert pattern.join is JoinPolicy.JOIN
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "seq(",
+            "seq()",
+            "seq(a,)",
+            "seq(a b)",
+            "seq(a))",
+            ",a",
+            "(a)",
+            "a!!",
+            "?",
+        ],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(ItineraryError):
+            parse(bad)
+
+    def test_error_mentions_position(self):
+        with pytest.raises(ItineraryError, match="trailing"):
+            parse("seq(a) extra")

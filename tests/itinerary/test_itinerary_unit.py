@@ -1,0 +1,352 @@
+"""Itinerary driver: cursor semantics with a fake TravelOps.
+
+These tests execute whole journeys without any server: the FakeOps records
+dispatches, "runs" clones recursively, and raises NapletDeparted exactly
+like the real Navigator — so Seq ordering, guard skipping, Alt selection
+and backtracking, Par forking, and completion are all checked in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.credential import SigningAuthority
+from repro.core.errors import (
+    ItineraryError,
+    NapletCompleted,
+    NapletDeparted,
+    NapletMigrationError,
+)
+from repro.core.naplet_id import NapletID
+from repro.itinerary.itinerary import Itinerary
+from repro.itinerary.pattern import JoinPolicy, SeqPattern, alt, par, seq, singleton
+from repro.itinerary.visit import Never, StateFlagClear
+from tests.core.test_naplet import ProbeNaplet
+
+
+class FakeOps:
+    """TravelOps that executes journeys synchronously in-process."""
+
+    def __init__(self, origin: str = "naplet://home", unreachable: set[str] | None = None):
+        self._origin = origin
+        self.unreachable = unreachable or set()
+        self.dispatches: list[tuple[str, str]] = []  # (naplet_id, server)
+        self.spawned: list[str] = []
+        self.join_notes: list[tuple[str, str]] = []
+        self._authority = SigningAuthority()
+        self._authority.register_owner("t")
+
+    @property
+    def origin_urn(self) -> str:
+        return self._origin
+
+    def dispatch(self, naplet, destination):
+        if destination in self.unreachable:
+            raise NapletMigrationError(f"unreachable: {destination}")
+        self.dispatches.append((str(naplet.naplet_id), destination))
+        raise NapletDeparted(destination)
+
+    def spawn(self, parent, clone, destination):
+        if destination in self.unreachable:
+            raise NapletMigrationError(f"unreachable: {destination}")
+        self.spawned.append(str(clone.naplet_id))
+        self.dispatches.append((str(clone.naplet_id), destination))
+        # Simulate the clone's first visit (S then T), then run the rest of
+        # its journey to completion, like a space would.
+        visit = clone.itinerary.current_visit
+        if visit is not None and visit.post_action is not None:
+            visit.post_action.operate(clone)
+        run_journey(clone, self)
+
+    def issue_clone_credential(self, clone):
+        clone._cred = self._authority.issue(clone.naplet_id, clone.codebase)
+
+    def await_join(self, naplet, tokens, timeout):
+        # In this fake, join notices were recorded synchronously by clones.
+        noted = {token for token, _target in self.join_notes}
+        missing = set(tokens) - noted
+        assert not missing, f"join tokens never notified: {missing}"
+
+    def notify_join(self, naplet, target, token):
+        self.join_notes.append((token, str(target)))
+
+
+def make_agent(pattern, **itin_kwargs) -> ProbeNaplet:
+    agent = ProbeNaplet("unit")
+    auth = SigningAuthority()
+    auth.register_owner("t")
+    nid = NapletID.create("t", "home", stamp="240101120000")
+    agent._assign_identity(nid, auth.issue(nid, agent.codebase))
+    agent.set_itinerary(Itinerary(pattern, **itin_kwargs))
+    return agent
+
+
+def run_journey(agent, ops) -> list[str]:
+    """Drive step() to completion, simulating per-server business logic.
+
+    Every advance is recorded in ``ops.dispatches`` (as the real dispatch
+    path would) so clone and original movements can be asserted uniformly.
+    """
+    itinerary = agent.itinerary
+    visited: list[str] = []
+    while True:
+        destination = itinerary.step(agent, ops)
+        if destination is None:
+            return visited
+        visited.append(destination)
+        ops.dispatches.append((str(agent.naplet_id), destination))
+        # Simulate S at the server, then T (the post-action) as travel() would.
+        visit = itinerary.current_visit
+        if visit is not None and visit.post_action is not None:
+            visit.post_action.operate(agent)
+
+
+class TestSeqTraversal:
+    def test_visits_in_declared_order(self):
+        agent = make_agent(seq("a", "b", "c"))
+        ops = FakeOps()
+        assert run_journey(agent, ops) == ["a", "b", "c"]
+        assert agent.itinerary.completed
+
+    def test_nested_seq_flattens_in_order(self):
+        agent = make_agent(seq(seq("a", "b"), seq("c", seq("d"))))
+        assert run_journey(agent, FakeOps()) == ["a", "b", "c", "d"]
+
+    def test_guard_skips_mid_route(self):
+        pattern = SeqPattern(
+            [
+                singleton("a"),
+                singleton("b", guard=Never()),
+                singleton("c"),
+            ]
+        )
+        agent = make_agent(pattern)
+        assert run_journey(agent, FakeOps()) == ["a", "c"]
+
+    def test_sequential_search_stops_early(self):
+        """§3: conditional visits end the route once the search completes."""
+
+        class Searcher(ProbeNaplet):
+            pass
+
+        pattern = SeqPattern.of_servers(
+            ["s1", "s2", "s3", "s4"], guard=StateFlagClear("done")
+        )
+        agent = make_agent(pattern)
+
+        itinerary = agent.itinerary
+        ops = FakeOps()
+        visited = []
+        while True:
+            destination = itinerary.step(agent, ops)
+            if destination is None:
+                break
+            visited.append(destination)
+            if destination == "s2":  # found it here
+                agent.state.set("done", True)
+        assert visited == ["s1", "s2"]
+
+    def test_all_guards_false_completes_without_dispatch(self):
+        agent = make_agent(seq(singleton("a", guard=Never()), singleton("b", guard=Never())))
+        assert run_journey(agent, FakeOps()) == []
+        assert agent.itinerary.completed
+
+
+class TestAlt:
+    def test_picks_first_admitting_branch(self):
+        agent = make_agent(alt(singleton("a", guard=Never()), "b", "c"))
+        assert run_journey(agent, FakeOps()) == ["b"]
+
+    def test_alt_branch_runs_fully(self):
+        agent = make_agent(seq(alt(seq("a1", "a2"), "b"), "tail"))
+        assert run_journey(agent, FakeOps()) == ["a1", "a2", "tail"]
+
+    def test_no_admitting_branch_skips_alt(self):
+        agent = make_agent(seq(alt(singleton("a", guard=Never())), "tail"))
+        assert run_journey(agent, FakeOps()) == ["tail"]
+
+
+class TestParForking:
+    def test_original_takes_first_branch(self):
+        agent = make_agent(par("a", "b", "c"))
+        ops = FakeOps()
+        visited = run_journey(agent, ops)
+        assert visited == ["a"]
+        assert len(ops.spawned) == 2
+        # clones visited their branches
+        dispatched_servers = {server for _nid, server in ops.dispatches}
+        assert dispatched_servers == {"a", "b", "c"}
+
+    def test_clone_ids_extend_heritage(self):
+        agent = make_agent(par("a", "b", "c"))
+        ops = FakeOps()
+        run_journey(agent, ops)
+        assert ops.spawned == [
+            "t@home:240101120000:0.1",
+            "t@home:240101120000:0.2",
+        ]
+
+    def test_address_books_cross_wired(self):
+        agent = make_agent(par("a", "b"))
+        ops = FakeOps()
+        run_journey(agent, ops)
+        # original knows the clone
+        assert len(agent.address_book) == 1
+        entry = agent.address_book.entries()[0]
+        assert entry.server_urn == "naplet://home"
+
+    def test_terminate_policy_clones_stop_at_branch_end(self):
+        agent = make_agent(seq(par(seq("a1", "a2"), seq("b1", "b2")), "tail"))
+        ops = FakeOps()
+        visited = run_journey(agent, ops)
+        assert visited == ["a1", "a2", "tail"]
+        clone_moves = [s for nid, s in ops.dispatches if nid.endswith(":0.1")]
+        assert clone_moves == ["b1", "b2"]  # no 'tail' for the clone
+
+    def test_continue_all_policy_clones_run_continuation(self):
+        agent = make_agent(
+            seq(par("a", "b", join=JoinPolicy.CONTINUE_ALL), "tail")
+        )
+        ops = FakeOps()
+        visited = run_journey(agent, ops)
+        assert visited == ["a", "tail"]
+        clone_moves = [s for nid, s in ops.dispatches if nid.endswith(":0.1")]
+        assert clone_moves == ["b", "tail"]
+
+    def test_join_policy_waits_for_tokens(self):
+        agent = make_agent(
+            seq(par("a", "b", "c", join=JoinPolicy.JOIN), "tail")
+        )
+        ops = FakeOps()
+        visited = run_journey(agent, ops)
+        assert visited == ["a", "tail"]
+        # both clones notified the original
+        assert len(ops.join_notes) == 2
+        assert all(target == "t@home:240101120000:0" for _t, target in ops.join_notes)
+
+    def test_nested_par_on_original_branch_forks_second_clone(self):
+        agent = make_agent(par(par("a", "b"), "c"))
+        ops = FakeOps()
+        run_journey(agent, ops)
+        moves = dict((nid, server) for nid, server in ops.dispatches)
+        assert {server for server in moves.values()} == {"a", "b", "c"}
+        # the inner par belongs to the original, so its fork is clone :0.2
+        assert moves["t@home:240101120000:0"] == "a"
+        assert moves["t@home:240101120000:0.1"] == "c"
+        assert moves["t@home:240101120000:0.2"] == "b"
+
+    def test_nested_par_on_clone_branch_forks_grand_clone(self):
+        agent = make_agent(par("c", par("a", "b")))
+        ops = FakeOps()
+        run_journey(agent, ops)
+        moves = dict((nid, server) for nid, server in ops.dispatches)
+        assert moves["t@home:240101120000:0"] == "c"
+        assert moves["t@home:240101120000:0.1"] == "a"
+        assert moves["t@home:240101120000:0.1.1"] == "b"
+
+
+class TestTravelMethod:
+    def test_travel_raises_departed_on_dispatch(self):
+        agent = make_agent(seq("a", "b"))
+        ops = FakeOps()
+
+        class Ctx:
+            dispatcher = ops
+
+            def checkpoint(self):
+                pass
+
+        agent._bind_context(Ctx())  # type: ignore[arg-type]
+        with pytest.raises(NapletDeparted):
+            agent.travel()
+        assert ops.dispatches == [("t@home:240101120000:0", "a")]
+
+    def test_travel_raises_completed_at_end(self):
+        agent = make_agent(seq(singleton("a", guard=Never())))
+        ops = FakeOps()
+
+        class Ctx:
+            dispatcher = ops
+
+            def checkpoint(self):
+                pass
+
+        agent._bind_context(Ctx())  # type: ignore[arg-type]
+        with pytest.raises(NapletCompleted):
+            agent.travel()
+        assert agent.itinerary.completed
+
+    def test_travel_skip_policy_records_failures(self):
+        agent = make_agent(seq("bad", "good"), on_failure="skip")
+        ops = FakeOps(unreachable={"bad"})
+
+        class Ctx:
+            dispatcher = ops
+
+            def checkpoint(self):
+                pass
+
+        agent._bind_context(Ctx())  # type: ignore[arg-type]
+        with pytest.raises(NapletDeparted) as exc_info:
+            agent.travel()
+        assert exc_info.value.destination == "good"
+        assert [f.server for f in agent.itinerary.failures] == ["bad"]
+
+    def test_travel_abort_policy_raises(self):
+        agent = make_agent(seq("bad", "good"))
+        ops = FakeOps(unreachable={"bad"})
+
+        class Ctx:
+            dispatcher = ops
+
+            def checkpoint(self):
+                pass
+
+        agent._bind_context(Ctx())  # type: ignore[arg-type]
+        with pytest.raises(NapletMigrationError):
+            agent.travel()
+
+    def test_alt_backtracks_on_dispatch_failure(self):
+        agent = make_agent(alt("primary", "fallback"))
+        ops = FakeOps(unreachable={"primary"})
+
+        class Ctx:
+            dispatcher = ops
+
+            def checkpoint(self):
+                pass
+
+        agent._bind_context(Ctx())  # type: ignore[arg-type]
+        with pytest.raises(NapletDeparted) as exc_info:
+            agent.travel()
+        assert exc_info.value.destination == "fallback"
+
+
+class TestLifecycleErrors:
+    def test_cannot_replace_pattern_after_start(self):
+        agent = make_agent(seq("a"))
+        agent.itinerary.step(agent, FakeOps())
+        with pytest.raises(ItineraryError):
+            agent.itinerary.set_itinerary_pattern(seq("b"))
+
+    def test_pattern_required(self):
+        itinerary = Itinerary()
+        with pytest.raises(ItineraryError):
+            _ = itinerary.pattern
+
+    def test_invalid_on_failure_rejected(self):
+        with pytest.raises(ItineraryError):
+            Itinerary(seq("a"), on_failure="explode")
+
+    def test_first_destination_only_once(self):
+        agent = make_agent(seq("a"))
+        ops = FakeOps()
+        assert agent.itinerary.first_destination(agent, ops) == "a"
+        with pytest.raises(ItineraryError):
+            agent.itinerary.first_destination(agent, ops)
+
+    def test_step_after_completion_returns_none(self):
+        agent = make_agent(seq("a"))
+        ops = FakeOps()
+        run_journey(agent, ops)
+        assert agent.itinerary.step(agent, ops) is None

@@ -1,0 +1,71 @@
+"""launch_with(): the home-side travel loop (alt backtrack, skip, degenerate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NapletMigrationError
+from repro.itinerary.pattern import alt, seq, singleton
+from repro.itinerary.visit import Never
+from tests.itinerary.test_itinerary_unit import FakeOps, make_agent
+
+
+class RecordingTransfer:
+    def __init__(self, unreachable: set[str] | None = None):
+        self.sent: list[str] = []
+        self.unreachable = unreachable or set()
+
+    def __call__(self, destination: str) -> None:
+        if destination in self.unreachable:
+            raise NapletMigrationError(f"unreachable: {destination}")
+        self.sent.append(destination)
+
+
+class TestLaunchWith:
+    def test_transfers_to_first_visit(self):
+        agent = make_agent(seq("a", "b"))
+        transfer = RecordingTransfer()
+        assert agent.itinerary.launch_with(agent, FakeOps(), transfer) is True
+        assert transfer.sent == ["a"]
+
+    def test_degenerate_returns_false(self):
+        agent = make_agent(seq(singleton("a", guard=Never())))
+        transfer = RecordingTransfer()
+        assert agent.itinerary.launch_with(agent, FakeOps(), transfer) is False
+        assert transfer.sent == []
+        assert agent.itinerary.completed
+
+    def test_alt_backtracks_at_launch(self):
+        agent = make_agent(alt("primary", "mirror"))
+        transfer = RecordingTransfer(unreachable={"primary"})
+        assert agent.itinerary.launch_with(agent, FakeOps(), transfer) is True
+        assert transfer.sent == ["mirror"]
+
+    def test_skip_policy_at_launch(self):
+        agent = make_agent(seq("down", "up"), on_failure="skip")
+        transfer = RecordingTransfer(unreachable={"down"})
+        assert agent.itinerary.launch_with(agent, FakeOps(), transfer) is True
+        assert transfer.sent == ["up"]
+        assert [f.server for f in agent.itinerary.failures] == ["down"]
+
+    def test_abort_policy_raises_at_launch(self):
+        agent = make_agent(seq("down", "up"))
+        transfer = RecordingTransfer(unreachable={"down"})
+        with pytest.raises(NapletMigrationError):
+            agent.itinerary.launch_with(agent, FakeOps(), transfer)
+        assert transfer.sent == []
+
+    def test_all_alternatives_unreachable_degrades_to_skip(self):
+        """An Alt exhausted by failures is skipped (like an Alt with no
+        admitting branch), with every attempt recorded in failures."""
+        agent = make_agent(alt("m1", "m2"))
+        transfer = RecordingTransfer(unreachable={"m1", "m2"})
+        assert agent.itinerary.launch_with(agent, FakeOps(), transfer) is False
+        assert [f.server for f in agent.itinerary.failures] == ["m1", "m2"]
+        assert agent.itinerary.completed
+
+    def test_skip_everything_unreachable_completes(self):
+        agent = make_agent(seq("m1", "m2"), on_failure="skip")
+        transfer = RecordingTransfer(unreachable={"m1", "m2"})
+        assert agent.itinerary.launch_with(agent, FakeOps(), transfer) is False
+        assert len(agent.itinerary.failures) == 2

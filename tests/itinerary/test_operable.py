@@ -1,0 +1,96 @@
+"""Stock operables (post-actions): ResultReport, SetStateFlag, chains."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.itinerary.operable import (
+    AppendNote,
+    ChainOperable,
+    NoOp,
+    ResultReport,
+    SetStateFlag,
+)
+from tests.core.test_naplet import ProbeNaplet
+
+
+class RecordingListenerRef:
+    """Stands in for a ListenerRef (duck-typed .report)."""
+
+    def __init__(self):
+        self.reports = []
+
+    def report(self, naplet, payload):
+        self.reports.append(payload)
+
+
+def _agent_with_listener():
+    agent = ProbeNaplet("op-test")
+    ref = RecordingListenerRef()
+    agent.set_listener(ref)  # type: ignore[arg-type]
+    return agent, ref
+
+
+class TestResultReport:
+    def test_reports_named_state_key(self):
+        agent, ref = _agent_with_listener()
+        agent.state.set("visited", ["a", "b"])
+        ResultReport("visited").operate(agent)
+        assert ref.reports == [["a", "b"]]
+
+    def test_reports_whole_state_when_unnamed(self):
+        agent, ref = _agent_with_listener()
+        agent.state.set("x", 1)
+        agent.state.set("y", 2)
+        ResultReport().operate(agent)
+        assert ref.reports == [{"x": 1, "y": 2}]
+
+    def test_no_listener_is_noop(self):
+        agent = ProbeNaplet("silent")
+        ResultReport("k").operate(agent)  # no raise
+
+
+class TestStateOperables:
+    def test_set_state_flag(self):
+        agent = ProbeNaplet("p")
+        SetStateFlag("done").operate(agent)
+        assert agent.state.get("done") is True
+
+    def test_set_state_flag_custom_value(self):
+        agent = ProbeNaplet("p")
+        SetStateFlag("phase", "report").operate(agent)
+        assert agent.state.get("phase") == "report"
+
+    def test_append_note_accumulates(self):
+        agent = ProbeNaplet("p")
+        AppendNote("notes", "first").operate(agent)
+        AppendNote("notes", "second").operate(agent)
+        assert agent.state.get("notes") == ["first", "second"]
+
+    def test_noop(self):
+        agent = ProbeNaplet("p")
+        NoOp().operate(agent)
+        assert len(agent.state) == 0
+
+
+class TestChain:
+    def test_runs_in_order(self):
+        agent = ProbeNaplet("p")
+        chain = ChainOperable((AppendNote("n", 1), AppendNote("n", 2), SetStateFlag("done")))
+        chain.operate(agent)
+        assert agent.state.get("n") == [1, 2]
+        assert agent.state.get("done") is True
+
+    def test_empty_chain(self):
+        ChainOperable().operate(ProbeNaplet("p"))
+
+    def test_callable_protocol(self):
+        agent = ProbeNaplet("p")
+        SetStateFlag("via-call")(agent)
+        assert agent.state.get("via-call") is True
+
+
+class TestSerialization:
+    def test_operables_pickle(self):
+        for op in (NoOp(), ResultReport("k"), SetStateFlag("d"), AppendNote("n", 1)):
+            assert pickle.loads(pickle.dumps(op)) == op

@@ -1,0 +1,50 @@
+"""Par-level post-actions: when do they run relative to fork/join?"""
+
+from __future__ import annotations
+
+from repro.itinerary.operable import AppendNote
+from repro.itinerary.pattern import JoinPolicy, ParPattern, SingletonPattern, seq
+from tests.itinerary.test_itinerary_unit import FakeOps, make_agent, run_journey
+
+
+def _par(join: JoinPolicy) -> ParPattern:
+    return ParPattern(
+        [SingletonPattern.to("a"), SingletonPattern.to("b")],
+        post_action=AppendNote("notes", "par-act"),
+        join=join,
+    )
+
+
+class TestParPostActionTiming:
+    def test_terminate_policy_runs_act_at_fork(self):
+        """Without a join, the pattern-level act runs on the original right
+        after the clones are spawned (Example 2's ParPattern(_ip, act))."""
+        agent = make_agent(seq(_par(JoinPolicy.TERMINATE), "tail"))
+        ops = FakeOps()
+        run_journey(agent, ops)
+        # the act ran exactly once, on the original
+        assert agent.state.get("notes") == ["par-act"]
+
+    def test_join_policy_runs_act_after_join(self):
+        agent = make_agent(seq(_par(JoinPolicy.JOIN), "tail"))
+        ops = FakeOps()
+        visited = run_journey(agent, ops)
+        assert visited == ["a", "tail"]
+        # clones notified before the act could run (FakeOps joins eagerly),
+        # and the act ran once on the original
+        assert agent.state.get("notes") == ["par-act"]
+        assert len(ops.join_notes) == 1
+
+    def test_act_does_not_leak_to_clones(self):
+        agent = make_agent(_par(JoinPolicy.TERMINATE))
+        ops = FakeOps()
+        run_journey(agent, ops)
+        # clones were spawned before the act ran on the original, so their
+        # copied state cannot contain the note
+        assert ops.spawned  # sanity: a clone existed
+        assert agent.state.get("notes") == ["par-act"]
+
+    def test_no_post_action_is_fine(self):
+        agent = make_agent(ParPattern([SingletonPattern.to("a"), SingletonPattern.to("b")]))
+        ops = FakeOps()
+        assert run_journey(agent, ops) == ["a"]

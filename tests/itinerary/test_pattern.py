@@ -1,0 +1,175 @@
+"""Pattern algebra: Singleton / Seq / Alt / Par construction and queries."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.errors import ItineraryError
+from repro.itinerary.operable import AppendNote, ChainOperable, NoOp
+from repro.itinerary.pattern import (
+    AltPattern,
+    JoinPolicy,
+    ParPattern,
+    SeqPattern,
+    SingletonPattern,
+    alt,
+    par,
+    seq,
+    singleton,
+)
+from repro.itinerary.visit import Never, StateFlagClear, Visit
+from tests.core.test_naplet import ProbeNaplet
+
+
+class TestSingleton:
+    def test_to_builds_visit(self):
+        pattern = SingletonPattern.to("s1", post_action=NoOp())
+        assert pattern.servers() == ["s1"]
+        assert pattern.visit_count() == 1
+
+    def test_first_admitting_respects_guard(self):
+        agent = ProbeNaplet("p")
+        pattern = SingletonPattern.to("s1", guard=Never())
+        assert pattern.first_admitting_visit(agent) is None
+
+
+class TestSeq:
+    def test_requires_children(self):
+        with pytest.raises(ItineraryError):
+            SeqPattern([])
+
+    def test_of_servers_requires_servers(self):
+        with pytest.raises(ItineraryError):
+            SeqPattern.of_servers([])
+
+    def test_visits_in_order(self):
+        pattern = SeqPattern.of_servers(["a", "b", "c"])
+        assert pattern.servers() == ["a", "b", "c"]
+
+    def test_post_action_attaches_to_last_visit_only(self):
+        """Example 1: results reported back after the last visit."""
+        act = AppendNote("notes", "report")
+        pattern = SeqPattern.of_servers(["a", "b", "c"], post_action=act)
+        visits = list(pattern.visits())
+        assert visits[0].post_action is None
+        assert visits[1].post_action is None
+        assert visits[2].post_action == act
+
+    def test_per_visit_action_attaches_everywhere(self):
+        act = AppendNote("notes", "x")
+        pattern = SeqPattern.of_servers(["a", "b"], per_visit_action=act)
+        assert all(v.post_action == act for v in pattern.visits())
+
+    def test_per_visit_and_final_combine_on_last(self):
+        per, final = AppendNote("n", "p"), AppendNote("n", "f")
+        pattern = SeqPattern.of_servers(["a", "b"], per_visit_action=per, post_action=final)
+        visits = list(pattern.visits())
+        assert visits[0].post_action == per
+        assert isinstance(visits[1].post_action, ChainOperable)
+        assert visits[1].post_action.actions == (per, final)
+
+    def test_guard_applies_to_all_but_first_by_default(self):
+        """§3: 'all visits except the first one should be conditional'."""
+        guard = StateFlagClear("done")
+        pattern = SeqPattern.of_servers(["a", "b", "c"], guard=guard)
+        visits = list(pattern.visits())
+        assert not visits[0].conditional
+        assert visits[1].guard == guard
+        assert visits[2].guard == guard
+
+    def test_guard_first_flag(self):
+        guard = StateFlagClear("done")
+        pattern = SeqPattern.of_servers(["a", "b"], guard=guard, guard_first=True)
+        assert all(v.guard == guard for v in pattern.visits())
+
+    def test_first_admitting_skips_guarded(self):
+        agent = ProbeNaplet("p")
+        agent.state.set("done", True)
+        pattern = SeqPattern(
+            [
+                SingletonPattern.to("a", guard=StateFlagClear("done")),
+                SingletonPattern.to("b"),
+            ]
+        )
+        found = pattern.first_admitting_visit(agent)
+        assert found is not None and found.server == "b"
+
+
+class TestAlt:
+    def test_requires_children(self):
+        with pytest.raises(ItineraryError):
+            AltPattern([])
+
+    def test_select_picks_first_admitting(self):
+        agent = ProbeNaplet("p")
+        pattern = AltPattern(
+            [
+                SingletonPattern.to("a", guard=Never()),
+                SingletonPattern.to("b"),
+                SingletonPattern.to("c"),
+            ]
+        )
+        assert pattern.select(agent) == 1
+        assert pattern.select(agent, start=2) == 2
+
+    def test_select_none_when_nothing_admits(self):
+        agent = ProbeNaplet("p")
+        pattern = AltPattern([SingletonPattern.to("a", guard=Never())])
+        assert pattern.select(agent) is None
+        assert pattern.first_admitting_visit(agent) is None
+
+
+class TestPar:
+    def test_requires_children(self):
+        with pytest.raises(ItineraryError):
+            ParPattern([])
+
+    def test_of_servers_shape(self):
+        act = NoOp()
+        pattern = ParPattern.of_servers(["a", "b"], per_branch_action=act)
+        assert pattern.servers() == ["a", "b"]
+        assert all(v.post_action == act for v in pattern.visits())
+        assert pattern.join is JoinPolicy.TERMINATE
+
+    def test_first_admitting_uses_first_branch(self):
+        agent = ProbeNaplet("p")
+        pattern = ParPattern([SingletonPattern.to("x"), SingletonPattern.to("y")])
+        assert pattern.first_admitting_visit(agent).server == "x"
+
+
+class TestFunctionalConstructors:
+    def test_strings_become_singletons(self):
+        pattern = seq("a", "b")
+        assert isinstance(pattern, SeqPattern)
+        assert pattern.servers() == ["a", "b"]
+
+    def test_nested_composition(self):
+        pattern = par(seq("s0", "s1"), seq("s2", "s3"))
+        assert pattern.servers() == ["s0", "s1", "s2", "s3"]
+        assert isinstance(pattern.children[0], SeqPattern)
+
+    def test_visit_objects_accepted(self):
+        pattern = alt(Visit(server="a"), "b")
+        assert pattern.servers() == ["a", "b"]
+
+    def test_singleton_helper(self):
+        assert singleton("s").servers() == ["s"]
+
+    def test_par_kwargs(self):
+        pattern = par("a", "b", join=JoinPolicy.JOIN, post_action=NoOp())
+        assert pattern.join is JoinPolicy.JOIN
+        assert isinstance(pattern.post_action, NoOp)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ItineraryError):
+            seq(42)  # type: ignore[arg-type]
+
+
+class TestSerialization:
+    def test_pattern_trees_pickle(self):
+        pattern = par(seq("a", "b"), alt("c", singleton("d", guard=Never())))
+        copy = pickle.loads(pickle.dumps(pattern))
+        assert copy.servers() == pattern.servers()
+        assert isinstance(copy, ParPattern)

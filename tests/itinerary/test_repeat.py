@@ -1,0 +1,128 @@
+"""RepeatPattern (extension) and the DSL renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ItineraryError
+from repro.itinerary import (
+    RepeatPattern,
+    StateFlagClear,
+    parse,
+    render,
+    repeat,
+    seq,
+    singleton,
+)
+from repro.itinerary.operable import SetStateFlag
+from tests.itinerary.test_itinerary_unit import FakeOps, make_agent, run_journey
+
+
+class TestRepeatPattern:
+    def test_repeats_child_in_sequence(self):
+        agent = make_agent(repeat(seq("a", "b"), 3))
+        assert run_journey(agent, FakeOps()) == ["a", "b"] * 3
+
+    def test_times_one_is_identity(self):
+        agent = make_agent(repeat("a", 1))
+        assert run_journey(agent, FakeOps()) == ["a"]
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(ItineraryError):
+            repeat("a", 0)
+
+    def test_visits_enumerates_all_rounds(self):
+        pattern = repeat(seq("a", "b"), 4)
+        assert pattern.visit_count() == 8
+        assert pattern.servers() == ["a", "b"] * 4
+
+    def test_guards_reevaluated_each_round(self):
+        """A conditional round stops repeating once the flag trips."""
+        pattern = repeat(
+            seq(
+                singleton("a", guard=StateFlagClear("done")),
+                singleton(
+                    "flagger",
+                    guard=StateFlagClear("done"),
+                    post_action=SetStateFlag("done"),
+                ),
+            ),
+            5,
+        )
+        agent = make_agent(pattern)
+        visited = run_journey(agent, FakeOps())
+        # first round visits both; the post-action trips the flag, so the
+        # remaining four rounds admit nothing
+        assert visited == ["a", "flagger"]
+
+    def test_nested_repeat(self):
+        agent = make_agent(repeat(repeat("x", 2), 3))
+        assert run_journey(agent, FakeOps()) == ["x"] * 6
+
+    def test_mid_journey_pickle(self):
+        import pickle
+
+        agent = make_agent(repeat(seq("a", "b"), 2))
+        ops = FakeOps()
+        first = agent.itinerary.step(agent, ops)
+        assert first == "a"
+        restored = pickle.loads(pickle.dumps(agent.itinerary))
+        rest = []
+        while True:
+            nxt = restored.step(agent, ops)
+            if nxt is None:
+                break
+            rest.append(nxt)
+        assert [first, *rest] == ["a", "b", "a", "b"]
+
+
+class TestDslRepeat:
+    def test_parse_repeat(self):
+        pattern = parse("repeat(seq(a, b), 3)")
+        assert isinstance(pattern, RepeatPattern)
+        assert pattern.times == 3
+        assert pattern.servers() == ["a", "b"] * 3
+
+    def test_repeat_count_must_be_integer(self):
+        with pytest.raises(ItineraryError):
+            parse("repeat(a, many)")
+
+    def test_repeat_requires_two_args(self):
+        with pytest.raises(ItineraryError):
+            parse("repeat(a)")
+
+
+class TestRender:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a",
+            "a?",
+            "seq(a, b, c)",
+            "alt(a, b)",
+            "par(seq(s0, s1), seq(s2, s3))",
+            "repeat(seq(a, b?), 4)",
+            "seq(par(a, alt(b, c)), d)",
+        ],
+    )
+    def test_roundtrip(self, text):
+        pattern = parse(text)
+        assert render(pattern) == text
+        assert parse(render(pattern)).servers() == pattern.servers()
+
+    def test_rejects_post_actions(self):
+        pattern = singleton("a", post_action=SetStateFlag("x"))
+        with pytest.raises(ItineraryError):
+            render(pattern)
+
+    def test_rejects_exotic_guards(self):
+        from repro.itinerary import Never
+
+        with pytest.raises(ItineraryError):
+            render(singleton("a", guard=Never()))
+
+    def test_custom_guard_key(self):
+        pattern = parse("a?", guard_key="found")
+        assert render(pattern, guard_key="found") == "a?"
+        with pytest.raises(ItineraryError):
+            render(pattern)  # default key doesn't match

@@ -1,0 +1,84 @@
+"""Guards and visits (paper §3: <S>, <S;T>, <C -> S;T>)."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.itinerary.operable import NoOp
+from repro.itinerary.visit import (
+    Always,
+    Never,
+    NotVisited,
+    StateEquals,
+    StateFlagClear,
+    StateFlagSet,
+    Visit,
+)
+from tests.core.test_naplet import ProbeNaplet
+
+
+def _agent() -> ProbeNaplet:
+    return ProbeNaplet("guard-test")
+
+
+class TestStockGuards:
+    def test_always(self):
+        assert Always().admits(_agent())
+
+    def test_never(self):
+        assert not Never().admits(_agent())
+
+    def test_state_flag_clear(self):
+        agent = _agent()
+        guard = StateFlagClear("done")
+        assert guard.admits(agent)  # unset -> clear
+        agent.state.set("done", False)
+        assert guard.admits(agent)
+        agent.state.set("done", True)
+        assert not guard.admits(agent)
+
+    def test_state_flag_set_is_inverse(self):
+        agent = _agent()
+        guard = StateFlagSet("ready")
+        assert not guard.admits(agent)
+        agent.state.set("ready", 1)
+        assert guard.admits(agent)
+
+    def test_state_equals(self):
+        agent = _agent()
+        guard = StateEquals("phase", "collect")
+        assert not guard.admits(agent)
+        agent.state.set("phase", "collect")
+        assert guard.admits(agent)
+        agent.state.set("phase", "report")
+        assert not guard.admits(agent)
+
+    def test_not_visited_consults_navigation_log(self):
+        agent = _agent()
+        guard = NotVisited("s1")
+        assert guard.admits(agent)
+        agent.navigation_log.record_arrival("s1")
+        assert not guard.admits(agent)
+
+    def test_guards_are_callable(self):
+        assert Always()(_agent()) is True
+
+    def test_guards_pickle(self):
+        for guard in (Always(), Never(), StateFlagClear("k"), StateEquals("k", 1)):
+            assert pickle.loads(pickle.dumps(guard)) == guard
+
+
+class TestVisit:
+    def test_defaults_unconditional(self):
+        visit = Visit(server="s1")
+        assert not visit.conditional
+        assert visit.admits(_agent())
+
+    def test_conditional_flag(self):
+        visit = Visit(server="s1", guard=StateFlagClear("done"))
+        assert visit.conditional
+
+    def test_repr_mentions_parts(self):
+        visit = Visit(server="s1", guard=StateFlagClear("done"), post_action=NoOp())
+        text = repr(visit)
+        assert "s1" in text and "StateFlagClear" in text and "NoOp" in text

@@ -1,0 +1,101 @@
+"""NetManagement privileged service: channel protocol (paper §6.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.man.service import NetManagement, net_management_factory
+from repro.server.service_channel import ServiceChannel
+from repro.snmp.agent import SnmpAgent
+from repro.snmp.device import DeviceProfile, ManagedDevice
+from repro.snmp.mib import WELL_KNOWN_NAMES
+
+
+@pytest.fixture
+def agent():
+    return SnmpAgent(ManagedDevice(DeviceProfile(hostname="dev01"), seed=1))
+
+
+@pytest.fixture
+def channel(agent):
+    channel = ServiceChannel("serviceImpl.NetManagement", read_timeout=5.0)
+    service = NetManagement(agent)
+    service.bind(channel.service_reader, channel.service_writer)
+    service.start("netman-test")
+    yield channel
+    channel.close()
+
+
+class TestPaperTextProtocol:
+    def test_semicolon_separated_names(self, channel):
+        """The paper's 'param1;param2' command format."""
+        channel.get_naplet_writer().write_line("sysName;sysUpTime")
+        result = channel.get_naplet_reader().read_line()
+        assert result["sysName"] == "dev01"
+        assert result["sysUpTime"] >= 0
+
+    def test_dotted_oids_accepted(self, channel):
+        channel.naplet_writer.write(WELL_KNOWN_NAMES["sysName"])
+        result = channel.naplet_reader.read()
+        assert result[WELL_KNOWN_NAMES["sysName"]] == "dev01"
+
+    def test_unknown_name_yields_none(self, channel):
+        channel.naplet_writer.write("noSuchParameter")
+        assert channel.naplet_reader.read() == {"noSuchParameter": None}
+
+    def test_repeated_inquiries(self, channel):
+        """§6.1: 'the whole process can be repeated for a number of inquiries'."""
+        for _ in range(4):
+            channel.naplet_writer.write("sysName")
+            assert channel.naplet_reader.read()["sysName"] == "dev01"
+
+
+class TestStructuredCommands:
+    def test_get_command(self, channel):
+        channel.naplet_writer.write(("get", ["sysName", "cpuLoad"]))
+        result = channel.naplet_reader.read()
+        assert result["sysName"] == "dev01"
+        assert 0.0 <= result["cpuLoad"] <= 1.0
+
+    def test_walk_command(self, channel):
+        channel.naplet_writer.write(("walk", "1.3.6.1.2.1.1"))
+        result = channel.naplet_reader.read()
+        assert isinstance(result, list)
+        oids = [oid for oid, _value in result]
+        assert WELL_KNOWN_NAMES["sysName"] in oids
+
+    def test_set_command(self, channel, agent):
+        channel.naplet_writer.write(("set", WELL_KNOWN_NAMES["sysName"], "renamed"))
+        result = channel.naplet_reader.read()
+        # the service's default community is read-only: write must fail
+        assert result["ok"] is False
+
+    def test_unrecognised_command(self, channel):
+        channel.naplet_writer.write(12345)
+        result = channel.naplet_reader.read()
+        assert "error" in result
+
+
+class TestWriteCommunityService:
+    def test_rw_service_can_set(self, agent):
+        channel = ServiceChannel("netman-rw", read_timeout=5.0)
+        factory = net_management_factory(agent, community="private")
+        service = factory()
+        service.bind(channel.service_reader, channel.service_writer)
+        service.start("netman-rw")
+        channel.naplet_writer.write(("set", WELL_KNOWN_NAMES["sysName"], "renamed"))
+        assert channel.naplet_reader.read()["ok"] is True
+        channel.close()
+
+
+class TestLifecycle:
+    def test_eof_terminates_service(self, agent):
+        channel = ServiceChannel("netman", read_timeout=5.0)
+        service = NetManagement(agent)
+        service.bind(channel.service_reader, channel.service_writer)
+        service.start("netman-eof")
+        channel.naplet_writer.close()
+        service.join(3)
+        from repro.server.service_channel import EOF
+
+        assert channel.naplet_reader.read(timeout=1) is EOF

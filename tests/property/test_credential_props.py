@@ -1,0 +1,59 @@
+"""Property tests: credential signing is total and tamper-evident."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.credential import SigningAuthority
+from repro.core.naplet_id import NapletID
+
+_owners = st.sampled_from(["alice", "bob", "carol"])
+_codebases = st.text(alphabet="abcdefgh:/.-", min_size=1, max_size=20)
+_attr_keys = st.text(alphabet="abcdef", min_size=1, max_size=5)
+_attr_values = st.text(alphabet="xyz0123456789", min_size=0, max_size=8)
+_attributes = st.dictionaries(_attr_keys, _attr_values, max_size=5)
+
+_authority = SigningAuthority()
+for _o in ("alice", "bob", "carol"):
+    _authority.register_owner(_o)
+
+
+def _nid(owner: str) -> NapletID:
+    return NapletID.create(owner, "home", stamp="240101120000")
+
+
+class TestSigningTotality:
+    @given(_owners, _codebases, _attributes)
+    @settings(max_examples=100)
+    def test_issued_always_verifies(self, owner, codebase, attributes):
+        cred = _authority.issue(_nid(owner), codebase, attributes)
+        assert _authority.verify(cred)
+        assert dict(cred.attributes) == attributes
+
+    @given(_owners, _codebases, _attributes, _codebases)
+    @settings(max_examples=100)
+    def test_codebase_tamper_always_detected(self, owner, codebase, attributes, other):
+        cred = _authority.issue(_nid(owner), codebase, attributes)
+        forged = dataclasses.replace(cred, codebase=other)
+        assert _authority.verify(forged) == (other == codebase)
+
+    @given(_owners, _codebases, _attributes, _attr_keys, _attr_values)
+    @settings(max_examples=100)
+    def test_attribute_tamper_always_detected(self, owner, codebase, attributes, key, value):
+        cred = _authority.issue(_nid(owner), codebase, attributes)
+        tampered = dict(attributes)
+        tampered[key] = value
+        forged = dataclasses.replace(cred, attributes=tuple(sorted(tampered.items())))
+        assert _authority.verify(forged) == (tampered == attributes)
+
+    @given(_owners, _codebases, _attributes)
+    @settings(max_examples=60)
+    def test_clone_reissue_verifies_and_preserves(self, owner, codebase, attributes):
+        cred = _authority.issue(_nid(owner), codebase, attributes)
+        clone_cred = cred.for_clone(cred.naplet_id.next_clone(), _authority)
+        assert _authority.verify(clone_cred)
+        assert dict(clone_cred.attributes) == attributes
+        assert clone_cred.naplet_id != cred.naplet_id

@@ -1,0 +1,66 @@
+"""Property tests: DSL parse/render roundtrip over random pattern trees."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.itinerary.dsl import parse, render
+from repro.itinerary.pattern import (
+    AltPattern,
+    ParPattern,
+    RepeatPattern,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.itinerary.visit import StateFlagClear
+
+_names = st.sampled_from([f"host{i}" for i in range(6)] + ["ece.eng.wayne.edu", "n-1"])
+
+
+@st.composite
+def _leaves(draw):
+    name = draw(_names)
+    if draw(st.booleans()):
+        return SingletonPattern.to(name, guard=StateFlagClear("done"))
+    return SingletonPattern.to(name)
+
+
+def dsl_patterns():
+    return st.recursive(
+        _leaves(),
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(SeqPattern),
+            st.lists(children, min_size=1, max_size=3).map(AltPattern),
+            st.lists(children, min_size=1, max_size=3).map(ParPattern),
+            st.tuples(children, st.integers(1, 5)).map(
+                lambda t: RepeatPattern(t[0], t[1])
+            ),
+        ),
+        max_leaves=10,
+    )
+
+
+class TestDslRoundtrip:
+    @given(dsl_patterns())
+    @settings(max_examples=80)
+    def test_parse_render_fixpoint(self, pattern):
+        text = render(pattern)
+        reparsed = parse(text)
+        assert render(reparsed) == text
+
+    @given(dsl_patterns())
+    @settings(max_examples=80)
+    def test_roundtrip_preserves_servers_and_structure(self, pattern):
+        reparsed = parse(render(pattern))
+        assert reparsed.servers() == pattern.servers()
+        assert type(reparsed) is type(pattern)
+        assert reparsed.visit_count() == pattern.visit_count()
+
+    @given(dsl_patterns())
+    @settings(max_examples=60)
+    def test_roundtrip_preserves_guards(self, pattern):
+        reparsed = parse(render(pattern))
+        original_guards = [v.conditional for v in pattern.visits()]
+        reparsed_guards = [v.conditional for v in reparsed.visits()]
+        assert original_guards == reparsed_guards

@@ -1,0 +1,140 @@
+"""Property tests: itinerary algebra + driver traversal invariants.
+
+Random pattern trees are executed with the FakeOps harness from the unit
+tests; the driver must visit exactly the servers the algebra predicts.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.itinerary.itinerary import Itinerary
+from repro.itinerary.pattern import (
+    AltPattern,
+    JoinPolicy,
+    ParPattern,
+    SeqPattern,
+    SingletonPattern,
+)
+from repro.itinerary.visit import Never
+from tests.itinerary.test_itinerary_unit import FakeOps, make_agent, run_journey
+
+_servers = st.sampled_from([f"h{i}" for i in range(8)])
+
+
+def _singletons():
+    return _servers.map(SingletonPattern.to)
+
+
+def patterns(max_depth: int = 3):
+    return st.recursive(
+        _singletons(),
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(SeqPattern),
+            st.lists(children, min_size=1, max_size=3).map(AltPattern),
+            st.lists(children, min_size=1, max_size=2).map(
+                lambda c: ParPattern(c, join=JoinPolicy.TERMINATE)
+            ),
+        ),
+        max_leaves=8,
+    )
+
+
+def seq_only_patterns():
+    return st.recursive(
+        _singletons(),
+        lambda children: st.lists(children, min_size=1, max_size=3).map(SeqPattern),
+        max_leaves=10,
+    )
+
+
+class TestAlgebra:
+    @given(patterns())
+    @settings(max_examples=60)
+    def test_visit_count_equals_servers_len(self, pattern):
+        assert pattern.visit_count() == len(pattern.servers())
+
+    @given(patterns())
+    @settings(max_examples=60)
+    def test_first_admitting_visit_is_a_pattern_visit(self, pattern):
+        agent = make_agent(SeqPattern([SingletonPattern.to("x")]))
+        found = pattern.first_admitting_visit(agent)
+        assert found is None or found in list(pattern.visits())
+
+
+class TestDriverTraversal:
+    @given(seq_only_patterns())
+    @settings(max_examples=50, deadline=None)
+    def test_seq_trees_visit_in_preorder(self, pattern):
+        agent = make_agent(pattern)
+        visited = run_journey(agent, FakeOps())
+        assert visited == pattern.servers()
+        assert agent.itinerary.completed
+
+    @given(patterns())
+    @settings(max_examples=50, deadline=None)
+    def test_every_dispatch_is_a_declared_server(self, pattern):
+        agent = make_agent(pattern)
+        ops = FakeOps()
+        run_journey(agent, ops)
+        declared = set(pattern.servers())
+        assert {server for _nid, server in ops.dispatches} <= declared
+
+    @given(patterns())
+    @settings(max_examples=50, deadline=None)
+    def test_terminate_join_covers_all_servers(self, pattern):
+        """Under TERMINATE, original+clones collectively visit every
+        (unconditional) server in the tree, except Alt prunes siblings."""
+        agent = make_agent(pattern)
+        ops = FakeOps()
+        run_journey(agent, ops)
+        visited = [server for _nid, server in ops.dispatches]
+        # every visited server is declared and multiplicity never exceeds
+        # the declaration count
+        declared = pattern.servers()
+        for server in set(visited):
+            assert visited.count(server) <= declared.count(server)
+
+    @given(st.lists(_servers, min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_all_never_guards_complete_without_dispatch(self, servers):
+        pattern = SeqPattern(
+            [SingletonPattern.to(s, guard=Never()) for s in servers]
+        )
+        agent = make_agent(pattern)
+        ops = FakeOps()
+        assert run_journey(agent, ops) == []
+        assert agent.itinerary.completed
+        assert ops.dispatches == []
+
+
+class TestSerializationProps:
+    @given(patterns())
+    @settings(max_examples=40)
+    def test_pattern_pickle_preserves_servers(self, pattern):
+        import pickle
+
+        copy = pickle.loads(pickle.dumps(pattern))
+        assert copy.servers() == pattern.servers()
+
+    @given(seq_only_patterns())
+    @settings(max_examples=30, deadline=None)
+    def test_mid_journey_cursor_survives_pickle(self, pattern):
+        """Serialize the itinerary after the first step; the restored cursor
+        continues with exactly the remaining servers."""
+        import pickle
+
+        agent = make_agent(pattern)
+        ops = FakeOps()
+        first = agent.itinerary.step(agent, ops)
+        if first is None:
+            return
+        restored: Itinerary = pickle.loads(pickle.dumps(agent.itinerary))
+        rest = []
+        while True:
+            nxt = restored.step(agent, ops)
+            if nxt is None:
+                break
+            rest.append(nxt)
+        assert [first, *rest] == pattern.servers()

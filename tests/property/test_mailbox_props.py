@@ -1,0 +1,62 @@
+"""Property tests: mailbox ordering under mixed filtered retrieval."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naplet_id import NapletID
+from repro.server.mailbox import Mailbox
+from repro.server.messages import UserMessage
+
+TARGET = NapletID.parse("t@h:240101120000:0")
+
+
+def _msg(body) -> UserMessage:
+    return UserMessage(sender="prop", target=TARGET, body=body)
+
+
+class TestOrdering:
+    @given(st.lists(st.integers(0, 9), min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_plain_gets_preserve_fifo(self, bodies):
+        box = Mailbox()
+        for body in bodies:
+            box.put(_msg(body))
+        out = [box.get(timeout=1).body for _ in bodies]
+        assert out == bodies
+
+    @given(
+        st.lists(st.integers(0, 9), min_size=1, max_size=30),
+        st.integers(0, 9),
+    )
+    @settings(max_examples=60)
+    def test_filtered_get_removes_only_matches_in_order(self, bodies, wanted):
+        box = Mailbox()
+        for body in bodies:
+            box.put(_msg(body))
+        matches = [b for b in bodies if b == wanted]
+        got = []
+        for _ in matches:
+            got.append(box.get_matching(lambda m: m.body == wanted, timeout=1).body)
+        assert got == matches
+        # everything else still there, original relative order intact
+        remaining = [box.get(timeout=1).body for _ in range(len(box))]
+        assert remaining == [b for b in bodies if b != wanted]
+
+    @given(st.lists(st.integers(0, 5), min_size=2, max_size=20))
+    @settings(max_examples=40)
+    def test_interleaved_filters_never_lose_messages(self, bodies):
+        box = Mailbox()
+        for body in bodies:
+            box.put(_msg(body))
+        collected = []
+        # alternate between filtered (evens) and plain gets
+        while len(box):
+            try:
+                collected.append(
+                    box.get_matching(lambda m: m.body % 2 == 0, timeout=0.01).body
+                )
+            except Exception:
+                collected.append(box.get(timeout=1).body)
+        assert sorted(collected) == sorted(bodies)

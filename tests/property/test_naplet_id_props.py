@@ -1,0 +1,77 @@
+"""Property tests: NapletID parsing, heritage, and ancestry invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.naplet_id import NapletID
+
+_owners = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-.", min_size=1, max_size=12
+)
+_hosts = _owners
+_stamps = st.integers(min_value=0, max_value=991231235959).map(lambda n: f"{n:012d}")
+# Keep stamps parseable: build from real date parts instead.
+_stamps = st.tuples(
+    st.integers(0, 99),
+    st.integers(1, 12),
+    st.integers(1, 28),
+    st.integers(0, 23),
+    st.integers(0, 59),
+    st.integers(0, 59),
+).map(lambda t: f"{t[0]:02d}{t[1]:02d}{t[2]:02d}{t[3]:02d}{t[4]:02d}{t[5]:02d}")
+_heritages = st.lists(st.integers(0, 40), min_size=1, max_size=6).map(tuple)
+
+
+@st.composite
+def naplet_ids(draw):
+    return NapletID(
+        owner=draw(_owners),
+        home=draw(_hosts),
+        stamp=draw(_stamps),
+        heritage=draw(_heritages),
+    )
+
+
+class TestRoundtrip:
+    @given(naplet_ids())
+    def test_parse_str_identity(self, nid):
+        assert NapletID.parse(str(nid)) == nid
+
+    @given(naplet_ids())
+    def test_hash_consistent_with_equality(self, nid):
+        clone_of_value = NapletID.parse(str(nid))
+        assert hash(clone_of_value) == hash(nid)
+
+
+class TestHeritage:
+    @given(naplet_ids(), st.integers(1, 5))
+    @settings(max_examples=50)
+    def test_clones_are_strict_descendants(self, nid, n_clones):
+        clones = [nid.next_clone() for _ in range(n_clones)]
+        for clone in clones:
+            assert nid.is_ancestor_of(clone)
+            assert not clone.is_ancestor_of(nid)
+            assert clone.parent() == nid
+            assert clone.generation == nid.generation + 1
+        assert len({str(c) for c in clones}) == n_clones  # all distinct
+
+    @given(naplet_ids())
+    def test_lineage_terminates_at_original(self, nid):
+        lineage = list(nid.lineage())
+        assert lineage[0] == nid
+        assert len(lineage) == len(nid.heritage)
+        assert lineage[-1].heritage == (nid.heritage[0],)
+
+    @given(naplet_ids())
+    def test_ancestry_is_transitive_along_lineage(self, nid):
+        lineage = list(nid.lineage())
+        for ancestor in lineage[1:]:
+            assert ancestor.is_ancestor_of(nid)
+
+    @given(naplet_ids(), naplet_ids())
+    def test_ancestry_requires_same_family(self, a, b):
+        if not a.same_family(b):
+            assert not a.is_ancestor_of(b)
+            assert not b.is_ancestor_of(a)

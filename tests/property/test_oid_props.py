@@ -1,0 +1,70 @@
+"""Property tests: OID ordering and MIB get-next traversal invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.snmp.mib import MibTree, MibVariable
+from repro.snmp.oid import OID
+
+_oids = st.lists(st.integers(0, 300), min_size=1, max_size=10).map(
+    lambda parts: OID(tuple(parts))
+)
+
+
+class TestOrdering:
+    @given(_oids, _oids)
+    def test_total_order(self, a, b):
+        assert (a < b) + (a == b) + (a > b) == 1
+
+    @given(_oids, _oids)
+    def test_order_matches_tuple_order(self, a, b):
+        assert (a < b) == (a.parts < b.parts)
+
+    @given(_oids)
+    def test_parse_str_roundtrip(self, oid):
+        assert OID.parse(str(oid)) == oid
+
+    @given(_oids, _oids)
+    def test_prefix_implies_leq_or_equal_start(self, a, b):
+        if a.is_prefix_of(b) and a != b:
+            assert a < b  # a proper prefix sorts before its extensions
+
+    @given(_oids, _oids, _oids)
+    @settings(max_examples=60)
+    def test_prefix_transitive(self, a, b, c):
+        if a.is_prefix_of(b) and b.is_prefix_of(c):
+            assert a.is_prefix_of(c)
+
+
+class TestMibTraversal:
+    @given(st.sets(_oids, min_size=1, max_size=30))
+    @settings(max_examples=40)
+    def test_get_next_chain_visits_all_in_order(self, oid_set):
+        tree = MibTree()
+        for oid in oid_set:
+            tree.register(MibVariable(oid=oid, name=str(oid), reader=lambda: 0))
+        visited = []
+        cursor = OID((0,))
+        while True:
+            variable = tree.get_next(cursor)
+            if variable is None:
+                break
+            visited.append(variable.oid)
+            cursor = variable.oid
+        expected = sorted(o for o in oid_set if o > OID((0,)))
+        assert visited == expected
+
+    @given(st.sets(_oids, min_size=1, max_size=20), _oids)
+    @settings(max_examples=40)
+    def test_get_next_is_strict_successor(self, oid_set, probe):
+        tree = MibTree()
+        for oid in oid_set:
+            tree.register(MibVariable(oid=oid, name=str(oid), reader=lambda: 0))
+        nxt = tree.get_next(probe)
+        greater = sorted(o for o in oid_set if o > probe)
+        if greater:
+            assert nxt is not None and nxt.oid == greater[0]
+        else:
+            assert nxt is None

@@ -1,0 +1,69 @@
+"""Property tests: security-policy matrix monotonicity."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.credential import SigningAuthority
+from repro.core.naplet_id import NapletID
+from repro.server.security import Rule, SecurityPolicy
+
+_permissions = st.sampled_from(
+    ["launch", "landing", "message", "clone", "service:math", "channel:snmp"]
+)
+_owners = st.sampled_from(["alice", "bob", "carol"])
+_patterns = st.sampled_from(["alice", "bob", "carol", "*", "a*", "?ob"])
+
+
+@st.composite
+def grant_rules(draw):
+    match = {}
+    if draw(st.booleans()):
+        match["owner"] = draw(_patterns)
+    grants = frozenset(draw(st.sets(_permissions, max_size=4)))
+    return Rule.of(match, grants=grants)
+
+
+_authority = SigningAuthority()
+for _owner in ("alice", "bob", "carol"):
+    _authority.register_owner(_owner)
+
+
+def _credential(owner):
+    nid = NapletID.create(owner, "home", stamp="240101120000")
+    return _authority.issue(nid, "cb://x", {})
+
+
+class TestMonotonicity:
+    @given(st.lists(grant_rules(), max_size=6), grant_rules(), _owners, _permissions)
+    @settings(max_examples=80)
+    def test_adding_grant_rules_never_revokes(self, rules, extra, owner, permission):
+        cred = _credential(owner)
+        before = SecurityPolicy(list(rules)).permits(cred, permission)
+        after = SecurityPolicy(list(rules) + [extra]).permits(cred, permission)
+        if before:
+            assert after
+
+    @given(st.lists(grant_rules(), max_size=6), _owners, _permissions)
+    @settings(max_examples=60)
+    def test_rule_order_irrelevant_without_denies(self, rules, owner, permission):
+        cred = _credential(owner)
+        forward = SecurityPolicy(list(rules)).permits(cred, permission)
+        backward = SecurityPolicy(list(reversed(rules))).permits(cred, permission)
+        assert forward == backward
+
+    @given(st.lists(grant_rules(), max_size=6), _owners, _permissions)
+    @settings(max_examples=60)
+    def test_deny_always_wins(self, rules, owner, permission):
+        cred = _credential(owner)
+        deny_all = Rule.of({}, denies={"*"})
+        assert not SecurityPolicy(list(rules) + [deny_all]).permits(cred, permission)
+
+    @given(_owners, _permissions)
+    def test_permissive_policy_grants_all(self, owner, permission):
+        assert SecurityPolicy.permissive().permits(_credential(owner), permission)
+
+    @given(_owners, _permissions)
+    def test_locked_down_grants_none(self, owner, permission):
+        assert not SecurityPolicy.locked_down().permits(_credential(owner), permission)

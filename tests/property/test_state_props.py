@@ -1,0 +1,75 @@
+"""Property tests: NapletState access-matrix invariants."""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import StateAccessError
+from repro.core.state import AccessMode, NapletState
+
+_keys = st.text(alphabet="abcdefghij", min_size=1, max_size=6)
+_values = st.one_of(st.integers(), st.text(max_size=10), st.lists(st.integers(), max_size=4))
+_servers = st.sampled_from(["s1", "s2", "s3", "s4"])
+
+
+@st.composite
+def entry_specs(draw):
+    mode = draw(st.sampled_from(list(AccessMode)))
+    allowed = (
+        frozenset(draw(st.sets(_servers, min_size=1, max_size=3)))
+        if mode is AccessMode.PROTECTED
+        else None
+    )
+    return (draw(_keys), draw(_values), mode, allowed)
+
+
+class TestAccessMatrix:
+    @given(st.lists(entry_specs(), min_size=1, max_size=12), _servers)
+    @settings(max_examples=60)
+    def test_visible_iff_mode_admits(self, specs, server):
+        state = NapletState()
+        final: dict[str, tuple] = {}
+        for key, value, mode, allowed in specs:
+            state.set(key, value, mode=mode, allowed_servers=allowed)
+            final[key] = (value, mode, allowed)
+        visible = state.visible_to(server)
+        for key, (value, mode, allowed) in final.items():
+            should_see = mode is AccessMode.PUBLIC or (
+                mode is AccessMode.PROTECTED and server in (allowed or ())
+            )
+            assert (key in visible) == should_see
+            if should_see:
+                assert visible[key] == value
+                assert state.server_get(key, server) == value
+            else:
+                try:
+                    state.server_get(key, server)
+                    raised = False
+                except StateAccessError:
+                    raised = True
+                assert raised
+
+    @given(st.lists(entry_specs(), min_size=1, max_size=12))
+    @settings(max_examples=40)
+    def test_owner_always_sees_everything(self, specs):
+        state = NapletState()
+        final = {}
+        for key, value, mode, allowed in specs:
+            state.set(key, value, mode=mode, allowed_servers=allowed)
+            final[key] = value
+        for key, value in final.items():
+            assert state.get(key) == value
+        assert set(state.keys()) == set(final)
+
+    @given(st.lists(entry_specs(), min_size=1, max_size=10), _servers)
+    @settings(max_examples=40)
+    def test_pickle_preserves_matrix(self, specs, server):
+        state = NapletState()
+        for key, value, mode, allowed in specs:
+            state.set(key, value, mode=mode, allowed_servers=allowed)
+        copy = pickle.loads(pickle.dumps(state))
+        assert copy.visible_to(server) == state.visible_to(server)
+        assert set(copy.keys()) == set(state.keys())

@@ -1,0 +1,47 @@
+"""deploy(): one-call naplet-space bring-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.server import DirectoryMode, ServerConfig, deploy
+from repro.simnet import VirtualNetwork, line, star
+
+
+@pytest.fixture
+def network():
+    net = VirtualNetwork(star(3))
+    yield net
+    net.shutdown()
+
+
+class TestDeploy:
+    def test_all_hosts_by_default(self, network):
+        servers = deploy(network)
+        assert set(servers) == {"station", "dev00", "dev01", "dev02"}
+        for hostname, server in servers.items():
+            assert network.host(hostname).server is server
+
+    def test_subset_of_hosts(self, network):
+        servers = deploy(network, hostnames=["dev00", "dev01"])
+        assert set(servers) == {"dev00", "dev01"}
+        assert network.host("station").server is None
+
+    def test_directory_host_switches_to_central(self, network):
+        servers = deploy(network, directory_host="station")
+        for server in servers.values():
+            assert server.config.directory_mode is DirectoryMode.CENTRAL
+            assert server.config.directory_urn == "naplet://station"
+        assert servers["station"].local_directory is not None
+        assert servers["dev00"].local_directory is None
+
+    def test_directory_host_added_if_missing_from_subset(self, network):
+        servers = deploy(network, hostnames=["dev00"], directory_host="station")
+        assert set(servers) == {"dev00", "station"}
+
+    def test_configs_are_independent_copies(self, network):
+        config = ServerConfig(max_residents=5)
+        servers = deploy(network, config=config)
+        servers["dev00"].config.max_residents = 1
+        assert servers["dev01"].config.max_residents == 5
+        assert config.max_residents == 5

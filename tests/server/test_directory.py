@@ -1,0 +1,158 @@
+"""Directory services: records, modes, and remote registration (paper §4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.naplet_id import NapletID
+from repro.server.directory import (
+    DirectoryClient,
+    DirectoryEvent,
+    DirectoryMode,
+    NapletDirectory,
+)
+from repro.transport.base import Frame, FrameKind, urn_of
+from repro.transport.inmemory import InMemoryTransport
+
+
+def _nid(owner="a", home="homeserver") -> NapletID:
+    return NapletID.create(owner, home, stamp="240101120000")
+
+
+class TestNapletDirectory:
+    def test_arrival_then_lookup(self):
+        directory = NapletDirectory()
+        nid = _nid()
+        directory.register_arrival(nid, "naplet://s1")
+        record = directory.lookup(nid)
+        assert record.server_urn == "naplet://s1"
+        assert record.event == DirectoryEvent.ARRIVAL
+        assert not record.in_transit
+
+    def test_departure_marks_in_transit(self):
+        directory = NapletDirectory()
+        nid = _nid()
+        directory.register_arrival(nid, "naplet://s1")
+        directory.register_departure(nid, "naplet://s1")
+        assert directory.lookup(nid).in_transit
+
+    def test_sequence_increases(self):
+        directory = NapletDirectory()
+        nid = _nid()
+        first = directory.register_arrival(nid, "naplet://s1")
+        second = directory.register_departure(nid, "naplet://s1")
+        assert second.sequence > first.sequence
+
+    def test_unknown_lookup_none(self):
+        assert NapletDirectory().lookup(_nid()) is None
+
+    def test_drop(self):
+        directory = NapletDirectory()
+        nid = _nid()
+        directory.register_arrival(nid, "naplet://s1")
+        directory.drop(nid)
+        assert directory.lookup(nid) is None
+        assert len(directory) == 0
+
+
+def _remote_directory_host(transport, hostname):
+    """Register a host that serves directory frames from its own store."""
+    directory = NapletDirectory()
+
+    def handler(frame: Frame):
+        if frame.kind == FrameKind.DIRECTORY_EVENT:
+            return DirectoryClient.handle_event_frame(directory, frame)
+        if frame.kind == FrameKind.DIRECTORY_QUERY:
+            return DirectoryClient.handle_query_frame(directory, frame)
+        raise AssertionError(frame.kind)
+
+    transport.register(urn_of(hostname), handler)
+    return directory
+
+
+class TestCentralMode:
+    def test_remote_registration_and_lookup(self):
+        transport = InMemoryTransport()
+        central = _remote_directory_host(transport, "dirhost")
+        client = DirectoryClient(
+            mode=DirectoryMode.CENTRAL,
+            transport=transport,
+            self_urn="naplet://edge",
+            central_urn="naplet://dirhost",
+        )
+        nid = _nid()
+        client.report_arrival(nid, "naplet://edge")
+        assert central.lookup(nid).server_urn == "naplet://edge"
+        record = client.lookup(nid)
+        assert record.server_urn == "naplet://edge"
+
+    def test_central_host_uses_local_store(self):
+        transport = InMemoryTransport()
+        local = NapletDirectory()
+        client = DirectoryClient(
+            mode=DirectoryMode.CENTRAL,
+            transport=transport,
+            self_urn="naplet://dirhost",
+            central_urn="naplet://dirhost",
+            local_directory=local,
+        )
+        nid = _nid()
+        client.report_departure(nid, "naplet://dirhost")
+        assert local.lookup(nid).in_transit
+        assert client.lookup(nid).in_transit
+
+    def test_central_mode_requires_urn(self):
+        with pytest.raises(ValueError):
+            DirectoryClient(
+                mode=DirectoryMode.CENTRAL,
+                transport=InMemoryTransport(),
+                self_urn="naplet://x",
+            )
+
+
+class TestHomeMode:
+    def test_events_routed_to_home_manager(self):
+        transport = InMemoryTransport()
+        home_store = _remote_directory_host(transport, "homeserver")
+        client = DirectoryClient(
+            mode=DirectoryMode.HOME,
+            transport=transport,
+            self_urn="naplet://edge",
+        )
+        nid = _nid(home="homeserver")
+        client.report_arrival(nid, "naplet://edge")
+        assert home_store.lookup(nid).server_urn == "naplet://edge"
+        assert client.lookup(nid).server_urn == "naplet://edge"
+
+    def test_home_server_itself_uses_local_slice(self):
+        transport = InMemoryTransport()
+        local = NapletDirectory()
+        client = DirectoryClient(
+            mode=DirectoryMode.HOME,
+            transport=transport,
+            self_urn=urn_of("homeserver"),
+            local_directory=local,
+        )
+        nid = _nid(home="homeserver")
+        client.report_arrival(nid, urn_of("homeserver"))
+        assert local.lookup(nid) is not None
+
+
+class TestNoneMode:
+    def test_everything_is_silent(self):
+        client = DirectoryClient(
+            mode=DirectoryMode.NONE,
+            transport=InMemoryTransport(),
+            self_urn="naplet://x",
+        )
+        nid = _nid()
+        client.report_arrival(nid, "naplet://x")  # no-op, no transport use
+        assert client.lookup(nid) is None
+
+    def test_unreachable_authority_lookup_returns_none(self):
+        client = DirectoryClient(
+            mode=DirectoryMode.HOME,
+            transport=InMemoryTransport(),  # nothing registered
+            self_urn="naplet://edge",
+        )
+        assert client.lookup(_nid(home="ghosthome")) is None

@@ -1,0 +1,95 @@
+"""Locator: caching in front of the directory (paper §4.1)."""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.naplet_id import NapletID
+from repro.server.directory import DirectoryClient, DirectoryMode, NapletDirectory
+from repro.server.locator import Locator
+from repro.transport.base import urn_of
+from repro.transport.inmemory import InMemoryTransport
+
+
+def _locator(cache_ttl=5.0):
+    """Locator whose client authority is a local store (home == self)."""
+    store = NapletDirectory()
+    client = DirectoryClient(
+        mode=DirectoryMode.HOME,
+        transport=InMemoryTransport(),
+        self_urn=urn_of("home"),
+        local_directory=store,
+    )
+    return Locator(client, cache_ttl=cache_ttl), store
+
+
+def _nid():
+    return NapletID.create("a", "home", stamp="240101120000")
+
+
+class TestLocate:
+    def test_miss_consults_directory(self):
+        locator, store = _locator()
+        nid = _nid()
+        store.register_arrival(nid, "naplet://s3")
+        assert locator.locate(nid) == "naplet://s3"
+        assert locator.cache_misses == 1
+
+    def test_hit_uses_cache(self):
+        locator, store = _locator()
+        nid = _nid()
+        store.register_arrival(nid, "naplet://s3")
+        locator.locate(nid)
+        assert locator.locate(nid) == "naplet://s3"
+        assert locator.cache_hits == 1
+        assert locator.cache_misses == 1
+
+    def test_unknown_returns_none(self):
+        locator, _ = _locator()
+        assert locator.locate(_nid()) is None
+
+    def test_bypass_cache(self):
+        locator, store = _locator()
+        nid = _nid()
+        store.register_arrival(nid, "naplet://old")
+        locator.locate(nid)
+        store.register_arrival(nid, "naplet://new")
+        assert locator.locate(nid) == "naplet://old"  # cached
+        assert locator.locate(nid, use_cache=False) == "naplet://new"
+
+    def test_lookup_record_bypasses_cache(self):
+        locator, store = _locator()
+        nid = _nid()
+        store.register_departure(nid, "naplet://s1")
+        record = locator.lookup_record(nid)
+        assert record.in_transit
+
+
+class TestCacheMaintenance:
+    def test_note_location_seeds_cache(self):
+        locator, _ = _locator()
+        nid = _nid()
+        locator.note_location(nid, "naplet://learned")
+        assert locator.locate(nid) == "naplet://learned"
+        assert locator.cache_misses == 0
+
+    def test_invalidate(self):
+        locator, store = _locator()
+        nid = _nid()
+        locator.note_location(nid, "naplet://stale")
+        locator.invalidate(nid)
+        store.register_arrival(nid, "naplet://fresh")
+        assert locator.locate(nid) == "naplet://fresh"
+
+    def test_ttl_expiry(self):
+        locator, store = _locator(cache_ttl=0.02)
+        nid = _nid()
+        locator.note_location(nid, "naplet://stale")
+        store.register_arrival(nid, "naplet://fresh")
+        time.sleep(0.03)
+        assert locator.locate(nid) == "naplet://fresh"
+
+    def test_cache_size(self):
+        locator, _ = _locator()
+        locator.note_location(_nid(), "naplet://x")
+        assert locator.cache_size == 1

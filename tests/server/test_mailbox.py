@@ -1,0 +1,104 @@
+"""Mailbox: ordered buffering with filtered retrieval."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.errors import NapletCommunicationError
+from repro.core.naplet_id import NapletID
+from repro.server.mailbox import Mailbox
+from repro.server.messages import UserMessage
+
+TARGET = NapletID.parse("t@h:240101120000:0")
+
+
+def _msg(body) -> UserMessage:
+    return UserMessage(sender="test", target=TARGET, body=body)
+
+
+class TestFifo:
+    def test_put_get_order(self):
+        box = Mailbox()
+        for i in range(3):
+            box.put(_msg(i))
+        assert [box.get(timeout=1).body for _ in range(3)] == [0, 1, 2]
+
+    def test_len(self):
+        box = Mailbox()
+        box.put(_msg(1))
+        assert len(box) == 1
+
+    def test_poll_nonblocking(self):
+        box = Mailbox()
+        assert box.poll() is None
+        box.put(_msg("x"))
+        assert box.poll().body == "x"
+
+    def test_get_timeout_raises(self):
+        with pytest.raises(NapletCommunicationError):
+            Mailbox().get(timeout=0.05)
+
+
+class TestFiltered:
+    def test_get_matching_skips_and_preserves(self):
+        box = Mailbox()
+        box.put(_msg("a"))
+        box.put(_msg("wanted"))
+        box.put(_msg("b"))
+        got = box.get_matching(lambda m: m.body == "wanted", timeout=1)
+        assert got.body == "wanted"
+        assert [box.get(timeout=1).body for _ in range(2)] == ["a", "b"]
+
+    def test_get_matching_blocks_until_match(self):
+        box = Mailbox()
+
+        def feed():
+            box.put(_msg("noise"))
+            box.put(_msg("signal"))
+
+        t = threading.Timer(0.05, feed)
+        t.start()
+        got = box.get_matching(lambda m: m.body == "signal", timeout=2)
+        assert got.body == "signal"
+        t.join()
+
+    def test_get_matching_timeout(self):
+        box = Mailbox()
+        box.put(_msg("noise"))
+        with pytest.raises(NapletCommunicationError):
+            box.get_matching(lambda m: m.body == "never", timeout=0.05)
+        assert len(box) == 1  # noise untouched
+
+
+class TestDrainClose:
+    def test_drain_empties(self):
+        box = Mailbox()
+        box.put(_msg(1))
+        box.put(_msg(2))
+        drained = box.drain()
+        assert [m.body for m in drained] == [1, 2]
+        assert len(box) == 0
+
+    def test_closed_rejects_put(self):
+        box = Mailbox()
+        box.close()
+        with pytest.raises(NapletCommunicationError):
+            box.put(_msg(1))
+
+    def test_close_wakes_waiters(self):
+        box = Mailbox()
+        result = []
+
+        def waiter():
+            try:
+                box.get(timeout=5)
+            except NapletCommunicationError as exc:
+                result.append(str(exc))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        box.close()
+        t.join(2)
+        assert result and "closed" in result[0]

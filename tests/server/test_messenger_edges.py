@@ -1,0 +1,74 @@
+"""Messenger edge paths: unreachable forwards, missing receipts, reports."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.errors import NapletCommunicationError
+from repro.itinerary import Itinerary, seq
+from repro.server import deploy
+from repro.simnet import VirtualNetwork, line
+from repro.util.concurrency import wait_until
+from tests.conftest import StallNaplet
+
+
+@pytest.fixture
+def trio():
+    network = VirtualNetwork(line(3, prefix="s"))
+    servers = deploy(network)
+    yield network, servers
+    network.shutdown()
+
+
+class TestEdges:
+    def test_receipt_for_unknown_id_is_none(self, trio):
+        _network, servers = trio
+        assert servers["s00"].messenger.receipt_for(999_999) is None
+
+    def test_report_to_unknown_listener_raises(self, trio):
+        _network, servers = trio
+        with pytest.raises(NapletCommunicationError, match="no listener"):
+            servers["s01"].messenger.post_report(
+                "naplet://s00", "no-such-key", "reporter", {"x": 1}
+            )
+
+    def test_forward_parked_swallows_unreachable_destination(self, trio):
+        network, servers = trio
+        from repro.core.naplet_id import NapletID
+
+        nid = NapletID.create("ghost", "s00", stamp="240101120000")
+        # park a message at s01 for a naplet that never lands there
+        receipt = servers["s00"].messenger.post(
+            None, nid, "early", dest_urn="naplet://s01"
+        )
+        assert receipt.status == "parked"
+        network.partition_host("s02")
+        # forwarding toward a partitioned destination must not raise
+        servers["s01"].messenger.forward_parked(nid, "naplet://s02")
+        assert servers["s01"].messenger.special_mailbox_size(nid) == 0
+
+    def test_remove_mailbox_forward_swallows_unreachable(self, trio):
+        network, servers = trio
+        agent = StallNaplet("sitting", spin_seconds=30.0)
+        agent.set_itinerary(Itinerary(seq("s01")))
+        nid = servers["s00"].launch(agent, owner="ops")
+        assert wait_until(lambda: servers["s01"].manager.is_resident(nid))
+        # park a message in the resident's mailbox, then simulate a forced
+        # removal toward an unreachable host — must not raise
+        mailbox = servers["s01"].messenger.mailbox_of(nid)
+        assert mailbox is not None
+        servers["s00"].messenger.post(None, nid, "queued")
+        network.partition_host("s02")
+        servers["s01"].messenger.remove_mailbox(nid, forward_to="naplet://s02")
+        assert servers["s01"].messenger.mailbox_of(nid) is None
+        servers["s00"].terminate_naplet(nid)
+
+    def test_remove_mailbox_without_forward_drops_quietly(self, trio):
+        _network, servers = trio
+        from repro.core.naplet_id import NapletID
+
+        # removing a mailbox that never existed is a no-op
+        servers["s01"].messenger.remove_mailbox(
+            NapletID.create("nobody", "s00", stamp="240101120000")
+        )

@@ -1,0 +1,142 @@
+"""SecurityPolicy matrix and NapletSecurityManager (paper §5)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.credential import SigningAuthority
+from repro.core.errors import CredentialError, PermissionDeniedError
+from repro.core.naplet_id import NapletID
+from repro.server.security import (
+    NapletSecurityManager,
+    Permission,
+    Rule,
+    SecurityPolicy,
+)
+
+
+@pytest.fixture
+def authority():
+    auth = SigningAuthority()
+    auth.register_owner("alice")
+    auth.register_owner("mallory")
+    return auth
+
+
+def _credential(authority, owner="alice", attributes=None, codebase="cb://app"):
+    nid = NapletID.create(owner, "home", stamp="240101120000")
+    return authority.issue(nid, codebase, attributes or {})
+
+
+class TestRules:
+    def test_empty_match_applies_to_all(self, authority):
+        rule = Rule.of({}, grants={"landing"})
+        cred = _credential(authority)
+        assert rule.applies_to(cred.features())
+
+    def test_feature_match_with_wildcards(self, authority):
+        rule = Rule.of({"owner": "ali*", "codebase": "cb://*"}, grants={"landing"})
+        assert rule.applies_to(_credential(authority).features())
+        assert not rule.applies_to(_credential(authority, owner="mallory").features())
+
+    def test_missing_feature_never_matches(self, authority):
+        rule = Rule.of({"role": "admin"})
+        assert not rule.applies_to(_credential(authority).features())
+
+
+class TestPolicy:
+    def test_permissive_grants_everything(self, authority):
+        policy = SecurityPolicy.permissive()
+        cred = _credential(authority)
+        for permission in (Permission.LAUNCH, Permission.LANDING, Permission.channel("x")):
+            assert policy.permits(cred, permission)
+
+    def test_locked_down_grants_nothing(self, authority):
+        policy = SecurityPolicy.locked_down()
+        assert not policy.permits(_credential(authority), Permission.LANDING)
+
+    def test_grants_union_across_rules(self, authority):
+        policy = SecurityPolicy(
+            [
+                Rule.of({}, grants={Permission.LANDING}),
+                Rule.of({"owner": "alice"}, grants={Permission.LAUNCH}),
+            ]
+        )
+        cred = _credential(authority)
+        assert policy.permits(cred, Permission.LANDING)
+        assert policy.permits(cred, Permission.LAUNCH)
+        mallory = _credential(authority, owner="mallory")
+        assert policy.permits(mallory, Permission.LANDING)
+        assert not policy.permits(mallory, Permission.LAUNCH)
+
+    def test_deny_overrides_grant(self, authority):
+        policy = SecurityPolicy(
+            [
+                Rule.of({}, grants={"*"}),
+                Rule.of({"owner": "mallory"}, denies={Permission.channel("*")}),
+            ]
+        )
+        mallory = _credential(authority, owner="mallory")
+        assert policy.permits(mallory, Permission.LANDING)
+        assert not policy.permits(mallory, Permission.channel("NetManagement"))
+
+    def test_namespaced_service_grants(self, authority):
+        policy = SecurityPolicy(
+            [Rule.of({}, grants={Permission.service("math"), Permission.channel("snmp")})]
+        )
+        cred = _credential(authority)
+        assert policy.permits(cred, "service:math")
+        assert not policy.permits(cred, "service:other")
+        assert policy.permits(cred, "channel:snmp")
+
+    def test_wildcard_namespace_grant(self, authority):
+        policy = SecurityPolicy([Rule.of({}, grants={"channel:*"})])
+        cred = _credential(authority)
+        assert policy.permits(cred, "channel:anything")
+        assert not policy.permits(cred, "launch")
+
+    def test_attribute_based_rule(self, authority):
+        policy = SecurityPolicy(
+            [Rule.of({"role": "netadmin"}, grants={Permission.channel("NetManagement")})]
+        )
+        admin = _credential(authority, attributes={"role": "netadmin"})
+        guest = _credential(authority, attributes={"role": "guest"})
+        assert policy.permits(admin, "channel:NetManagement")
+        assert not policy.permits(guest, "channel:NetManagement")
+
+    def test_add_rule_at_runtime(self, authority):
+        policy = SecurityPolicy.locked_down()
+        cred = _credential(authority)
+        assert not policy.permits(cred, Permission.LANDING)
+        policy.add_rule(Rule.of({}, grants={Permission.LANDING}))
+        assert policy.permits(cred, Permission.LANDING)
+
+
+class TestSecurityManager:
+    def test_check_passes_for_valid_credential(self, authority):
+        manager = NapletSecurityManager(SecurityPolicy.permissive(), authority)
+        manager.check(_credential(authority), Permission.LANDING)
+
+    def test_check_raises_on_denied_permission(self, authority):
+        manager = NapletSecurityManager(SecurityPolicy.locked_down(), authority)
+        with pytest.raises(PermissionDeniedError):
+            manager.check(_credential(authority), Permission.LANDING)
+
+    def test_forged_credential_rejected_before_policy(self, authority):
+        manager = NapletSecurityManager(SecurityPolicy.permissive(), authority)
+        forged = dataclasses.replace(_credential(authority), codebase="evil")
+        with pytest.raises(CredentialError):
+            manager.check(forged, Permission.LANDING)
+
+    def test_signature_check_can_be_disabled(self, authority):
+        manager = NapletSecurityManager(
+            SecurityPolicy.permissive(), authority, require_signature=False
+        )
+        forged = dataclasses.replace(_credential(authority), codebase="evil")
+        manager.check(forged, Permission.LANDING)  # passes: no verification
+
+    def test_permits_bool_wrapper(self, authority):
+        manager = NapletSecurityManager(SecurityPolicy.locked_down(), authority)
+        assert not manager.permits(_credential(authority), Permission.LAUNCH)

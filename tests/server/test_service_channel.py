@@ -1,0 +1,128 @@
+"""ServiceChannel: synchronous pipes between naplets and privileged services."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.errors import ServiceChannelClosed
+from repro.server.service_channel import EOF, PrivilegedService, ServiceChannel
+
+
+class TestPipes:
+    def test_naplet_to_service_direction(self):
+        channel = ServiceChannel("svc")
+        channel.naplet_writer.write("request")
+        assert channel.service_reader.read(timeout=1) == "request"
+
+    def test_service_to_naplet_direction(self):
+        channel = ServiceChannel("svc")
+        channel.service_writer.write({"result": 1})
+        assert channel.naplet_reader.read(timeout=1) == {"result": 1}
+
+    def test_line_aliases(self):
+        channel = ServiceChannel("svc")
+        channel.get_naplet_writer().write_line("cmd")
+        assert channel.service_reader.read_line(timeout=1) == "cmd"
+
+    def test_fifo_order(self):
+        channel = ServiceChannel("svc")
+        for i in range(5):
+            channel.naplet_writer.write(i)
+        assert [channel.service_reader.read(timeout=1) for _ in range(5)] == list(range(5))
+
+    def test_read_timeout_raises(self):
+        channel = ServiceChannel("svc", read_timeout=0.05)
+        with pytest.raises(ServiceChannelClosed):
+            channel.naplet_reader.read()
+
+    def test_iteration_until_eof(self):
+        channel = ServiceChannel("svc")
+        channel.service_writer.write(1)
+        channel.service_writer.write(2)
+        channel.service_writer.close()
+        assert list(channel.naplet_reader) == [1, 2]
+
+
+class TestClose:
+    def test_write_after_close_raises(self):
+        channel = ServiceChannel("svc")
+        channel.close()
+        with pytest.raises(ServiceChannelClosed):
+            channel.naplet_writer.write("late")
+
+    def test_read_after_close_returns_eof(self):
+        channel = ServiceChannel("svc")
+        channel.naplet_writer.write("queued")
+        channel.close()
+        assert channel.service_reader.read(timeout=1) == "queued"  # drains
+        assert channel.service_reader.read(timeout=1) is EOF
+
+    def test_closed_flag(self):
+        channel = ServiceChannel("svc")
+        assert not channel.closed
+        channel.close()
+        assert channel.closed
+
+    def test_one_side_close(self):
+        channel = ServiceChannel("svc")
+        channel.naplet_writer.close()  # closes the to-service pipe only
+        assert channel.service_reader.read(timeout=1) is EOF
+        channel.service_writer.write("still-works")
+        assert channel.naplet_reader.read(timeout=1) == "still-works"
+
+    def test_channel_is_transient(self):
+        with pytest.raises(TypeError):
+            pickle.dumps(ServiceChannel("svc"))
+
+
+class EchoService(PrivilegedService):
+    """Doubles integers until EOF."""
+
+    def run(self) -> None:
+        while True:
+            item = self.input.read()
+            if item is EOF:
+                return
+            self.output.write(item * 2)
+
+
+class TestPrivilegedService:
+    def test_service_loop_over_channel(self):
+        channel = ServiceChannel("echo")
+        service = EchoService()
+        service.bind(channel.service_reader, channel.service_writer)
+        service.start("echo-thread")
+        channel.naplet_writer.write(21)
+        assert channel.naplet_reader.read(timeout=2) == 42
+        channel.naplet_writer.write(5)
+        assert channel.naplet_reader.read(timeout=2) == 10
+        channel.naplet_writer.close()
+        service.join(2)
+
+    def test_service_closes_writer_on_exit(self):
+        channel = ServiceChannel("echo")
+        service = EchoService()
+        service.bind(channel.service_reader, channel.service_writer)
+        service.start("echo-exit")
+        channel.naplet_writer.close()
+        service.join(2)
+        assert channel.naplet_reader.read(timeout=1) is EOF
+
+    def test_unbound_service_asserts(self):
+        service = EchoService()
+        with pytest.raises(AssertionError):
+            _ = service.input
+
+    def test_repeated_inquiries_same_channel(self):
+        """Paper §6.1: 'the whole process can be repeated'."""
+        channel = ServiceChannel("echo")
+        service = EchoService()
+        service.bind(channel.service_reader, channel.service_writer)
+        service.start("echo-repeat")
+        for i in range(10):
+            channel.naplet_writer.write(i)
+            assert channel.naplet_reader.read(timeout=2) == i * 2
+        channel.close()

@@ -1,0 +1,93 @@
+"""Topology generators: shapes and link attributes."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.simnet.topology import (
+    full_mesh,
+    line,
+    random_geometric,
+    ring,
+    star,
+    tree,
+)
+
+
+class TestStar:
+    def test_shape(self):
+        graph = star(5)
+        assert graph.number_of_nodes() == 6
+        assert graph.degree["station"] == 5
+        for node in graph.nodes:
+            if node != "station":
+                assert graph.degree[node] == 1
+
+    def test_custom_center_and_prefix(self):
+        graph = star(3, center="hub", prefix="leaf")
+        assert "hub" in graph.nodes
+        assert "leaf00" in graph.nodes
+
+    def test_link_attributes(self):
+        graph = star(2, latency=0.01, bandwidth=1e6)
+        for _u, _v, data in graph.edges(data=True):
+            assert data["latency"] == 0.01
+            assert data["bandwidth"] == 1e6
+
+
+class TestRingLine:
+    def test_ring_is_cycle(self):
+        graph = ring(6)
+        assert graph.number_of_edges() == 6
+        assert all(graph.degree[n] == 2 for n in graph.nodes)
+
+    def test_line_is_path(self):
+        graph = line(5)
+        assert graph.number_of_edges() == 4
+        endpoints = [n for n in graph.nodes if graph.degree[n] == 1]
+        assert len(endpoints) == 2
+
+    def test_single_host_line(self):
+        graph = line(1)
+        assert graph.number_of_nodes() == 1
+        assert graph.number_of_edges() == 0
+
+
+class TestTree:
+    def test_balanced_tree_counts(self):
+        graph = tree(branching=2, depth=3)
+        # 1 + 2 + 4 + 8
+        assert graph.number_of_nodes() == 15
+        assert nx.is_tree(graph)
+
+    def test_names_encode_paths(self):
+        graph = tree(branching=2, depth=2)
+        assert "root-0-1" in graph.nodes
+
+
+class TestMesh:
+    def test_complete(self):
+        graph = full_mesh(4)
+        assert graph.number_of_edges() == 6
+
+
+class TestRandomGeometric:
+    def test_connected_and_deterministic(self):
+        g1 = random_geometric(20, seed=3)
+        g2 = random_geometric(20, seed=3)
+        assert nx.is_connected(g1)
+        assert set(g1.edges) == set(g2.edges)
+
+    def test_different_seeds_differ(self):
+        g1 = random_geometric(30, seed=1)
+        g2 = random_geometric(30, seed=2)
+        assert set(g1.edges) != set(g2.edges)
+
+
+class TestNaming:
+    @pytest.mark.parametrize("factory", [ring, line, full_mesh])
+    def test_width_grows_with_count(self, factory):
+        graph = factory(150)
+        assert "host000" in graph.nodes or "host00" in graph.nodes
+        assert graph.number_of_nodes() == 150

@@ -1,0 +1,171 @@
+"""SnmpAgent: PDU handling, communities, and the network endpoint."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.snmp.agent import SnmpAgent, SnmpEndpoint, snmp_urn
+from repro.snmp.device import DeviceProfile, ManagedDevice
+from repro.snmp.mib import WELL_KNOWN_NAMES
+from repro.snmp.oid import OID
+from repro.snmp.protocol import (
+    ErrorStatus,
+    GetBulkRequest,
+    GetNextRequest,
+    GetRequest,
+    SetRequest,
+    VarBind,
+)
+from repro.transport.base import Frame
+from repro.transport.inmemory import InMemoryTransport
+
+SYS_NAME = OID.parse(WELL_KNOWN_NAMES["sysName"])
+SYS_DESCR = OID.parse(WELL_KNOWN_NAMES["sysDescr"])
+
+
+@pytest.fixture
+def agent():
+    device = ManagedDevice(DeviceProfile(hostname="dev01"), seed=1)
+    return SnmpAgent(device)
+
+
+class TestGet:
+    def test_single_oid(self, agent):
+        response = agent.handle(GetRequest("public", (SYS_NAME,)))
+        assert response.ok
+        assert response.bindings[0].value == "dev01"
+
+    def test_multi_varbind(self, agent):
+        response = agent.handle(GetRequest("public", (SYS_NAME, SYS_DESCR)))
+        assert len(response.bindings) == 2
+        assert response.values()[0] == "dev01"
+
+    def test_no_such_name(self, agent):
+        response = agent.handle(GetRequest("public", (OID.parse("9.9.9.0"),)))
+        assert response.error_status == ErrorStatus.NO_SUCH_NAME
+        assert response.error_index == 1
+
+    def test_error_index_points_at_offender(self, agent):
+        response = agent.handle(
+            GetRequest("public", (SYS_NAME, OID.parse("9.9.9.0")))
+        )
+        assert response.error_index == 2
+
+
+class TestCommunities:
+    def test_wrong_community_auth_failure(self, agent):
+        response = agent.handle(GetRequest("wrong", (SYS_NAME,)))
+        assert response.error_status == ErrorStatus.AUTH_FAILURE
+
+    def test_rw_community_can_read(self, agent):
+        assert agent.handle(GetRequest("private", (SYS_NAME,))).ok
+
+    def test_ro_community_cannot_write(self, agent):
+        response = agent.handle(
+            SetRequest("public", (VarBind(SYS_NAME, "hacked"),))
+        )
+        assert response.error_status == ErrorStatus.AUTH_FAILURE
+
+    def test_rw_community_can_write(self, agent):
+        response = agent.handle(
+            SetRequest("private", (VarBind(SYS_NAME, "renamed"),))
+        )
+        assert response.ok
+        assert agent.handle(GetRequest("public", (SYS_NAME,))).values() == ["renamed"]
+
+
+class TestGetNextAndBulk:
+    def test_get_next(self, agent):
+        response = agent.handle(GetNextRequest("public", (OID.parse("1.3.6.1.2.1.1"),)))
+        assert response.ok
+        assert response.bindings[0].oid == OID.parse("1.3.6.1.2.1.1.1.0")
+
+    def test_get_next_past_end(self, agent):
+        last = agent.mib.oids()[-1]
+        response = agent.handle(GetNextRequest("public", (last,)))
+        assert response.error_status == ErrorStatus.NO_SUCH_NAME
+
+    def test_get_bulk_repetitions(self, agent):
+        response = agent.handle(
+            GetBulkRequest("public", (OID.parse("1.3.6.1.2.1.1"),), max_repetitions=4)
+        )
+        assert response.ok
+        assert len(response.bindings) == 4
+        oids = [b.oid for b in response.bindings]
+        assert oids == sorted(oids)
+
+    def test_get_bulk_non_repeaters(self, agent):
+        response = agent.handle(
+            GetBulkRequest(
+                "public",
+                (OID.parse("1.3.6.1.2.1.1"), OID.parse("1.3.6.1.2.1.4")),
+                non_repeaters=1,
+                max_repetitions=3,
+            )
+        )
+        assert response.ok
+        assert len(response.bindings) == 1 + 3
+
+    def test_walk_helper(self, agent):
+        bindings = agent.walk("1.3.6.1.2.1.1")
+        names = [str(b.oid) for b in bindings]
+        assert WELL_KNOWN_NAMES["sysName"] in names
+        assert all(str(b.oid).startswith("1.3.6.1.2.1.1") for b in bindings)
+
+    def test_walk_wrong_community_empty(self, agent):
+        assert agent.walk("1.3.6.1.2.1.1", community="nope") == []
+
+
+class TestSet:
+    def test_read_only_variable(self, agent):
+        response = agent.handle(
+            SetRequest("private", (VarBind(SYS_DESCR, "x"),))
+        )
+        assert response.error_status == ErrorStatus.READ_ONLY
+
+    def test_unknown_oid(self, agent):
+        response = agent.handle(
+            SetRequest("private", (VarBind(OID.parse("9.9.9.0"), "x"),))
+        )
+        assert response.error_status == ErrorStatus.NO_SUCH_NAME
+
+    def test_atomic_staging(self, agent):
+        """A bad binding anywhere aborts the whole set."""
+        response = agent.handle(
+            SetRequest(
+                "private",
+                (VarBind(SYS_NAME, "newname"), VarBind(OID.parse("9.9.9.0"), "x")),
+            )
+        )
+        assert not response.ok
+        # first binding must NOT have been applied
+        assert agent.handle(GetRequest("public", (SYS_NAME,))).values() == ["dev01"]
+
+
+class TestStats:
+    def test_requests_served_counts(self, agent):
+        agent.handle(GetRequest("public", (SYS_NAME,)))
+        agent.handle(GetRequest("public", (SYS_NAME,)))
+        assert agent.requests_served == 2
+
+    def test_unknown_pdu_gen_err(self, agent):
+        assert agent.handle("not-a-pdu").error_status == ErrorStatus.GEN_ERR
+
+
+class TestEndpoint:
+    def test_frames_round_trip(self, agent):
+        transport = InMemoryTransport()
+        endpoint = SnmpEndpoint(agent, transport, "dev01")
+        frame = Frame(
+            kind="snmp-pdu",
+            source="naplet://station",
+            dest=snmp_urn("dev01"),
+            payload=pickle.dumps(GetRequest("public", (SYS_NAME,))),
+        )
+        response = pickle.loads(transport.request(frame))
+        assert response.values() == ["dev01"]
+        assert transport.meter.total_frames == 2  # request + reply
+        endpoint.close()
+        assert not transport.is_registered(snmp_urn("dev01"))

@@ -1,0 +1,89 @@
+"""ManagedDevice: deterministic synthetic dynamics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.snmp.device import DeviceProfile, ManagedDevice
+
+
+@pytest.fixture
+def device():
+    return ManagedDevice(DeviceProfile(hostname="dev01", n_interfaces=3), seed=7)
+
+
+class TestDeterminism:
+    def test_same_seed_same_readings(self):
+        a = ManagedDevice(DeviceProfile(hostname="x"), seed=5)
+        b = ManagedDevice(DeviceProfile(hostname="x"), seed=5)
+        assert a.if_in_octets(0, now=100.0) == b.if_in_octets(0, now=100.0)
+        assert a.cpu_load(now=42.0) == b.cpu_load(now=42.0)
+
+    def test_different_seeds_differ(self):
+        a = ManagedDevice(DeviceProfile(hostname="x"), seed=1)
+        b = ManagedDevice(DeviceProfile(hostname="x"), seed=2)
+        assert a.if_in_octets(0, now=1000.0) != b.if_in_octets(0, now=1000.0)
+
+    def test_default_seed_from_hostname(self):
+        a = ManagedDevice(DeviceProfile(hostname="dev42"))
+        b = ManagedDevice(DeviceProfile(hostname="dev42"))
+        assert a.if_in_octets(0, now=500.0) == b.if_in_octets(0, now=500.0)
+
+
+class TestCounters:
+    def test_counters_monotone_in_time(self, device):
+        for reader in (
+            lambda t: device.if_in_octets(1, now=t),
+            lambda t: device.if_out_octets(1, now=t),
+            lambda t: device.ip_in_receives(now=t),
+            lambda t: device.tcp_active_opens(now=t),
+            lambda t: device.udp_in_datagrams(now=t),
+            lambda t: device.sys_uptime_ticks(now=t),
+        ):
+            assert reader(10.0) <= reader(20.0) <= reader(200.0)
+
+    def test_counters_zero_at_birth(self, device):
+        assert device.if_in_octets(0, now=0.0) == 0
+        assert device.sys_uptime_ticks(now=0.0) == 0
+
+    def test_uptime_is_ticks(self, device):
+        assert device.sys_uptime_ticks(now=2.5) == 250
+
+    def test_wall_clock_default(self, device):
+        # without explicit now, elapsed time since construction is used
+        assert device.if_in_octets(0) >= 0
+
+
+class TestGauges:
+    def test_cpu_load_bounded(self, device):
+        for t in range(0, 200, 7):
+            load = device.cpu_load(now=float(t))
+            assert 0.0 <= load <= 1.0
+
+    def test_tcp_estab_nonnegative(self, device):
+        assert all(device.tcp_curr_estab(now=float(t)) >= 0 for t in range(0, 100, 11))
+
+
+class TestInterfaces:
+    def test_oper_status_toggles(self, device):
+        assert device.if_oper_status(1) == 1
+        device.set_interface_down(1)
+        assert device.if_oper_status(1) == 2
+        device.set_interface_up(1)
+        assert device.if_oper_status(1) == 1
+
+    def test_n_interfaces(self, device):
+        assert device.n_interfaces == 3
+
+
+class TestWritableFields:
+    def test_get_set(self, device):
+        assert device.get_field("sysName") == "dev01"
+        device.set_field("sysName", "renamed")
+        assert device.get_field("sysName") == "renamed"
+
+    def test_unknown_field_rejected(self, device):
+        with pytest.raises(KeyError):
+            device.set_field("madeUp", "x")
+        with pytest.raises(KeyError):
+            device.get_field("madeUp")

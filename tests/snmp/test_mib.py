@@ -1,0 +1,117 @@
+"""MibTree + the RFC1213-like MIB-II layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.snmp.device import DeviceProfile, ManagedDevice
+from repro.snmp.mib import (
+    WELL_KNOWN_NAMES,
+    Access,
+    MibTree,
+    MibVariable,
+    build_mib2,
+)
+from repro.snmp.oid import OID
+
+
+@pytest.fixture
+def device():
+    return ManagedDevice(DeviceProfile(hostname="dev01", n_interfaces=2), seed=3)
+
+
+@pytest.fixture
+def mib(device):
+    return build_mib2(device)
+
+
+class TestMibTree:
+    def test_register_get(self):
+        tree = MibTree()
+        tree.register(MibVariable(oid=OID.parse("1.1.0"), name="x", reader=lambda: 42))
+        assert tree.get(OID.parse("1.1.0")).read() == 42
+
+    def test_duplicate_oid_rejected(self):
+        tree = MibTree()
+        var = MibVariable(oid=OID.parse("1.1.0"), name="x", reader=lambda: 1)
+        tree.register(var)
+        with pytest.raises(ValueError):
+            tree.register(MibVariable(oid=OID.parse("1.1.0"), name="y", reader=lambda: 2))
+
+    def test_get_next_lexicographic(self):
+        tree = MibTree()
+        for text in ("1.1.0", "1.2.0", "1.10.0"):
+            tree.register(MibVariable(oid=OID.parse(text), name=text, reader=lambda: 0))
+        nxt = tree.get_next(OID.parse("1.1.0"))
+        assert str(nxt.oid) == "1.2.0"
+        assert str(tree.get_next(OID.parse("1.2.0")).oid) == "1.10.0"
+        assert tree.get_next(OID.parse("1.10.0")) is None
+
+    def test_get_next_from_nonexistent_oid(self):
+        tree = MibTree()
+        tree.register(MibVariable(oid=OID.parse("1.5.0"), name="x", reader=lambda: 0))
+        assert str(tree.get_next(OID.parse("1.3")).oid) == "1.5.0"
+
+    def test_walk_subtree(self, mib):
+        system = list(mib.walk(OID.parse("1.3.6.1.2.1.1")))
+        names = [v.name for v in system]
+        assert names[0] == "sysDescr"
+        assert "sysName" in names
+        assert all(str(v.oid).startswith("1.3.6.1.2.1.1") for v in system)
+
+    def test_read_only_write_rejected(self, mib):
+        descr = mib.get(OID.parse(WELL_KNOWN_NAMES["sysDescr"]))
+        with pytest.raises(PermissionError):
+            descr.write("nope")
+
+
+class TestMib2Layout:
+    def test_well_known_oids_exist(self, mib):
+        for name, oid in WELL_KNOWN_NAMES.items():
+            variable = mib.get(OID.parse(oid))
+            assert variable is not None, f"{name} missing at {oid}"
+
+    def test_sys_group_values(self, mib, device):
+        assert mib.get(OID.parse("1.3.6.1.2.1.1.5.0")).read() == "dev01"
+        assert "managed device" in mib.get(OID.parse("1.3.6.1.2.1.1.1.0")).read()
+
+    def test_if_number_matches_profile(self, mib):
+        assert mib.get(OID.parse("1.3.6.1.2.1.2.1.0")).read() == 2
+
+    def test_if_table_columns_per_interface(self, mib):
+        # ifInOctets for both interfaces (column 10, indices 1 and 2)
+        for idx in (1, 2):
+            var = mib.get(OID.parse(f"1.3.6.1.2.1.2.2.1.10.{idx}"))
+            assert var is not None
+            assert var.read() >= 0
+
+    def test_if_descr(self, mib):
+        assert mib.get(OID.parse("1.3.6.1.2.1.2.2.1.2.1")).read() == "eth0"
+
+    def test_sys_name_read_write(self, mib, device):
+        var = mib.get(OID.parse(WELL_KNOWN_NAMES["sysName"]))
+        assert var.access == Access.READ_WRITE
+        var.write("renamed")
+        assert device.get_field("sysName") == "renamed"
+        assert var.read() == "renamed"
+
+    def test_dynamic_values_reflect_device(self, mib, device):
+        load_oid = OID.parse(WELL_KNOWN_NAMES["cpuLoad"])
+        assert mib.get(load_oid).read() == device.cpu_load()
+
+    def test_walk_everything_is_sorted(self, mib):
+        oids = [v.oid for v in mib.walk()]
+        assert oids == sorted(oids)
+        assert len(oids) == len(mib)
+
+    def test_full_walk_via_get_next(self, mib):
+        """A get-next chain from the root covers the whole tree in order."""
+        seen = []
+        cursor = OID.parse("1")
+        while True:
+            variable = mib.get_next(cursor)
+            if variable is None:
+                break
+            seen.append(variable.oid)
+            cursor = variable.oid
+        assert seen == mib.oids()

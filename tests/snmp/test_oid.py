@@ -1,0 +1,100 @@
+"""OID value type: parsing, ordering, prefixes."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.snmp.oid import OID
+
+
+class TestParse:
+    def test_dotted_string(self):
+        oid = OID.parse("1.3.6.1.2.1.1.5.0")
+        assert oid.parts == (1, 3, 6, 1, 2, 1, 1, 5, 0)
+        assert str(oid) == "1.3.6.1.2.1.1.5.0"
+        assert oid.dotted == str(oid)
+
+    def test_leading_dot_tolerated(self):
+        assert OID.parse(".1.3.6") == OID.parse("1.3.6")
+
+    def test_parse_idempotent_on_oid(self):
+        oid = OID.parse("1.3")
+        assert OID.parse(oid) is oid
+
+    def test_parse_tuple(self):
+        assert OID.parse((1, 3, 6)).parts == (1, 3, 6)
+
+    @pytest.mark.parametrize("bad", ["", "1.x.3", "1..3", "abc"])
+    def test_malformed(self, bad):
+        with pytest.raises(ValueError):
+            OID.parse(bad)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            OID(())
+
+    def test_negative_arc_rejected(self):
+        with pytest.raises(ValueError):
+            OID((1, -3))
+
+
+class TestOrdering:
+    def test_lexicographic(self):
+        assert OID.parse("1.3.6.1") < OID.parse("1.3.6.2")
+        assert OID.parse("1.3.6") < OID.parse("1.3.6.0")  # prefix sorts first
+        assert OID.parse("1.3.10") > OID.parse("1.3.9")  # numeric, not textual
+
+    def test_sorted_walk_order(self):
+        oids = [OID.parse(t) for t in ("1.3.6.1.2", "1.3.6.1.1.0", "1.3.6.1.1")]
+        assert [str(o) for o in sorted(oids)] == [
+            "1.3.6.1.1",
+            "1.3.6.1.1.0",
+            "1.3.6.1.2",
+        ]
+
+    def test_equality_and_hash(self):
+        assert OID.parse("1.3") == OID.parse("1.3")
+        assert hash(OID.parse("1.3")) == hash(OID.parse("1.3"))
+
+
+class TestStructure:
+    def test_child_and_parent(self):
+        base = OID.parse("1.3.6")
+        child = base.child(1, 0)
+        assert str(child) == "1.3.6.1.0"
+        assert child.parent() == OID.parse("1.3.6.1")
+
+    def test_root_parent_none(self):
+        assert OID.parse("1").parent() is None
+
+    def test_prefix_tests(self):
+        root = OID.parse("1.3.6.1.2.1.1")
+        inside = OID.parse("1.3.6.1.2.1.1.5.0")
+        outside = OID.parse("1.3.6.1.2.1.2.1.0")
+        assert root.is_prefix_of(inside)
+        assert root.is_prefix_of(root)
+        assert not root.is_prefix_of(outside)
+        assert root.strictly_contains(inside)
+        assert not root.strictly_contains(root)
+
+    def test_len_and_iter(self):
+        oid = OID.parse("1.3.6")
+        assert len(oid) == 3
+        assert list(oid) == [1, 3, 6]
+
+
+class TestEncoding:
+    def test_encoded_size_reasonable(self):
+        small = OID.parse("1.3.6.1.2.1.1.5.0")
+        assert 5 <= small.encoded_size() <= 15
+
+    def test_large_arcs_take_more_octets(self):
+        small = OID.parse("1.3.6.1")
+        large = OID.parse("1.3.6.200000")
+        assert large.encoded_size() > small.encoded_size()
+
+    def test_pickles(self):
+        oid = OID.parse("1.3.6.1")
+        assert pickle.loads(pickle.dumps(oid)) == oid

@@ -1,0 +1,62 @@
+"""PDU types and size estimation."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.snmp.oid import OID
+from repro.snmp.protocol import (
+    ErrorStatus,
+    GetRequest,
+    SetRequest,
+    SnmpResponse,
+    VarBind,
+    approx_ber_size,
+)
+
+
+class TestResponse:
+    def test_ok_property(self):
+        assert SnmpResponse().ok
+        assert not SnmpResponse(error_status=ErrorStatus.NO_SUCH_NAME).ok
+
+    def test_values(self):
+        response = SnmpResponse(
+            bindings=(VarBind(OID.parse("1.1"), 1), VarBind(OID.parse("1.2"), "x"))
+        )
+        assert response.values() == [1, "x"]
+
+
+class TestBerSize:
+    def test_grows_with_varbinds(self):
+        one = GetRequest("public", (OID.parse("1.3.6.1.2.1.1.5.0"),))
+        three = GetRequest(
+            "public",
+            tuple(OID.parse(f"1.3.6.1.2.1.1.{i}.0") for i in (1, 3, 5)),
+        )
+        assert approx_ber_size(three) > approx_ber_size(one)
+
+    def test_community_length_counts(self):
+        short = GetRequest("a", (OID.parse("1.3"),))
+        long = GetRequest("a-much-longer-community", (OID.parse("1.3"),))
+        assert approx_ber_size(long) > approx_ber_size(short)
+
+    def test_response_values_count(self):
+        small = SnmpResponse(bindings=(VarBind(OID.parse("1.3"), 1),))
+        big = SnmpResponse(bindings=(VarBind(OID.parse("1.3"), "x" * 100),))
+        assert approx_ber_size(big) > approx_ber_size(small)
+
+    def test_set_request_sized(self):
+        pdu = SetRequest("private", (VarBind(OID.parse("1.3.6.1.2.1.1.5.0"), "name"),))
+        assert approx_ber_size(pdu) > 20
+
+    def test_plausible_absolute_scale(self):
+        """A single-OID v1 get is a few dozen octets on real wire."""
+        pdu = GetRequest("public", (OID.parse("1.3.6.1.2.1.1.5.0"),))
+        assert 25 <= approx_ber_size(pdu) <= 90
+
+
+class TestPickling:
+    def test_pdus_round_trip(self):
+        pdu = GetRequest("public", (OID.parse("1.3.6"),))
+        assert pickle.loads(pickle.dumps(pdu)) == pdu

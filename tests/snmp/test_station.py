@@ -1,0 +1,89 @@
+"""ManagementStation: the centralized CNMP baseline over the wire."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.snmp.agent import SnmpAgent, SnmpEndpoint
+from repro.snmp.device import DeviceProfile, ManagedDevice
+from repro.snmp.mib import WELL_KNOWN_NAMES
+from repro.snmp.station import ManagementStation
+from repro.transport.inmemory import InMemoryTransport
+
+
+@pytest.fixture
+def setup():
+    transport = InMemoryTransport()
+    endpoints = {}
+    for i in range(3):
+        hostname = f"dev{i:02d}"
+        agent = SnmpAgent(ManagedDevice(DeviceProfile(hostname=hostname), seed=i))
+        endpoints[hostname] = SnmpEndpoint(agent, transport, hostname)
+    station = ManagementStation(transport, hostname="station")
+    return transport, station, sorted(endpoints)
+
+
+class TestPolling:
+    def test_fine_grained_one_request_per_oid(self, setup):
+        transport, station, hosts = setup
+        oids = [WELL_KNOWN_NAMES["sysName"], WELL_KNOWN_NAMES["sysUpTime"]]
+        values = station.get(hosts[0], oids, batch=False)
+        assert values[WELL_KNOWN_NAMES["sysName"]] == "dev00"
+        assert station.requests_sent == 2
+
+    def test_batch_single_request(self, setup):
+        transport, station, hosts = setup
+        oids = [WELL_KNOWN_NAMES["sysName"], WELL_KNOWN_NAMES["sysUpTime"]]
+        values = station.get(hosts[0], oids, batch=True)
+        assert len(values) == 2
+        assert station.requests_sent == 1
+
+    def test_poll_all_covers_devices(self, setup):
+        _transport, station, hosts = setup
+        table = station.poll_all(hosts, [WELL_KNOWN_NAMES["sysName"]])
+        assert set(table) == set(hosts)
+        for host in hosts:
+            assert table[host][WELL_KNOWN_NAMES["sysName"]] == host
+
+    def test_traffic_proportional_to_devices_and_oids(self, setup):
+        transport, station, hosts = setup
+        transport.meter.reset()
+        station.poll_all(hosts, [WELL_KNOWN_NAMES["sysName"]])
+        one_param = transport.meter.total_bytes
+        transport.meter.reset()
+        station.poll_all(
+            hosts,
+            [WELL_KNOWN_NAMES["sysName"], WELL_KNOWN_NAMES["sysUpTime"],
+             WELL_KNOWN_NAMES["cpuLoad"]],
+        )
+        three_params = transport.meter.total_bytes
+        assert three_params > 2 * one_param  # ~linear in P
+
+    def test_unknown_oid_omitted(self, setup):
+        _transport, station, hosts = setup
+        values = station.get(hosts[0], ["9.9.9.0"])
+        assert values == {}
+
+
+class TestWalk:
+    def test_walk_matches_local_walk(self, setup):
+        transport, station, hosts = setup
+        remote = station.walk(hosts[0], "1.3.6.1.2.1.1")
+        assert [str(b.oid) for b in remote][0] == "1.3.6.1.2.1.1.1.0"
+        assert len(remote) >= 6
+
+    def test_walk_costs_one_round_trip_per_step(self, setup):
+        _transport, station, hosts = setup
+        before = station.requests_sent
+        bindings = station.walk(hosts[0], "1.3.6.1.2.1.1")
+        # one get-next per binding plus the final out-of-subtree probe
+        assert station.requests_sent - before == len(bindings) + 1
+
+
+class TestSet:
+    def test_set_round_trip(self, setup):
+        _transport, station, hosts = setup
+        response = station.set(hosts[0], WELL_KNOWN_NAMES["sysName"], "managed-00")
+        assert response.ok
+        values = station.get(hosts[0], [WELL_KNOWN_NAMES["sysName"]])
+        assert values[WELL_KNOWN_NAMES["sysName"]] == "managed-00"

@@ -1,0 +1,17 @@
+"""Fixture module for code-shipping tests.
+
+Kept free of imports outside the restricted loader's allowlist: this whole
+module's source is bundled into a codebase and re-executed on 'arrival'.
+"""
+
+from __future__ import annotations
+
+
+class StampedPayload:
+    """A payload class shipped by codebase reference."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def doubled(self):
+        return self.value * 2

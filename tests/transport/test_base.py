@@ -1,0 +1,65 @@
+"""Frames, URNs, and the Transport registration contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import NapletCommunicationError
+from repro.transport.base import Frame, FrameKind, host_of, urn_of
+from repro.transport.inmemory import InMemoryTransport
+
+
+class TestUrns:
+    def test_urn_of_plain_hostname(self):
+        assert urn_of("hostA") == "naplet://hostA"
+
+    def test_urn_of_idempotent(self):
+        assert urn_of("naplet://hostA") == "naplet://hostA"
+
+    def test_host_of_strips_any_scheme(self):
+        assert host_of("naplet://hostA") == "hostA"
+        assert host_of("snmp://dev01") == "dev01"
+        assert host_of("bare") == "bare"
+
+
+class TestFrame:
+    def test_size_accounts_payload_and_headers(self):
+        frame = Frame(
+            kind=FrameKind.MESSAGE,
+            source="naplet://a",
+            dest="naplet://b",
+            payload=b"x" * 100,
+            headers={"target": "someid"},
+        )
+        bare = Frame(kind=FrameKind.MESSAGE, source="naplet://a", dest="naplet://b")
+        assert frame.size > 100
+        assert frame.size > bare.size
+
+    def test_default_empty_payload(self):
+        frame = Frame(kind=FrameKind.PING, source="a", dest="b")
+        assert frame.payload == b""
+        assert frame.headers == {}
+
+
+class TestRegistration:
+    def test_register_and_endpoint_listing(self):
+        transport = InMemoryTransport()
+        transport.register("naplet://a", lambda f: None)
+        assert transport.is_registered("naplet://a")
+        assert transport.endpoints() == ["naplet://a"]
+
+    def test_duplicate_registration_rejected(self):
+        transport = InMemoryTransport()
+        transport.register("naplet://a", lambda f: None)
+        with pytest.raises(NapletCommunicationError):
+            transport.register("naplet://a", lambda f: None)
+
+    def test_unregister_then_unreachable(self):
+        transport = InMemoryTransport()
+        transport.register("naplet://a", lambda f: b"ok")
+        transport.unregister("naplet://a")
+        with pytest.raises(NapletCommunicationError):
+            transport.send(Frame(kind=FrameKind.PING, source="naplet://x", dest="naplet://a"))
+
+    def test_unregister_unknown_is_idempotent(self):
+        InMemoryTransport().unregister("naplet://ghost")

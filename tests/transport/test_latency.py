@@ -1,0 +1,58 @@
+"""Latency models: uniform, per-link, zero."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.latency import PerLinkLatency, UniformLatency, ZeroLatency
+
+
+class TestZero:
+    def test_always_zero(self):
+        model = ZeroLatency()
+        assert model.delay("a", "b", 10_000) == 0.0
+
+
+class TestUniform:
+    def test_latency_only(self):
+        model = UniformLatency(latency=0.01)
+        assert model.delay("a", "b", 1_000_000) == pytest.approx(0.01)
+
+    def test_bandwidth_adds_transfer_time(self):
+        model = UniformLatency(latency=0.01, bandwidth=1_000_000)
+        assert model.delay("a", "b", 500_000) == pytest.approx(0.01 + 0.5)
+
+    def test_loopback_free(self):
+        model = UniformLatency(latency=0.5)
+        assert model.delay("a", "a", 1000) == 0.0
+
+    def test_zero_bandwidth_means_infinite(self):
+        model = UniformLatency(latency=0.0, bandwidth=0.0)
+        assert model.delay("a", "b", 10**9) == 0.0
+
+
+class TestPerLink:
+    def test_defaults_apply_to_unknown_links(self):
+        model = PerLinkLatency(default_latency=0.002)
+        assert model.delay("a", "b", 100) == pytest.approx(0.002)
+
+    def test_override_symmetric(self):
+        model = PerLinkLatency(default_latency=0.002)
+        model.set_link("a", "b", latency=0.1)
+        assert model.delay("a", "b", 1) == pytest.approx(0.1)
+        assert model.delay("b", "a", 1) == pytest.approx(0.1)
+
+    def test_override_asymmetric(self):
+        model = PerLinkLatency()
+        model.set_link("a", "b", latency=0.1, symmetric=False)
+        assert model.delay("a", "b", 1) == pytest.approx(0.1)
+        assert model.delay("b", "a", 1) == 0.0
+
+    def test_link_bandwidth(self):
+        model = PerLinkLatency()
+        model.set_link("a", "b", latency=0.0, bandwidth=1000)
+        assert model.delay("a", "b", 500) == pytest.approx(0.5)
+
+    def test_loopback_free(self):
+        model = PerLinkLatency(default_latency=9.0)
+        assert model.delay("x", "x", 10) == 0.0

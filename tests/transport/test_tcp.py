@@ -1,0 +1,79 @@
+"""TcpTransport: real localhost sockets carrying frames."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.errors import NapletCommunicationError
+from repro.transport.base import Frame, FrameKind
+from repro.transport.tcp import TcpTransport
+
+
+@pytest.fixture
+def transport():
+    t = TcpTransport()
+    yield t
+    t.close()
+
+
+class TestTcp:
+    def test_request_reply_roundtrip(self, transport):
+        transport.register("naplet://b", lambda f: pickle.dumps(f.payload.upper()))
+        frame = Frame(kind=FrameKind.MESSAGE, source="naplet://a", dest="naplet://b", payload=b"hello")
+        assert pickle.loads(transport.request(frame, timeout=5)) == b"HELLO"
+
+    def test_send_one_way(self, transport):
+        import threading
+
+        seen = threading.Event()
+        received = []
+
+        def handler(frame):
+            received.append(frame.payload)
+            seen.set()
+            return None
+
+        transport.register("naplet://sink", handler)
+        transport.send(Frame(kind=FrameKind.PING, source="naplet://a", dest="naplet://sink", payload=b"x"))
+        assert seen.wait(5)
+        assert received == [b"x"]
+
+    def test_each_endpoint_gets_distinct_port(self, transport):
+        transport.register("naplet://a", lambda f: None)
+        transport.register("naplet://b", lambda f: None)
+        assert transport.port_of("naplet://a") != transport.port_of("naplet://b")
+
+    def test_unknown_destination_raises(self, transport):
+        with pytest.raises(NapletCommunicationError):
+            transport.send(Frame(kind=FrameKind.PING, source="a", dest="naplet://ghost"))
+
+    def test_unregister_closes_listener(self, transport):
+        transport.register("naplet://temp", lambda f: pickle.dumps(b"ok"))
+        transport.unregister("naplet://temp")
+        with pytest.raises(NapletCommunicationError):
+            transport.port_of("naplet://temp")
+
+    def test_large_payload(self, transport):
+        transport.register("naplet://big", lambda f: pickle.dumps(len(f.payload)))
+        blob = b"z" * (2 * 1024 * 1024)
+        frame = Frame(kind=FrameKind.NAPLET_TRANSFER, source="a", dest="naplet://big", payload=blob)
+        assert pickle.loads(transport.request(frame, timeout=10)) == len(blob)
+
+    def test_concurrent_requests(self, transport):
+        import threading
+
+        transport.register("naplet://echo", lambda f: pickle.dumps(f.payload))
+        results = []
+
+        def call(i):
+            frame = Frame(kind=FrameKind.MESSAGE, source="a", dest="naplet://echo", payload=str(i).encode())
+            results.append(pickle.loads(transport.request(frame, timeout=5)))
+
+        threads = [threading.Thread(target=call, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(5)
+        assert sorted(results) == sorted(str(i).encode() for i in range(8))

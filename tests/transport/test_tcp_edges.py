@@ -1,0 +1,67 @@
+"""TcpTransport edge cases: oversized frames, dead peers, timeouts."""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import time
+
+import pytest
+
+from repro.core.errors import NapletCommunicationError
+from repro.transport.base import Frame, FrameKind
+from repro.transport.tcp import TcpTransport, _MAX_FRAME
+
+
+@pytest.fixture
+def transport():
+    t = TcpTransport(connect_timeout=1.0)
+    yield t
+    t.close()
+
+
+class TestEdges:
+    def test_request_timeout_when_handler_stalls(self, transport):
+        def slow(frame):
+            time.sleep(2.0)
+            return pickle.dumps(b"late")
+
+        transport.register("naplet://slow", slow)
+        frame = Frame(kind=FrameKind.PING, source="a", dest="naplet://slow")
+        with pytest.raises(NapletCommunicationError, match="timed out"):
+            transport.request(frame, timeout=0.2)
+
+    def test_handler_exception_drops_connection(self, transport):
+        def broken(frame):
+            raise OSError("handler exploded")
+
+        transport.register("naplet://broken", broken)
+        frame = Frame(kind=FrameKind.PING, source="a", dest="naplet://broken")
+        with pytest.raises(NapletCommunicationError):
+            transport.request(frame, timeout=1.0)
+
+    def test_garbage_frame_is_contained(self, transport):
+        """A raw client sending an oversized length prefix gets dropped;
+        the endpoint keeps serving valid traffic."""
+        transport.register("naplet://sturdy", lambda f: pickle.dumps(b"ok"))
+        port = transport.port_of("naplet://sturdy")
+        raw = socket.create_connection(("127.0.0.1", port), timeout=1)
+        raw.sendall(struct.pack("!I", _MAX_FRAME + 1) + b"xxxx")
+        raw.close()
+        frame = Frame(kind=FrameKind.PING, source="a", dest="naplet://sturdy")
+        assert pickle.loads(transport.request(frame, timeout=2)) == b"ok"
+
+    def test_half_frame_then_close_is_contained(self, transport):
+        transport.register("naplet://sturdy2", lambda f: pickle.dumps(b"ok"))
+        port = transport.port_of("naplet://sturdy2")
+        raw = socket.create_connection(("127.0.0.1", port), timeout=1)
+        raw.sendall(struct.pack("!I", 1000) + b"only-a-little")
+        raw.close()
+        frame = Frame(kind=FrameKind.PING, source="a", dest="naplet://sturdy2")
+        assert pickle.loads(transport.request(frame, timeout=2)) == b"ok"
+
+    def test_close_is_idempotent(self, transport):
+        transport.register("naplet://x", lambda f: None)
+        transport.close()
+        transport.close()
