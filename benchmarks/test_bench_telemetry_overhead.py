@@ -1,0 +1,93 @@
+"""E11 (ablation): what does the telemetry layer cost a migrating naplet?
+
+Runs the same line tour through two otherwise-identical spaces — one with
+``ServerConfig.telemetry_enabled=True`` (spans + metrics recorded at every
+hop, landing, and message) and one with it off (no-op instruments, null
+spans) — and compares wall-clock per journey.  The instrumentation sits on
+the migration control path, so this is the honest end-to-end number.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.server import ServerConfig
+from repro.simnet import VirtualNetwork, line
+from tests.conftest import CollectorNaplet
+
+ROUTE = ["s01", "s02", "s03"]
+TOURS = 20
+
+
+def _run_tours(servers, count: int) -> float:
+    """Launch *count* sequential line tours; return total wall seconds."""
+    start = time.perf_counter()
+    for i in range(count):
+        listener = repro.NapletListener()
+        agent = CollectorNaplet(f"tour-{i}")
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(ROUTE, post_action=ResultReport("visited"))
+            )
+        )
+        servers["s00"].launch(agent, owner="bench", listener=listener)
+        assert listener.next_report(timeout=30).payload == ROUTE
+    return time.perf_counter() - start
+
+
+def _space(enabled: bool):
+    network = VirtualNetwork(line(4, prefix="s"))
+    servers = repro.deploy(network, config=ServerConfig(telemetry_enabled=enabled))
+    return network, servers
+
+
+class TestTelemetryOverhead:
+    def test_bench_tour_with_and_without_telemetry(self, benchmark, table):
+        net_on, on = _space(enabled=True)
+        net_off, off = _space(enabled=False)
+        try:
+            # warm both spaces (code paths, caches) before timing
+            _run_tours(on, 2)
+            _run_tours(off, 2)
+            instrumented = _run_tours(on, TOURS)
+            bare = _run_tours(off, TOURS)
+
+            spans = sum(len(s.telemetry.tracer) for s in on.values())
+            table(
+                "E11 — telemetry overhead per 3-hop journey",
+                ["configuration", "total (s)", "ms/journey", "spans kept"],
+                [
+                    [
+                        "telemetry on",
+                        f"{instrumented:.3f}",
+                        f"{instrumented / TOURS * 1e3:.1f}",
+                        spans,
+                    ],
+                    [
+                        "telemetry off",
+                        f"{bare:.3f}",
+                        f"{bare / TOURS * 1e3:.1f}",
+                        sum(len(s.telemetry.tracer) for s in off.values()),
+                    ],
+                ],
+            )
+            benchmark.extra_info["instrumented_s"] = instrumented
+            benchmark.extra_info["bare_s"] = bare
+
+            # telemetry-off really records nothing
+            assert all(len(s.telemetry.tracer) == 0 for s in off.values())
+            assert off["s00"].telemetry.launches.value() == 0
+            assert spans > 0
+            # the layer must stay far below the migration cost itself;
+            # generous bound to keep CI timing noise out of the signal
+            assert instrumented <= bare * 4 + 0.5
+
+            def one_tour():
+                _run_tours(on, 1)
+
+            benchmark.pedantic(one_tour, rounds=5, iterations=1)
+        finally:
+            net_on.shutdown()
+            net_off.shutdown()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Observing a naplet space from the inside.
+
+The paper's MAN agents itinerate a network harvesting SNMP variables; here
+observability itself is the network-centric workload.  A *monitoring
+naplet* tours every host, opens the ``telemetry`` service each server
+exposes, and carries the per-server metric snapshots home in its state.
+Back home we print:
+
+1. the table the monitoring naplet assembled host by host;
+2. the space-wide merged metrics (``SpaceAdmin.space_metrics``), which
+   also fold in the transport's wire counters;
+3. the monitoring naplet's **own journey tree** — every hop, landing and
+   post-action of the telemetry sweep, stitched from the per-server
+   tracers (``SpaceAdmin.journey``).
+
+Run:  python examples/space_telemetry.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.server import SpaceAdmin, deploy
+from repro.simnet import VirtualNetwork, full_mesh
+from repro.util.concurrency import wait_until
+
+
+class TelemetryHarvester(repro.Naplet):
+    """Tours the space; at each stop harvests the local telemetry service."""
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        service = context.open_service("telemetry")
+        snap = service.metrics()
+        harvested = self.state.get("harvested") or []
+        harvested.append(
+            {
+                "host": service.hostname,
+                "landings": snap.total("naplet_landings_total"),
+                "hops": snap.total("naplet_hops_total"),
+                "delivered": snap.total("naplet_messages_delivered_total"),
+                "spans": len(service.spans()),
+            }
+        )
+        self.state.set("harvested", harvested)
+        self.travel()
+
+
+class Tourist(repro.Naplet):
+    """Background traffic: hops its line and reports home."""
+
+    def on_start(self) -> None:
+        self.travel()
+
+
+def generate_traffic(servers) -> None:
+    """A little background work so the harvest has something to show."""
+    listener = repro.NapletListener()
+    for i in range(3):
+        agent = Tourist(f"tourist-{i}")
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(
+                    ["h01", "h02", "h03"], post_action=ResultReport("done")
+                )
+            )
+        )
+        servers["h00"].launch(agent, owner="traffic", listener=listener)
+        listener.next_report(timeout=10)
+
+
+def main() -> None:
+    network = VirtualNetwork(full_mesh(4, prefix="h"))
+    servers = deploy(network)
+    admin = SpaceAdmin(servers)
+
+    generate_traffic(servers)
+
+    listener = repro.NapletListener()
+    harvester = TelemetryHarvester("harvester")
+    harvester.set_itinerary(
+        Itinerary(
+            SeqPattern.of_servers(
+                ["h00", "h01", "h02", "h03"],
+                post_action=ResultReport("harvested"),
+            )
+        )
+    )
+    nid = servers["h00"].launch(harvester, owner="noc", listener=listener)
+    rows = listener.next_report(timeout=15).payload
+    admin.wait_space_idle()
+    # A hop span closes on the *source* server only after the destination
+    # acknowledged the landing; give the last one a beat to flush so the
+    # journey stitches to a single root.
+    wait_until(lambda: len(admin.journey(nid).roots) == 1)
+
+    print("— per-host snapshot (harvested in-space by the naplet) —")
+    print(f"  {'host':<6}{'landings':>9}{'hops':>6}{'delivered':>11}{'spans':>7}")
+    for row in rows:
+        print(
+            f"  {row['host']:<6}{row['landings']:>9.0f}{row['hops']:>6.0f}"
+            f"{row['delivered']:>11.0f}{row['spans']:>7}"
+        )
+
+    merged = admin.space_metrics()
+    print("\n— space-wide merged counters —")
+    for name in (
+        "naplet_launches_total",
+        "naplet_hops_total",
+        "naplet_landings_total",
+        "naplet_frame_bytes_total",
+        "wire_frames_total",
+        "wire_bytes_total",
+    ):
+        print(f"  {name:<28} {merged.total(name):,.0f}")
+    latency = merged.value("naplet_hop_latency_seconds")
+    print(
+        f"  hop latency: {latency.count:.0f} hops, "
+        f"mean {latency.mean * 1e3:.2f} ms"
+    )
+
+    print("\n— the harvester's own journey —")
+    print(admin.journey(nid).render())
+
+    network.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ from typing import Any, Callable
 
 from repro.codeshipping.loader import RestrictedLoader
 from repro.core.errors import CodeShippingError
+from repro.util.eventlog import EventLog
 
 __all__ = ["CodeBase", "CodeBaseRegistry", "CodeCache", "SHIPPING_STAMP"]
 
@@ -165,12 +166,14 @@ class CodeCache:
         registry: CodeBaseRegistry,
         loader: RestrictedLoader | None = None,
         fetch_observer: FetchObserver | None = None,
+        event_log: EventLog | None = None,
     ) -> None:
         self._registry = registry
         self._loader = loader or RestrictedLoader()
         self._modules: dict[tuple[str, str], Any] = {}
         self._lock = threading.RLock()
         self._fetch_observer = fetch_observer
+        self.events = event_log if event_log is not None else EventLog()
         self.hits = 0
         self.misses = 0
 
@@ -189,12 +192,22 @@ class CodeCache:
             module = self._modules.get(key)
             if module is not None:
                 self.hits += 1
+                self.events.record(
+                    "codeshipping-cache-hit", codebase=codebase_name, module=module_key
+                )
             else:
                 self.misses += 1
                 codebase = self._registry.get(codebase_name)
                 source = codebase.source_of(module_key)
+                nbytes = len(source.encode())
+                self.events.record(
+                    "codeshipping-cache-miss",
+                    codebase=codebase_name,
+                    module=module_key,
+                    bytes=nbytes,
+                )
                 if self._fetch_observer is not None:
-                    self._fetch_observer(codebase_name, module_key, len(source.encode()))
+                    self._fetch_observer(codebase_name, module_key, nbytes)
                 module = self._loader.execute(
                     source, f"napletship.{codebase_name}.{module_key}"
                 )

@@ -30,6 +30,7 @@ from repro.core.listener import ListenerRef
 from repro.core.naplet_id import NapletID
 from repro.core.navigation_log import NavigationLog
 from repro.core.state import NapletState
+from repro.telemetry.trace import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.itinerary.itinerary import Itinerary
@@ -64,6 +65,7 @@ class Naplet(abc.ABC):
         self._address_book = AddressBook()
         self._nav_log = NavigationLog()
         self._listener = listener
+        self._trace_ctx: TraceContext | None = None  # minted at launch, travels
 
     # ------------------------------------------------------------------ #
     # Lifecycle hooks (paper: onStart / onInterrupt / onStop / onDestroy)
@@ -152,6 +154,18 @@ class Naplet(abc.ABC):
 
     def set_itinerary(self, itinerary: "Itinerary") -> None:
         self._itinerary = itinerary
+
+    @property
+    def trace_context(self) -> TraceContext | None:
+        """Journey trace context; serializable, survives migration and thaw."""
+        return getattr(self, "_trace_ctx", None)
+
+    def _ensure_trace(self) -> TraceContext:
+        """Runtime hook: the trace context, minted on first need."""
+        ctx = self.trace_context
+        if ctx is None:
+            ctx = self._trace_ctx = TraceContext.mint()
+        return ctx
 
     @property
     def listener(self) -> ListenerRef | None:

@@ -370,9 +370,21 @@ class Itinerary:
         not return normally: raises ``NapletDeparted`` after a successful
         dispatch or ``NapletCompleted`` when the journey is over.
         """
-        ops: TravelOps = naplet.require_context().dispatcher  # type: ignore[assignment]
+        context = naplet.require_context()
+        ops: TravelOps = context.dispatcher  # type: ignore[assignment]
         if self._current_visit is not None and self._current_visit.post_action is not None:
-            self._current_visit.post_action.operate(naplet)
+            visit = self._current_visit
+            # Duck-typed tracer from the context extras: the itinerary layer
+            # stays free of telemetry imports, and untraced naplets skip it.
+            tracer = context.extra("tracer")
+            ctx = naplet.trace_context
+            if tracer is not None and ctx is not None:
+                with tracer.span(
+                    "post-action", ctx, naplet=str(naplet.naplet_id), visit=visit.server
+                ):
+                    visit.post_action.operate(naplet)
+            else:
+                visit.post_action.operate(naplet)
         self._current_visit = None
         while True:
             destination = self.step(naplet, ops)

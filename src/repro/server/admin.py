@@ -24,6 +24,9 @@ from repro.core.naplet_id import NapletID
 from repro.server.manager import Footprint
 from repro.server.messages import SystemControl
 from repro.server.monitor import ResourceUsage
+from repro.telemetry.journey import Journey, stitch
+from repro.telemetry.metrics import MetricsSnapshot
+from repro.telemetry.trace import Span
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.server.server import NapletServer
@@ -154,6 +157,52 @@ class SpaceAdmin:
                 )
             )
         return rows
+
+    # ------------------------------------------------------------------ #
+    # Telemetry (space-wide)
+    # ------------------------------------------------------------------ #
+
+    def journey(self, nid: NapletID) -> Journey:
+        """Stitch the cross-server spans of *nid*'s journey into one tree.
+
+        Scans every server's tracer for spans tagged with the naplet id to
+        learn its trace id(s) — a clone family shares one trace — then
+        collects *all* spans of those traces (including message-forward
+        spans recorded at servers the naplet never visited) and stitches
+        them by parent reference.
+        """
+        key = str(nid)
+        trace_ids = {
+            span.trace_id
+            for server in self._servers.values()
+            for span in server.telemetry.tracer.spans()
+            if span.attr("naplet") == key
+        }
+        spans: list[Span] = [
+            span
+            for server in self._servers.values()
+            for span in server.telemetry.tracer.spans()
+            if span.trace_id in trace_ids
+        ]
+        return stitch(spans)
+
+    def space_metrics(self) -> MetricsSnapshot:
+        """One merged snapshot over every server registry and transport.
+
+        Transports are deduplicated by identity: in-memory spaces share one
+        transport object across servers, TCP-split spaces may not.
+        """
+        snapshots = [
+            server.telemetry.registry.snapshot() for server in self._servers.values()
+        ]
+        seen: set[int] = set()
+        for server in self._servers.values():
+            transport = server.transport
+            if id(transport) in seen:
+                continue
+            seen.add(id(transport))
+            snapshots.append(transport.metrics.snapshot())
+        return MetricsSnapshot.merged(snapshots)
 
     # ------------------------------------------------------------------ #
     # Control (location-routed)

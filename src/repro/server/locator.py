@@ -19,9 +19,14 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import TYPE_CHECKING
 
 from repro.core.naplet_id import NapletID
 from repro.server.directory import DirectoryClient, DirectoryRecord
+from repro.util.eventlog import EventLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry.exposition import ServerTelemetry
 
 __all__ = ["Locator"]
 
@@ -29,9 +34,17 @@ __all__ = ["Locator"]
 class Locator:
     """Location service with a TTL cache in front of the directory."""
 
-    def __init__(self, directory: DirectoryClient, cache_ttl: float = 5.0) -> None:
+    def __init__(
+        self,
+        directory: DirectoryClient,
+        cache_ttl: float = 5.0,
+        events: EventLog | None = None,
+        telemetry: "ServerTelemetry | None" = None,
+    ) -> None:
         self.directory = directory
         self.cache_ttl = cache_ttl
+        self.events = events if events is not None else EventLog()
+        self.telemetry = telemetry
         self._cache: dict[NapletID, tuple[str, float]] = {}
         self._lock = threading.Lock()
         self.cache_hits = 0
@@ -67,8 +80,14 @@ class Locator:
             cached = self._cached(nid)
             if cached is not None:
                 self.cache_hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.locator_hits.inc()
+                self.events.record("locator-cache-hit", naplet=str(nid), urn=cached)
                 return cached
         self.cache_misses += 1
+        if self.telemetry is not None:
+            self.telemetry.locator_misses.inc()
+        self.events.record("locator-cache-miss", naplet=str(nid))
         record = self.directory.lookup(nid)
         if record is None:
             return None

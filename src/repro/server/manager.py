@@ -104,7 +104,21 @@ class NapletManager:
         with self._lock:
             self._launched.append(nid)
         self.server.events.record("naplet-launch", naplet=str(nid), owner=owner)
-        self.server.navigator.launch(naplet)
+        telemetry = self.server.telemetry
+        telemetry.launches.inc()
+        # Root span of the journey tree: hop/message spans parent to it via
+        # the context minted here, which travels inside migration frames.
+        ctx = naplet._ensure_trace()
+        with telemetry.tracer.span(
+            "launch",
+            ctx,
+            parent_id="",  # explicit root (no parent)
+            span_id=ctx.span_id,
+            naplet=str(nid),
+            owner=owner,
+            home=self.server.hostname,
+        ):
+            self.server.navigator.launch(naplet)
         return nid
 
     def launched_ids(self) -> list[NapletID]:

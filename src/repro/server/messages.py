@@ -56,7 +56,12 @@ class SystemControl:
 
 @dataclass
 class UserMessage:
-    """Data message between naplets."""
+    """Data message between naplets.
+
+    ``trace_id``/``trace_parent`` carry the sender's journey trace across
+    forwarding hops, so every intermediate Messenger can record its
+    forward step as a span under the sender's ``message-send`` span.
+    """
 
     sender: NapletID | str
     target: NapletID
@@ -64,6 +69,8 @@ class UserMessage:
     message_id: int = field(default_factory=_next_seq)
     sent_at: float = field(default_factory=time.time)
     hops: int = 0
+    trace_id: str | None = None
+    trace_parent: str | None = None
 
     def hopped(self) -> "UserMessage":
         """Copy with the forwarding hop count incremented."""
@@ -74,6 +81,8 @@ class UserMessage:
             message_id=self.message_id,
             sent_at=self.sent_at,
             hops=self.hops + 1,
+            trace_id=self.trace_id,
+            trace_parent=self.trace_parent,
         )
 
 

@@ -36,6 +36,7 @@ from repro.server.messages import (
     make_join_body,
 )
 from repro.server.security import Permission
+from repro.telemetry.trace import NULL_SPAN, TraceContext
 from repro.transport.base import Frame, FrameKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -58,6 +59,18 @@ class Messenger:
         self._lock = threading.RLock()
         self.parked_count = 0
         self.forwarded_count = 0
+        # Queue depths are sampled lazily at snapshot time, not on every put.
+        registry = server.telemetry.registry
+        registry.gauge_fn(
+            "naplet_mailbox_queue_depth",
+            "Messages waiting across resident mailboxes",
+            lambda: float(self.mailbox_queue_depth()),
+        )
+        registry.gauge_fn(
+            "naplet_special_mailbox_depth",
+            "Messages parked for naplets not (yet) resident here",
+            lambda: float(self.special_mailbox_size()),
+        )
 
     # ------------------------------------------------------------------ #
     # Mailbox lifecycle (driven by Navigator arrivals/departures)
@@ -71,6 +84,8 @@ class Messenger:
                 mailbox = Mailbox()
                 self._mailboxes[nid] = mailbox
             parked = self._special.pop(nid, [])
+        if parked:
+            self.server.telemetry.special_mailbox_hits.inc(len(parked))
         for message in parked:
             if isinstance(message, SystemMessage):
                 self.server.monitor.interrupt(nid, message.control, message.payload)
@@ -143,6 +158,7 @@ class Messenger:
 
     def _send_user_message(self, message: UserMessage, dest_urn: str) -> DeliveryReceipt:
         payload = self.server.serializer.dumps(message)
+        self.server.telemetry.frame_bytes.inc(len(payload), kind="message")
         frame = Frame(
             kind=FrameKind.MESSAGE,
             source=self.server.urn,
@@ -186,8 +202,32 @@ class Messenger:
             target=target,
             body=body,
         )
-        destination = self._resolve_destination(sender, target, dest_urn)
-        receipt = self._send_user_message(message, destination)
+        telemetry = self.server.telemetry
+        send_span = (
+            telemetry.naplet_span(sender, "message-send", target=str(target))
+            if sender is not None
+            else NULL_SPAN
+        )
+        with send_span:
+            ctx = sender.trace_context if sender is not None else None
+            lookup_span = (
+                telemetry.span(
+                    "locator-lookup", ctx, parent_id=send_span.span_id, target=str(target)
+                )
+                if ctx is not None
+                else NULL_SPAN
+            )
+            with lookup_span:
+                destination = self._resolve_destination(sender, target, dest_urn)
+                lookup_span.set("resolved", destination)
+            if ctx is not None and send_span.span_id:
+                # The envelope carries the trace so forwarding servers can
+                # hang their forward spans under this message-send span.
+                message.trace_id = ctx.trace_id
+                message.trace_parent = send_span.span_id
+            receipt = self._send_user_message(message, destination)
+            send_span.set("status", receipt.status)
+            send_span.set("hops", receipt.hops)
         if sender is not None:
             block = self.server.monitor.control_block(sender.naplet_id)
             if block is not None:
@@ -252,6 +292,7 @@ class Messenger:
     ) -> dict[str, Any]:
         target = message.target
         hops = getattr(message, "hops", 0)
+        telemetry = self.server.telemetry
         # Case 1: resident here.
         if self.server.manager.is_resident(target):
             if is_control:
@@ -263,6 +304,7 @@ class Messenger:
                 if mailbox is None:
                     mailbox = self.create_mailbox(target)
                 mailbox.put(message)
+            telemetry.messages_delivered.inc()
             return {"status": "delivered", "server": self.server.urn, "hops": hops}
         # Case 2: it left — forward along the trace.
         next_hop = self.server.manager.trace_next_hop(target)
@@ -279,10 +321,27 @@ class Messenger:
                 headers={"target": str(target), "hops": str(hops + 1)},
             )
             self.forwarded_count += 1
-            try:
-                reply = self.server.transport.request(frame)
-            except NapletCommunicationError:
-                return {"status": "undeliverable", "server": self.server.urn, "hops": hops}
+            telemetry.messages_forwarded.inc()
+            trace_id = getattr(message, "trace_id", None)
+            trace_parent = getattr(message, "trace_parent", None)
+            forward_span = (
+                telemetry.span(
+                    "message-forward",
+                    TraceContext(trace_id=trace_id, span_id=trace_parent or ""),
+                    parent_id=trace_parent,
+                    target=str(target),
+                    next_hop=next_hop,
+                    hops=hops + 1,
+                )
+                if trace_id
+                else NULL_SPAN
+            )
+            with forward_span:
+                try:
+                    reply = self.server.transport.request(frame)
+                except NapletCommunicationError:
+                    forward_span.set("undeliverable", True)
+                    return {"status": "undeliverable", "server": self.server.urn, "hops": hops}
             result = pickle.loads(reply)
             if is_control:
                 return result
@@ -292,6 +351,7 @@ class Messenger:
         with self._lock:
             self._special.setdefault(target, []).append(message)
             self.parked_count += 1
+        telemetry.messages_parked.inc()
         return {"status": "parked", "server": self.server.urn, "hops": hops}
 
     def handle_report_frame(self, frame: Frame) -> bytes:
@@ -321,6 +381,12 @@ class Messenger:
             if nid is not None:
                 return len(self._special.get(nid, []))
             return sum(len(v) for v in self._special.values())
+
+    def mailbox_queue_depth(self) -> int:
+        """Messages waiting across all resident mailboxes (gauge callback)."""
+        with self._lock:
+            mailboxes = list(self._mailboxes.values())
+        return sum(len(mb) for mb in mailboxes)
 
 
 class NapletMessengerProxy:

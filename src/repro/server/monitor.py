@@ -40,6 +40,7 @@ from repro.util.eventlog import EventLog
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.naplet import Naplet
     from repro.core.naplet_id import NapletID
+    from repro.telemetry.exposition import ServerTelemetry
 
 __all__ = ["ResourceQuota", "ResourceUsage", "NapletOutcome", "NapletMonitor"]
 
@@ -172,12 +173,14 @@ class NapletMonitor:
         hostname: str,
         default_quota: ResourceQuota | None = None,
         event_log: EventLog | None = None,
+        telemetry: "ServerTelemetry | None" = None,
     ) -> None:
         self.hostname = hostname
         self.default_quota = default_quota if default_quota is not None else ResourceQuota()
         # Explicit None-check: an empty EventLog is falsy (it has __len__),
         # so `or` would silently drop the server's shared log.
         self.events = event_log if event_log is not None else EventLog()
+        self.telemetry = telemetry
         self._runs: dict["NapletID", _ControlBlock] = {}
         self._lock = threading.RLock()
         self.admitted = 0
@@ -206,6 +209,8 @@ class NapletMonitor:
         with self._lock:
             self._runs[nid] = block
             self.admitted += 1
+        if self.telemetry is not None:
+            self.telemetry.admitted.inc()
         if prepare is not None:
             prepare(block)
 
@@ -255,9 +260,19 @@ class NapletMonitor:
     ) -> None:
         nid = naplet.naplet_id
         with self._lock:
-            self._runs.pop(nid, None)
+            block = self._runs.pop(nid, None)
             self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.events.record("naplet-finished", naplet=str(nid), outcome=outcome)
+        if self.telemetry is not None:
+            self.telemetry.outcomes.inc(outcome=outcome)
+            if block is not None:
+                self.telemetry.cpu_seconds.inc(block.usage.cpu_seconds)
+            if outcome == NapletOutcome.QUOTA:
+                resource = getattr(error, "resource", "unknown")
+                self.telemetry.quota_trips.inc(resource=resource)
+                self.events.record(
+                    "quota-trip", naplet=str(nid), resource=resource
+                )
         try:
             if outcome in (
                 NapletOutcome.COMPLETED,

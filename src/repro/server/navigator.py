@@ -100,6 +100,15 @@ class Navigator:
 
     def transfer(self, naplet: "Naplet", dest_urn: str) -> None:
         """Run the LAUNCH/LANDING/transfer protocol toward *dest_urn*."""
+        telemetry = self.server.telemetry
+        with telemetry.naplet_span(
+            naplet, "hop", source=self.server.hostname, dest=dest_urn
+        ) as hop:
+            self._transfer(naplet, dest_urn, hop)
+        telemetry.hops.inc()
+        telemetry.hop_latency.observe(hop.duration)
+
+    def _transfer(self, naplet: "Naplet", dest_urn: str, hop) -> None:
         nid = naplet.naplet_id
         credential = naplet.credential
         # 1. LAUNCH permission at the source.
@@ -134,12 +143,21 @@ class Navigator:
         if naplet.navigation_log.current_server() == self.server.urn:
             naplet.navigation_log.record_departure(self.server.urn)
         payload = self.server.serializer.dumps(naplet)
+        hop.set("bytes", len(payload))
+        self.server.telemetry.frame_bytes.inc(len(payload), kind="naplet-transfer")
+        headers = {"naplet": str(nid)}
+        if hop.span_id:
+            # The landing span at the destination nests under this hop.
+            ctx = naplet.trace_context
+            if ctx is not None:
+                headers["trace-id"] = ctx.trace_id
+                headers["trace-parent"] = hop.span_id
         frame = Frame(
             kind=FrameKind.NAPLET_TRANSFER,
             source=self.server.urn,
             dest=dest_urn,
             payload=payload,
-            headers={"naplet": str(nid)},
+            headers=headers,
         )
         self.server.events.record(
             "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)
@@ -168,27 +186,24 @@ class Navigator:
     # Inbound (frame handlers)
     # ------------------------------------------------------------------ #
 
+    def _deny_landing(self, reason: str) -> bytes:
+        self.server.telemetry.landings_denied.inc()
+        return pickle.dumps({"granted": False, "reason": reason})
+
     def handle_landing_request(self, frame: Frame) -> bytes:
         credential: Credential = pickle.loads(frame.payload)
         try:
             self.server.security.check(credential, Permission.LANDING)
         except Exception as exc:
-            return pickle.dumps({"granted": False, "reason": str(exc)})
+            return self._deny_landing(str(exc))
         limit = self.server.config.max_residents
         if limit is not None and self.server.manager.resident_count >= limit:
-            return pickle.dumps(
-                {"granted": False, "reason": f"server full ({limit} residents)"}
-            )
+            return self._deny_landing(f"server full ({limit} residents)")
         owner_limit = self.server.config.max_residents_per_owner
         if owner_limit is not None:
             owner = credential.naplet_id.owner
             if self.server.manager.resident_count_for_owner(owner) >= owner_limit:
-                return pickle.dumps(
-                    {
-                        "granted": False,
-                        "reason": f"owner {owner!r} at capacity ({owner_limit})",
-                    }
-                )
+                return self._deny_landing(f"owner {owner!r} at capacity ({owner_limit})")
         self.server.events.record(
             "landing-granted", naplet=str(credential.naplet_id), source=frame.source
         )
@@ -201,7 +216,12 @@ class Navigator:
             )
         except Exception as exc:
             return pickle.dumps({"ok": False, "reason": f"deserialization failed: {exc}"})
-        self.receive(naplet, arrived_from=frame.source, payload_bytes=len(frame.payload))
+        self.receive(
+            naplet,
+            arrived_from=frame.source,
+            payload_bytes=len(frame.payload),
+            trace_parent=frame.headers.get("trace-parent"),
+        )
         return pickle.dumps({"ok": True})
 
     def receive(
@@ -209,18 +229,32 @@ class Navigator:
         naplet: "Naplet",
         arrived_from: str | None,
         payload_bytes: int = 0,
+        trace_parent: str | None = None,
     ) -> None:
         """Land *naplet* at this server: register, bind, and start it.
 
         Shared by the wire transfer path and local revival (thaw).
+        ``trace_parent`` is the source hop's span id (from the transfer
+        frame headers), so the landing span nests under the hop in the
+        journey tree; without one (thaw) it parents to the journey root.
         """
         nid = naplet.naplet_id
-        # Postpone execution until the arrival registration is acknowledged.
-        self.server.directory_client.report_arrival(nid, self.server.urn)
-        self.server.manager.record_arrival(naplet, arrived_from=arrived_from)
-        naplet.navigation_log.record_arrival(self.server.urn)
-        self.server.messenger.create_mailbox(nid)
-        self.server.locator.note_location(nid, self.server.urn)
+        telemetry = self.server.telemetry
+        with telemetry.naplet_span(
+            naplet,
+            "landing",
+            parent_id=trace_parent,
+            arrived_from=arrived_from,
+            bytes=payload_bytes,
+        ):
+            # Postpone execution until the arrival registration is acknowledged.
+            self.server.directory_client.report_arrival(nid, self.server.urn)
+            self.server.manager.record_arrival(naplet, arrived_from=arrived_from)
+            naplet.navigation_log.record_arrival(self.server.urn)
+            self.server.messenger.create_mailbox(nid)
+            self.server.locator.note_location(nid, self.server.urn)
+        telemetry.landings.inc()
+        telemetry.itinerary_depth.observe(len(naplet.navigation_log.servers_visited()))
         self.migrations_in += 1
         self.server.events.record(
             "naplet-arrive",
@@ -242,7 +276,7 @@ class Navigator:
                 messenger=NapletMessengerProxy(server.messenger, naplet),
                 services=server.resource_manager.proxy_for(naplet),
                 monitor_hook=block,
-                extras={"network": server.network},
+                extras={"network": server.network, "tracer": server.telemetry.tracer},
             )
             naplet._bind_context(context)
 

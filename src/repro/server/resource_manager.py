@@ -85,7 +85,15 @@ class ResourceManager:
             handler = self._open_services.get(name)
         if handler is None:
             raise ServiceNotFoundError(f"no open service {name!r} on {self.server.hostname}")
-        self.server.security.check(naplet.credential, Permission.service(name))
+        who = str(naplet.naplet_id) if naplet.has_id else naplet.name
+        try:
+            self.server.security.check(naplet.credential, Permission.service(name))
+        except Exception as exc:
+            self.server.events.record(
+                "service-denied", naplet=who, service=name, reason=str(exc)
+            )
+            raise
+        self.server.events.record("service-granted", naplet=who, service=name)
         return handler
 
     def request_channel(self, naplet: "Naplet", name: str) -> ServiceChannel:
@@ -100,7 +108,14 @@ class ResourceManager:
             raise ServiceNotFoundError(
                 f"no privileged service {name!r} on {self.server.hostname}"
             )
-        self.server.security.check(naplet.credential, Permission.channel(name))
+        who = str(naplet.naplet_id) if naplet.has_id else naplet.name
+        try:
+            self.server.security.check(naplet.credential, Permission.channel(name))
+        except Exception as exc:
+            self.server.events.record(
+                "channel-denied", naplet=who, service=name, reason=str(exc)
+            )
+            raise
         channel = ServiceChannel(service_name=name)
         service = factory()
         service.bind(channel.service_reader, channel.service_writer)

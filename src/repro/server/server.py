@@ -39,6 +39,7 @@ from repro.server.monitor import NapletMonitor, ResourceQuota
 from repro.server.navigator import Navigator
 from repro.server.resource_manager import ResourceManager
 from repro.server.security import NapletSecurityManager, SecurityPolicy
+from repro.telemetry.exposition import ServerTelemetry, TelemetryService
 from repro.transport.base import Frame, FrameKind, Transport, urn_of
 from repro.transport.serializer import NapletSerializer
 from repro.util.eventlog import EventLog
@@ -66,6 +67,7 @@ class ServerConfig:
     require_signature: bool = True
     locator_cache_ttl: float = 5.0
     codebase_host: str | None = None  # where lazy code fetches are billed from
+    telemetry_enabled: bool = True  # False: no-op metrics/tracer (benchmarks)
 
 
 class NapletServer:
@@ -88,6 +90,7 @@ class NapletServer:
         self.config = config or ServerConfig()
         self.network = network
         self.events = EventLog()
+        self.telemetry = ServerTelemetry(hostname, enabled=self.config.telemetry_enabled)
 
         if (
             self.config.directory_mode is DirectoryMode.CENTRAL
@@ -98,7 +101,9 @@ class NapletServer:
         self.serializer = NapletSerializer(
             registry=code_registry, eager_code=self.config.eager_code
         )
-        self.code_cache = CodeCache(code_registry, fetch_observer=self._on_code_fetch)
+        self.code_cache = CodeCache(
+            code_registry, fetch_observer=self._on_code_fetch, event_log=self.events
+        )
 
         # -- the seven components -------------------------------------- #
         self.security = NapletSecurityManager(
@@ -106,7 +111,9 @@ class NapletServer:
             authority=authority,
             require_signature=self.config.require_signature,
         )
-        self.monitor = NapletMonitor(hostname, self.config.default_quota, self.events)
+        self.monitor = NapletMonitor(
+            hostname, self.config.default_quota, self.events, telemetry=self.telemetry
+        )
         self.manager = NapletManager(self)
         self.resource_manager = ResourceManager(self)
         self.messenger = Messenger(self)
@@ -129,7 +136,19 @@ class NapletServer:
             central_urn=self.config.directory_urn,
             local_directory=self.local_directory,
         )
-        self.locator = Locator(self.directory_client, self.config.locator_cache_ttl)
+        self.locator = Locator(
+            self.directory_client,
+            self.config.locator_cache_ttl,
+            events=self.events,
+            telemetry=self.telemetry,
+        )
+
+        # Every server exposes its own telemetry in-space (open service), so
+        # monitoring naplets harvest metrics like the paper's MAN agents
+        # harvest SNMP variables.
+        self.resource_manager.register_open_service(
+            TelemetryService.SERVICE_NAME, TelemetryService(self)
+        )
 
         self._shutdown = threading.Event()
         transport.register(self.urn, self._handle_frame)

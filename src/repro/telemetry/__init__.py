@@ -1,0 +1,58 @@
+"""Naplet-space telemetry: journey tracing, metrics, in-space exposition.
+
+Three layers (see DESIGN.md §"Telemetry architecture"):
+
+- :mod:`repro.telemetry.metrics` — thread-safe Counter/Gauge/Histogram
+  primitives with labels, and the per-server :class:`MetricsRegistry`;
+- :mod:`repro.telemetry.trace` — :class:`TraceContext` minted at launch and
+  carried by the naplet, timed :class:`Span` records, the per-server
+  :class:`Tracer`; :mod:`repro.telemetry.journey` stitches cross-server
+  spans into one ordered :class:`Journey` tree;
+- :mod:`repro.telemetry.exposition` — :class:`ServerTelemetry` (the bundle
+  every server owns) and :class:`TelemetryService` (the open ``telemetry``
+  service a monitoring naplet harvests), plus text/JSON renderers.
+"""
+
+from repro.telemetry.exposition import (
+    ServerTelemetry,
+    TelemetryService,
+    metrics_to_dict,
+    render_metrics_text,
+    span_to_dict,
+)
+from repro.telemetry.journey import Journey, JourneyNode, stitch
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramValue,
+    MetricFamily,
+    MetricsRegistry,
+    MetricsSnapshot,
+    exponential_buckets,
+)
+from repro.telemetry.trace import Span, TraceContext, Tracer, new_span_id, new_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricFamily",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "exponential_buckets",
+    "TraceContext",
+    "Span",
+    "Tracer",
+    "new_span_id",
+    "new_trace_id",
+    "Journey",
+    "JourneyNode",
+    "stitch",
+    "ServerTelemetry",
+    "TelemetryService",
+    "render_metrics_text",
+    "metrics_to_dict",
+    "span_to_dict",
+]

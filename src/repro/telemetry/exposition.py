@@ -1,0 +1,257 @@
+"""Telemetry wiring and in-space exposition.
+
+Two classes bridge the telemetry primitives into the naplet space:
+
+- :class:`ServerTelemetry` bundles one server's :class:`MetricsRegistry`
+  and :class:`Tracer` and pre-creates the standard instruments every
+  component records into (launches, landings, hops, message counters,
+  locator cache hits, quota trips, …).  A server constructed with
+  ``ServerConfig.telemetry_enabled=False`` gets the same object with
+  no-op instruments.
+
+- :class:`TelemetryService` is the open ``telemetry`` service registered on
+  every server, so a *monitoring naplet* can itinerate the space and
+  harvest per-server metrics and spans exactly like the paper's MAN agents
+  harvest SNMP variables — observability as just another network-centric
+  workload.
+
+Renderers keep exposition decoupled from formatting: text output follows
+the Prometheus exposition idiom (``name{label="v"} value``); the dict form
+is JSON-serializable for programmatic harvesters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.telemetry.metrics import (
+    HistogramValue,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.telemetry.trace import Span, TraceContext, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.naplet import Naplet
+    from repro.server.server import NapletServer
+
+__all__ = [
+    "ServerTelemetry",
+    "TelemetryService",
+    "render_metrics_text",
+    "metrics_to_dict",
+    "span_to_dict",
+]
+
+
+class ServerTelemetry:
+    """One server's metrics registry + tracer + standard instruments."""
+
+    def __init__(self, hostname: str, enabled: bool = True) -> None:
+        self.hostname = hostname
+        self.enabled = enabled
+        self.registry = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(hostname, enabled=enabled)
+        reg = self.registry
+        # NapletManager / Navigator
+        self.launches = reg.counter(
+            "naplet_launches_total", "Naplets launched from this server"
+        )
+        self.landings = reg.counter(
+            "naplet_landings_total", "Naplet landings accepted at this server"
+        )
+        self.landings_denied = reg.counter(
+            "naplet_landings_denied_total", "Landing requests this server denied"
+        )
+        self.hops = reg.counter(
+            "naplet_hops_total", "Migration hops initiated at this server"
+        )
+        self.hop_latency = reg.histogram(
+            "naplet_hop_latency_seconds",
+            "End-to-end migration latency (LAUNCH grant to transfer ack)",
+        )
+        self.frame_bytes = reg.counter(
+            "naplet_frame_bytes_total", "Serialized payload bytes shipped, by kind"
+        )
+        self.itinerary_depth = reg.histogram(
+            "naplet_itinerary_depth",
+            "Servers visited so far, observed at each landing",
+            buckets=(1, 2, 4, 8, 16, 32, 64, 128),
+        )
+        # Messenger / Mailbox
+        self.messages_delivered = reg.counter(
+            "naplet_messages_delivered_total", "Messages deposited in a local mailbox"
+        )
+        self.messages_forwarded = reg.counter(
+            "naplet_messages_forwarded_total", "Messages forwarded along a trace"
+        )
+        self.messages_parked = reg.counter(
+            "naplet_messages_parked_total", "Messages parked in the special mailbox"
+        )
+        self.special_mailbox_hits = reg.counter(
+            "naplet_special_mailbox_hits_total",
+            "Parked messages claimed by a landing naplet",
+        )
+        # Locator
+        self.locator_hits = reg.counter(
+            "naplet_locator_cache_hits_total", "Locator answers served from cache"
+        )
+        self.locator_misses = reg.counter(
+            "naplet_locator_cache_misses_total", "Locator answers needing the directory"
+        )
+        # NapletMonitor
+        self.admitted = reg.counter(
+            "naplet_admitted_total", "Naplet threads admitted by the monitor"
+        )
+        self.quota_trips = reg.counter(
+            "naplet_quota_trips_total", "Quota violations raised, by resource"
+        )
+        self.cpu_seconds = reg.counter(
+            "naplet_cpu_seconds_total", "CPU seconds consumed by retired naplets"
+        )
+        self.outcomes = reg.counter(
+            "naplet_outcomes_total", "Visit outcomes, by terminal state"
+        )
+
+    # -- span helpers ------------------------------------------------------ #
+
+    def naplet_span(
+        self,
+        naplet: "Naplet",
+        name: str,
+        parent_id: str | None = None,
+        **attributes: Any,
+    ):
+        """Span bound to *naplet*'s trace context (minting one if absent)."""
+        ctx = naplet._ensure_trace()
+        if naplet.has_id:
+            attributes.setdefault("naplet", str(naplet.naplet_id))
+        return self.tracer.span(name, ctx, parent_id=parent_id, **attributes)
+
+    def span(self, name: str, ctx: TraceContext, parent_id: str | None = None, **attributes: Any):
+        return self.tracer.span(name, ctx, parent_id=parent_id, **attributes)
+
+
+class TelemetryService:
+    """Open-service handler exposing one server's telemetry in-space.
+
+    Registered under the service name ``"telemetry"`` on every server; a
+    visiting naplet obtains it with ``context.open_service("telemetry")``
+    and harvests snapshots, rendered text, or raw spans.
+    """
+
+    SERVICE_NAME = "telemetry"
+
+    def __init__(self, server: "NapletServer") -> None:
+        self._server = server
+
+    @property
+    def hostname(self) -> str:
+        return self._server.hostname
+
+    def metrics(self) -> MetricsSnapshot:
+        return self._server.telemetry.registry.snapshot()
+
+    def metrics_text(self) -> str:
+        return render_metrics_text(self.metrics())
+
+    def metrics_dict(self) -> dict[str, Any]:
+        return metrics_to_dict(self.metrics())
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        tracer = self._server.telemetry.tracer
+        return tracer.spans() if trace_id is None else tracer.spans_for(trace_id)
+
+    def span_dicts(self, trace_id: str | None = None) -> list[dict[str, Any]]:
+        return [span_to_dict(span) for span in self.spans(trace_id)]
+
+    def event_counts(self) -> dict[str, int]:
+        """EventLog kinds recorded here, for cross-checking with metrics."""
+        counts: dict[str, int] = {}
+        for record in self._server.events.snapshot():
+            counts[record.kind] = counts.get(record.kind, 0) + 1
+        return counts
+
+
+# ---------------------------------------------------------------------- #
+# Renderers
+# ---------------------------------------------------------------------- #
+
+
+def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+def render_metrics_text(snapshot: MetricsSnapshot) -> str:
+    """Prometheus-style text exposition of *snapshot*."""
+    lines: list[str] = []
+    for family in snapshot.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels in sorted(family.samples):
+            value = family.samples[labels]
+            label_text = _format_labels(labels)
+            if isinstance(value, HistogramValue):
+                lines.append(f"{family.name}_count{label_text} {value.count}")
+                lines.append(f"{family.name}_sum{label_text} {value.total:.9g}")
+                cumulative = 0
+                for bound, count in zip(value.bounds, value.bucket_counts):
+                    cumulative += count
+                    bucket_labels = labels + (("le", f"{bound:.9g}"),)
+                    lines.append(
+                        f"{family.name}_bucket{_format_labels(bucket_labels)} {cumulative}"
+                    )
+                cumulative += value.bucket_counts[-1]
+                inf_labels = labels + (("le", "+Inf"),)
+                lines.append(
+                    f"{family.name}_bucket{_format_labels(inf_labels)} {cumulative}"
+                )
+            else:
+                lines.append(f"{family.name}{label_text} {value:.9g}")
+    return "\n".join(lines)
+
+
+def metrics_to_dict(snapshot: MetricsSnapshot) -> dict[str, Any]:
+    """JSON-serializable form of *snapshot* (labels become sorted dicts)."""
+    out: dict[str, Any] = {}
+    for family in snapshot.families():
+        samples = []
+        for labels in sorted(family.samples):
+            value = family.samples[labels]
+            if isinstance(value, HistogramValue):
+                encoded: Any = {
+                    "count": value.count,
+                    "sum": value.total,
+                    "buckets": [
+                        {"le": bound, "count": count}
+                        for bound, count in zip(value.bounds, value.bucket_counts)
+                    ],
+                    "overflow": value.bucket_counts[-1],
+                }
+            else:
+                encoded = value
+            samples.append({"labels": dict(labels), "value": encoded})
+        out[family.name] = {
+            "type": family.kind,
+            "help": family.help,
+            "samples": samples,
+        }
+    return out
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "server": span.server,
+        "start_wall": span.start_wall,
+        "duration": span.duration,
+        "status": span.status,
+        "attributes": dict(span.attributes),
+    }

@@ -1,0 +1,132 @@
+"""Journey stitching: per-server span logs → one ordered journey tree.
+
+Each server's :class:`~repro.telemetry.trace.Tracer` only sees the spans
+recorded locally; a naplet's journey is scattered across every server it
+visited.  :func:`stitch` reassembles the pieces: spans are linked to their
+parents by id, orphans (parent recorded on a server we cannot see, or
+trimmed from a bounded tracer) become roots, and siblings are ordered by
+start time.  The result mirrors the paper's NavigationLog but with wall
+timings and nested sub-steps (landings under hops, locator lookups under
+message sends).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.telemetry.trace import Span
+
+__all__ = ["JourneyNode", "Journey", "stitch"]
+
+
+@dataclass
+class JourneyNode:
+    """One span plus its stitched children, ordered by start time."""
+
+    span: Span
+    children: list["JourneyNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["JourneyNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class Journey:
+    """The stitched, cross-server trace of one naplet's travels."""
+
+    def __init__(self, trace_id: str | None, roots: list[JourneyNode]) -> None:
+        self.trace_id = trace_id
+        self.roots = roots
+
+    # -- inspection -------------------------------------------------------- #
+
+    def nodes(self) -> list[JourneyNode]:
+        out: list[JourneyNode] = []
+        for root in self.roots:
+            out.extend(root.walk())
+        return out
+
+    @property
+    def spans(self) -> list[Span]:
+        return [node.span for node in self.nodes()]
+
+    def find(self, name: str) -> list[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __bool__(self) -> bool:
+        return bool(self.roots)
+
+    # -- rendering ---------------------------------------------------------- #
+
+    def render(self) -> str:
+        """ASCII tree of the journey with per-span timing and endpoints."""
+        if not self.roots:
+            return "(empty journey)"
+        lines = [f"journey {self.trace_id}"]
+        for index, root in enumerate(self.roots):
+            self._render_node(root, lines, "", index == len(self.roots) - 1)
+        return "\n".join(lines)
+
+    def _render_node(
+        self, node: JourneyNode, lines: list[str], prefix: str, last: bool
+    ) -> None:
+        span = node.span
+        connector = "`-" if last else "|-"
+        detail = _span_label(span)
+        lines.append(f"{prefix}{connector} {detail}")
+        child_prefix = prefix + ("   " if last else "|  ")
+        for index, child in enumerate(node.children):
+            self._render_node(child, lines, child_prefix, index == len(node.children) - 1)
+
+
+def _span_label(span: Span) -> str:
+    parts = [span.name, f"@{span.server}"]
+    source = span.attributes.get("source")
+    dest = span.attributes.get("dest")
+    if source or dest:
+        parts.append(f"{source or '?'} -> {dest or '?'}")
+    parts.append(f"{span.duration * 1e3:.2f}ms")
+    if span.status != "ok":
+        parts.append(f"[{span.status}]")
+    return " ".join(str(p) for p in parts)
+
+
+def stitch(spans: Iterable[Span]) -> Journey:
+    """Assemble *spans* (any order, any servers) into a :class:`Journey`.
+
+    Spans whose parent is absent from the set become roots; children are
+    sorted by monotonic start time (all tracers share one process clock;
+    ties fall back to wall time, then span id for determinism).
+    """
+    nodes: dict[str, JourneyNode] = {}
+    ordered: list[JourneyNode] = []
+    trace_id: str | None = None
+    for span in spans:
+        if span.span_id in nodes:
+            continue  # duplicate ids cannot nest under themselves
+        node = JourneyNode(span)
+        nodes[span.span_id] = node
+        ordered.append(node)
+        if trace_id is None:
+            trace_id = span.trace_id
+    roots: list[JourneyNode] = []
+    for node in ordered:
+        parent_id = node.span.parent_id
+        parent = nodes.get(parent_id) if parent_id else None
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+
+    def sort_key(n: JourneyNode) -> tuple[float, float, str]:
+        return (n.span.start_mono, n.span.start_wall, n.span.span_id)
+
+    for node in ordered:
+        node.children.sort(key=sort_key)
+    roots.sort(key=sort_key)
+    return Journey(trace_id, roots)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.errors import NapletCommunicationError
+from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = [
     "Frame",
@@ -91,11 +92,32 @@ FrameHandler = Callable[[Frame], bytes | None]
 
 
 class Transport(abc.ABC):
-    """Routes frames between registered endpoints."""
+    """Routes frames between registered endpoints.
+
+    Every transport owns a small :class:`MetricsRegistry` of wire-level
+    instruments (frames, bytes, send latency, by frame kind); concrete
+    implementations call :meth:`_observe_wire` once per frame moved.
+    """
 
     def __init__(self) -> None:
         self._handlers: dict[str, FrameHandler] = {}
         self._lock = threading.RLock()
+        self.metrics = MetricsRegistry()
+        self._wire_frames = self.metrics.counter(
+            "wire_frames_total", "Frames moved by this transport, by kind"
+        )
+        self._wire_bytes = self.metrics.counter(
+            "wire_bytes_total", "On-wire bytes moved by this transport, by kind"
+        )
+        self._wire_send_seconds = self.metrics.histogram(
+            "wire_send_seconds", "Per-frame delivery latency at this transport"
+        )
+
+    def _observe_wire(self, frame: Frame, duration: float) -> None:
+        """Account one frame's trip (called by concrete send/request)."""
+        self._wire_frames.inc(kind=frame.kind)
+        self._wire_bytes.inc(frame.size, kind=frame.kind)
+        self._wire_send_seconds.observe(duration)
 
     # -- endpoint management --------------------------------------------- #
 

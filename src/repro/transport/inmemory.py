@@ -82,6 +82,7 @@ class InMemoryTransport(Transport):
         delay = self.latency.delay(src, dst, frame.size)
         self.meter.record(src, dst, frame.kind, frame.size, delay)
         self.clock.advance(delay)
+        self._observe_wire(frame, delay)
         return handler(frame)
 
     def send(self, frame: Frame) -> None:

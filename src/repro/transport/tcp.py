@@ -13,6 +13,7 @@ import pickle
 import socket
 import struct
 import threading
+import time
 
 from repro.core.errors import NapletCommunicationError
 from repro.transport.base import Frame, FrameHandler, Transport
@@ -136,25 +137,30 @@ class TcpTransport(Transport):
         return sock
 
     def send(self, frame: Frame) -> None:
+        started = time.monotonic()
         sock = self._connect(frame.dest)
         try:
             with sock:
                 _send_blob(sock, pickle.dumps((frame, False)))
         except OSError as exc:
             raise NapletCommunicationError(f"send to {frame.dest} failed: {exc}") from exc
+        self._observe_wire(frame, time.monotonic() - started)
 
     def request(self, frame: Frame, timeout: float | None = None) -> bytes:
+        started = time.monotonic()
         sock = self._connect(frame.dest)
         try:
             with sock:
                 if timeout is not None:
                     sock.settimeout(timeout)
                 _send_blob(sock, pickle.dumps((frame, True)))
-                return pickle.loads(_recv_blob(sock))
+                reply = pickle.loads(_recv_blob(sock))
         except socket.timeout as exc:
             raise NapletCommunicationError(f"request to {frame.dest} timed out") from exc
         except OSError as exc:
             raise NapletCommunicationError(f"request to {frame.dest} failed: {exc}") from exc
+        self._observe_wire(frame, time.monotonic() - started)
+        return reply
 
     def close(self) -> None:
         with self._eplock:

@@ -19,11 +19,22 @@ __all__ = ["EventRecord", "EventLog"]
 
 @dataclass(frozen=True)
 class EventRecord:
-    """One structured event: a kind, a wall-clock stamp, and free-form detail."""
+    """One structured event: a kind, timestamps, and free-form detail.
+
+    ``wall`` (``time.time``) orders events against the outside world;
+    ``mono`` (``time.monotonic``) measures intervals between records
+    without being disturbed by clock adjustments.
+    """
 
     kind: str
     detail: dict[str, Any] = field(default_factory=dict)
-    timestamp: float = field(default_factory=time.monotonic)
+    wall: float = field(default_factory=time.time)
+    mono: float = field(default_factory=time.monotonic)
+
+    @property
+    def timestamp(self) -> float:
+        """Wall-clock stamp (kept for callers predating the wall/mono split)."""
+        return self.wall
 
     def matches(self, kind: str, **detail: Any) -> bool:
         """True when this record has *kind* and every given detail item."""

@@ -1,0 +1,124 @@
+"""The in-space exposition surface: the open ``telemetry`` service and the
+text/JSON renderers."""
+
+from __future__ import annotations
+
+import json
+
+import repro
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.telemetry.exposition import (
+    TelemetryService,
+    metrics_to_dict,
+    render_metrics_text,
+    span_to_dict,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import TraceContext, Tracer
+from tests.conftest import CollectorNaplet
+
+
+def _run_tour(servers):
+    listener = repro.NapletListener()
+    agent = CollectorNaplet("tour")
+    agent.set_itinerary(
+        Itinerary(
+            SeqPattern.of_servers(
+                ["s01", "s02", "s03"], post_action=ResultReport("visited")
+            )
+        )
+    )
+    nid = servers["s00"].launch(agent, owner="alice", listener=listener)
+    listener.next_report(timeout=10)
+    assert servers["s03"].wait_idle()
+    return nid
+
+
+class TestTelemetryService:
+    def test_registered_as_open_service_on_every_server(self, small_line):
+        _network, servers = small_line
+        for server in servers.values():
+            assert "telemetry" in server.resource_manager.open_service_names()
+
+    def test_service_exposes_metrics_and_spans(self, small_line):
+        _network, servers = small_line
+        nid = _run_tour(servers)
+        service = TelemetryService(servers["s01"])
+        assert service.hostname == "s01"
+
+        snap = service.metrics()
+        assert snap.total("naplet_landings_total") == 1
+
+        text = service.metrics_text()
+        assert "# TYPE naplet_landings_total counter" in text
+        assert "naplet_landings_total 1" in text
+
+        spans = service.spans()
+        assert any(s.name == "landing" for s in spans)
+        trace_id = spans[0].trace_id
+        assert all(s.trace_id == trace_id for s in service.spans(trace_id))
+
+        dicts = service.span_dicts(trace_id)
+        assert dicts and all(d["trace_id"] == trace_id for d in dicts)
+        json.dumps(dicts)  # JSON-serializable
+
+        counts = service.event_counts()
+        assert counts.get("naplet-arrive", 0) >= 1
+
+    def test_metrics_dict_is_json_serializable(self, small_line):
+        _network, servers = small_line
+        _run_tour(servers)
+        payload = TelemetryService(servers["s00"]).metrics_dict()
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["naplet_launches_total"]["type"] == "counter"
+        assert encoded["naplet_launches_total"]["samples"][0]["value"] == 1
+
+
+class TestRenderers:
+    def test_counter_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "Requests served").inc(3, kind="a")
+        text = render_metrics_text(reg.snapshot())
+        assert "# HELP requests_total Requests served" in text
+        assert "# TYPE requests_total counter" in text
+        assert 'requests_total{kind="a"} 3' in text
+
+    def test_histogram_text_has_cumulative_buckets_and_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v)
+        text = render_metrics_text(reg.snapshot())
+        assert "lat_count 3" in text
+        assert "lat_sum 11" in text
+        assert 'lat_bucket{le="1"} 1' in text
+        assert 'lat_bucket{le="2"} 2' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+
+    def test_gauge_text_format(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth", "queue depth").set(7)
+        text = render_metrics_text(reg.snapshot())
+        assert "# TYPE depth gauge" in text
+        assert "depth 7" in text
+
+    def test_metrics_to_dict_histogram_shape(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(1.0,)).observe(5.0)
+        out = metrics_to_dict(reg.snapshot())
+        sample = out["lat"]["samples"][0]
+        assert sample["labels"] == {}
+        assert sample["value"]["count"] == 1
+        assert sample["value"]["overflow"] == 1
+        assert sample["value"]["buckets"] == [{"le": 1.0, "count": 0}]
+
+    def test_span_to_dict_roundtrips_through_json(self):
+        tracer = Tracer("host")
+        ctx = TraceContext.mint()
+        with tracer.span("hop", ctx, dest="naplet://b"):
+            pass
+        encoded = json.loads(json.dumps(span_to_dict(tracer.spans()[0])))
+        assert encoded["name"] == "hop"
+        assert encoded["server"] == "host"
+        assert encoded["attributes"]["dest"] == "naplet://b"
+        assert encoded["status"] == "ok"
