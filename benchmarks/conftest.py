@@ -11,6 +11,17 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(config, items):
+    """Every test collected from benchmarks/ carries the ``bench`` marker.
+
+    Tier-1 runs (``pytest -x -q``) stay on ``testpaths = ["tests"]`` and
+    never collect these; the marker lets explicit benchmark invocations be
+    filtered too (``pytest benchmarks -m "not bench"`` deselects them all).
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
     """Render one experiment table to stdout."""
     print(f"\n=== {title} ===")

@@ -1,0 +1,174 @@
+"""E8: transport fast path — pooled connections + single-round-trip migration.
+
+Compares the legacy wire protocol (one TCP dial per frame, two-phase
+migration) against the pooled fast path (keepalive multiplexed connections,
+landing check + transfer ack + directory registration folded into one
+exchange) over real localhost sockets.
+
+The space is two servers with the CENTRAL directory hosted at the
+destination, so the per-hop wire cost is fully visible in the transport's
+frame counters:
+
+==========  =================================================  ==========
+protocol    request/reply exchanges per hop                    round trips
+==========  =================================================  ==========
+two-phase   LANDING_REQUEST + DIRECTORY_EVENT(depart)          3
+            + NAPLET_TRANSFER
+fast path   NAPLET_TRANSFER (credential piggybacked,           1
+            combined MIGRATION registered by the destination)
+==========  =================================================  ==========
+
+Assertions ride on the frame/connection counters — not timing — so the
+benchmark is stable; latencies and throughput are recorded in
+``BENCH_transport.json`` for the curious.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import statistics
+import time
+from pathlib import Path
+
+import repro
+from repro.codeshipping.codebase import CodeBaseRegistry
+from repro.core.credential import SigningAuthority
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.server import DirectoryMode, NapletServer, ServerConfig
+from repro.transport.tcp import TcpTransport
+from repro.util.concurrency import wait_until
+from tests.conftest import CollectorNaplet, StallNaplet
+
+HOPS = 12
+MESSAGES = 150
+_HOP_KINDS = ("landing-request", "naplet-transfer", "directory-event")
+
+
+def _space(pooled: bool, fast_path: bool):
+    transport = TcpTransport(pooled=pooled)
+    authority = SigningAuthority()
+    registry = CodeBaseRegistry()
+    base = ServerConfig(
+        migration_fast_path=fast_path,
+        directory_mode=DirectoryMode.CENTRAL,
+        directory_urn="naplet://b01",
+    )
+    servers = {
+        name: NapletServer(
+            hostname=name,
+            transport=transport,
+            authority=authority,
+            code_registry=registry,
+            config=dataclasses.replace(base),
+        )
+        for name in ("b00", "b01")
+    }
+    return transport, servers
+
+
+def _shutdown(transport, servers) -> None:
+    for server in servers.values():
+        server.shutdown()
+    transport.close()
+
+
+def _hop_frames(transport) -> int:
+    counter = transport.metrics.counter("wire_frames_total")
+    return int(sum(counter.value(kind=kind) for kind in _HOP_KINDS))
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _measure(pooled: bool, fast_path: bool) -> dict:
+    transport, servers = _space(pooled, fast_path)
+    try:
+        latencies = []
+        for i in range(HOPS):
+            agent = CollectorNaplet(f"hop-{i}")
+            agent.set_itinerary(
+                Itinerary(SeqPattern.of_servers(["b01"], post_action=ResultReport("visited")))
+            )
+            listener = repro.NapletListener()
+            started = time.perf_counter()
+            servers["b00"].launch(agent, owner="bench", listener=listener)
+            latencies.append(time.perf_counter() - started)
+            assert listener.next_report(timeout=20).payload == ["b01"]
+
+        hop_frames = _hop_frames(transport)
+        hop_connections = transport.connections_opened()
+
+        # Throughput leg: post MESSAGES to a parked resident at b01.
+        target = StallNaplet("rx", spin_seconds=60.0)
+        target.set_itinerary(Itinerary(SeqPattern.of_servers(["b01"])))
+        nid = servers["b00"].launch(target, owner="bench")
+        assert wait_until(lambda: servers["b01"].manager.is_resident(nid), timeout=10)
+        started = time.perf_counter()
+        for i in range(MESSAGES):
+            receipt = servers["b00"].messenger.post(None, nid, {"i": i})
+            assert receipt.status == "delivered"
+        elapsed = time.perf_counter() - started
+        servers["b00"].terminate_naplet(nid)
+
+        return {
+            "pooled": pooled,
+            "migration_fast_path": fast_path,
+            "hops": HOPS,
+            "rt_frames_per_hop": hop_frames / HOPS,
+            "connections_opened_for_hops": hop_connections,
+            "connections_per_hop": hop_connections / HOPS,
+            "hop_latency_p50_ms": _percentile(latencies, 0.50) * 1e3,
+            "hop_latency_p95_ms": _percentile(latencies, 0.95) * 1e3,
+            "hop_latency_mean_ms": statistics.fmean(latencies) * 1e3,
+            "messages": MESSAGES,
+            "messages_per_sec": MESSAGES / elapsed,
+        }
+    finally:
+        _shutdown(transport, servers)
+
+
+class TestTransportFastPath:
+    def test_bench_fastpath_vs_baseline(self, table):
+        baseline = _measure(pooled=False, fast_path=False)
+        fastpath = _measure(pooled=True, fast_path=True)
+
+        # The wins the counters must prove, independent of machine speed:
+        # the fast path is a single request/reply exchange per hop where
+        # the two-phase baseline needs at least three ...
+        assert baseline["rt_frames_per_hop"] >= 3.0
+        assert fastpath["rt_frames_per_hop"] == 1.0
+        # ... and pooling opens strictly fewer TCP connections per hop
+        # than dial-per-frame.
+        assert fastpath["connections_opened_for_hops"] < baseline["connections_opened_for_hops"]
+        assert fastpath["connections_per_hop"] < 1.0
+
+        rows = [
+            [
+                label,
+                f"{run['rt_frames_per_hop']:.1f}",
+                run["connections_opened_for_hops"],
+                f"{run['hop_latency_p50_ms']:.2f}",
+                f"{run['hop_latency_p95_ms']:.2f}",
+                f"{run['messages_per_sec']:.0f}",
+            ]
+            for label, run in (("two-phase/dial", baseline), ("fast/pooled", fastpath))
+        ]
+        table(
+            "E8: transport fast path (12 hops, 150 messages, localhost TCP)",
+            ["protocol", "RT/hop", "conns", "p50 ms", "p95 ms", "msg/s"],
+            rows,
+        )
+
+        out = {
+            "experiment": "transport fast path vs two-phase baseline",
+            "baseline": baseline,
+            "fastpath": fastpath,
+            "speedup_messages_per_sec": fastpath["messages_per_sec"]
+            / baseline["messages_per_sec"],
+        }
+        path = Path(__file__).resolve().parents[1] / "BENCH_transport.json"
+        path.write_text(json.dumps(out, indent=2) + "\n")

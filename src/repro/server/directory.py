@@ -46,6 +46,14 @@ class DirectoryMode(enum.Enum):
 class DirectoryEvent:
     ARRIVAL = "arrival"
     DEPART = "depart"
+    # Combined depart-at-source + arrive-at-destination registration: the
+    # migration fast path reports both in ONE frame from the destination,
+    # halving directory round trips per hop.
+    MIGRATION = "migration"
+
+
+# Hot control replies, serialized once (the ack for every registration).
+_ACK = pickle.dumps(True)
 
 
 @dataclass(frozen=True)
@@ -173,6 +181,37 @@ class DirectoryClient:
     def report_departure(self, nid: NapletID, at_urn: str) -> None:
         self._report(nid, DirectoryEvent.DEPART, at_urn)
 
+    def report_migration(self, nid: NapletID, from_urn: str, to_urn: str) -> None:
+        """Register depart(*from_urn*) + arrival(*to_urn*) in one exchange.
+
+        Used by the migration fast path: the destination registers both
+        legs of the hop on the source's behalf, so the hop costs at most
+        one directory round trip (zero when this server is the authority).
+        """
+        if self.mode is DirectoryMode.NONE:
+            return
+        if self._is_local_authority(nid):
+            assert self.local is not None
+            self.local.register_departure(nid, from_urn)
+            self.local.register_arrival(nid, to_urn)
+            return
+        authority = self._authority_urn(nid)
+        assert authority is not None
+        payload = pickle.dumps(
+            {"nid": nid, "event": DirectoryEvent.MIGRATION, "from": from_urn, "urn": to_urn}
+        )
+        frame = Frame(
+            kind=FrameKind.DIRECTORY_EVENT,
+            source=self.self_urn,
+            dest=authority,
+            payload=payload,
+        )
+        reply = self.transport.request(frame)
+        if pickle.loads(reply) is not True:
+            raise NapletCommunicationError(
+                f"directory at {authority} did not acknowledge migration of {nid}"
+            )
+
     # -- lookup ------------------------------------------------------------------ #
 
     def lookup(self, nid: NapletID) -> DirectoryRecord | None:
@@ -202,11 +241,15 @@ class DirectoryClient:
     @staticmethod
     def handle_event_frame(directory: NapletDirectory, frame: Frame) -> bytes:
         data = pickle.loads(frame.payload)
-        if data["event"] == DirectoryEvent.ARRIVAL:
+        event = data["event"]
+        if event == DirectoryEvent.MIGRATION:
+            directory.register_departure(data["nid"], data["from"])
+            directory.register_arrival(data["nid"], data["urn"])
+        elif event == DirectoryEvent.ARRIVAL:
             directory.register_arrival(data["nid"], data["urn"])
         else:
             directory.register_departure(data["nid"], data["urn"])
-        return pickle.dumps(True)
+        return _ACK
 
     @staticmethod
     def handle_query_frame(directory: NapletDirectory, frame: Frame) -> bytes:

@@ -12,13 +12,17 @@ the NapletManager.  It consults, in order:
 
 Cache entries are invalidated on migration notifications and expire after a
 TTL so stale locations self-heal; a stale answer is *safe* regardless,
-because message forwarding chases naplets along server traces.
+because message forwarding chases naplets along server traces.  The cache
+is LRU-bounded (``cache_capacity``) so a long-running server tracking
+millions of naplets cannot grow it without limit; evictions are counted in
+telemetry.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.core.naplet_id import NapletID
@@ -32,7 +36,7 @@ __all__ = ["Locator"]
 
 
 class Locator:
-    """Location service with a TTL cache in front of the directory."""
+    """Location service with a bounded (LRU + TTL) cache before the directory."""
 
     def __init__(
         self,
@@ -40,22 +44,34 @@ class Locator:
         cache_ttl: float = 5.0,
         events: EventLog | None = None,
         telemetry: "ServerTelemetry | None" = None,
+        cache_capacity: int | None = None,
     ) -> None:
         self.directory = directory
         self.cache_ttl = cache_ttl
+        self.cache_capacity = cache_capacity
         self.events = events if events is not None else EventLog()
         self.telemetry = telemetry
-        self._cache: dict[NapletID, tuple[str, float]] = {}
+        self._cache: OrderedDict[NapletID, tuple[str, float]] = OrderedDict()
         self._lock = threading.Lock()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
 
     # -- cache maintenance ----------------------------------------------- #
 
     def note_location(self, nid: NapletID, urn: str) -> None:
         """Record a location learned out-of-band (confirmations, arrivals)."""
+        evicted = 0
         with self._lock:
             self._cache[nid] = (urn, time.monotonic())
+            self._cache.move_to_end(nid)
+            if self.cache_capacity is not None:
+                while len(self._cache) > self.cache_capacity:
+                    self._cache.popitem(last=False)
+                    self.cache_evictions += 1
+                    evicted += 1
+        if evicted and self.telemetry is not None:
+            self.telemetry.locator_evictions.inc(evicted)
 
     def invalidate(self, nid: NapletID) -> None:
         with self._lock:
@@ -70,6 +86,7 @@ class Locator:
             if time.monotonic() - stamp > self.cache_ttl:
                 del self._cache[nid]
                 return None
+            self._cache.move_to_end(nid)  # a hit refreshes LRU recency
             return urn
 
     # -- location ----------------------------------------------------------- #

@@ -321,5 +321,9 @@ class NapletMonitor:
                 threads = [b.thread for b in self._runs.values() if b.thread is not None]
             if not threads:
                 return True
-            threads[0].join(0.01)
+            try:
+                threads[0].join(0.01)
+            except RuntimeError:
+                # Registered but not yet started (admission in progress).
+                time.sleep(0.01)
         return self.active_count == 0

@@ -1,6 +1,6 @@
 """Navigator: launching and migration (paper §2.2, §4.1).
 
-Migration protocol, exactly the paper's sequence:
+Two-phase migration protocol, exactly the paper's sequence:
 
 1. the source Navigator consults its NapletSecurityManager for **LAUNCH**
    permission;
@@ -14,6 +14,20 @@ Migration protocol, exactly the paper's sequence:
    special mailbox), binds a fresh context and hands control to the
    NapletMonitor;
 5. success releases all resources the naplet held at the source.
+
+**Fast path** (``ServerConfig.migration_fast_path``, on by default): the
+credential is piggybacked on the NAPLET_TRANSFER frame, so the destination
+performs the landing check and the transfer ack in ONE exchange — no
+separate LANDING_REQUEST round trip — and registers depart+arrival with
+the directory in one combined event on the source's behalf.  The landing
+check still runs *before* the naplet image is deserialized; a denial acks
+``{"denied": True}`` and the source rolls back exactly as in the
+two-phase protocol.  A destination that does not speak the fast path acks
+``{"unsupported": True}`` and the source transparently falls back to the
+two-phase sequence.  During the single in-flight window the directory
+still shows the naplet at the source; that is safe because the source has
+already marked the departure locally, so messages arriving there are
+forwarded toward the destination (the standard chase guarantee).
 
 The per-naplet :class:`NavigatorOps` object implements the itinerary
 driver's :class:`~repro.itinerary.itinerary.TravelOps` protocol — dispatch,
@@ -44,6 +58,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.server.server import NapletServer
 
 __all__ = ["Navigator", "NavigatorOps"]
+
+# Hot control replies, serialized once instead of per-exchange.
+_GRANTED = pickle.dumps({"granted": True})
+_ACK_OK = pickle.dumps({"ok": True})
+_FAST_PATH_UNSUPPORTED = pickle.dumps(
+    {"ok": False, "unsupported": True, "reason": "fast-path not supported here"}
+)
 
 
 class Navigator:
@@ -111,8 +132,132 @@ class Navigator:
     def _transfer(self, naplet: "Naplet", dest_urn: str, hop) -> None:
         nid = naplet.naplet_id
         credential = naplet.credential
-        # 1. LAUNCH permission at the source.
+        # 1. LAUNCH permission at the source (both paths).
         self.server.security.check(credential, Permission.LAUNCH)
+        if self.server.config.migration_fast_path:
+            if self._transfer_fast(naplet, dest_urn, hop, credential):
+                return
+            # Destination predates (or disabled) the fast path: fall back.
+            self.server.telemetry.fast_path_fallbacks.inc()
+            self.server.events.record(
+                "fast-path-fallback", naplet=str(nid), dest=dest_urn
+            )
+        self._transfer_two_phase(naplet, dest_urn, hop, credential)
+
+    # -- departure bookkeeping shared by both protocols ------------------- #
+
+    def _mark_departure(
+        self, naplet: "Naplet", nid: NapletID, dest_urn: str, report: bool
+    ):
+        """Mark the naplet in transit *before* the wire transfer.
+
+        The directory's latest event must never run behind the synchronous
+        landing, and messages arriving here during the transfer must be
+        forwarded toward the destination, not deposited in a mailbox the
+        naplet will never read.  Everything here is undone by
+        :meth:`_rollback_departure` on failure.  ``report=False`` skips the
+        directory DEPART report (fast path: the destination registers the
+        combined depart+arrival instead).
+        """
+        was_resident = self.server.manager.is_resident(nid)
+        resident_record = self.server.manager.begin_departure(nid, dest_urn)
+        if report:
+            self.server.directory_client.report_departure(nid, self.server.urn)
+        if naplet.navigation_log.current_server() == self.server.urn:
+            naplet.navigation_log.record_departure(self.server.urn)
+        return was_resident, resident_record
+
+    def _rollback_departure(
+        self,
+        naplet: "Naplet",
+        nid: NapletID,
+        was_resident: bool,
+        resident_record,
+        reported: bool,
+    ) -> None:
+        self.server.manager.abort_departure(nid, resident_record)
+        if naplet.navigation_log.servers_visited() and not naplet.navigation_log.current_server():
+            naplet.navigation_log.record_arrival(self.server.urn)
+        if reported and was_resident:
+            self.server.directory_client.report_arrival(nid, self.server.urn)
+
+    def _transfer_frame(
+        self, naplet: "Naplet", nid: NapletID, dest_urn: str, hop, payload: bytes,
+        extra_headers: dict[str, str] | None = None,
+    ) -> Frame:
+        hop.set("bytes", len(payload))
+        self.server.telemetry.frame_bytes.inc(len(payload), kind="naplet-transfer")
+        headers = {"naplet": str(nid)}
+        if extra_headers:
+            headers.update(extra_headers)
+        if hop.span_id:
+            # The landing span at the destination nests under this hop.
+            ctx = naplet.trace_context
+            if ctx is not None:
+                headers["trace-id"] = ctx.trace_id
+                headers["trace-parent"] = hop.span_id
+        return Frame(
+            kind=FrameKind.NAPLET_TRANSFER,
+            source=self.server.urn,
+            dest=dest_urn,
+            payload=payload,
+            headers=headers,
+        )
+
+    # -- fast path: landing check + transfer ack in one exchange ----------- #
+
+    def _transfer_fast(
+        self, naplet: "Naplet", dest_urn: str, hop, credential: Credential
+    ) -> bool:
+        """Single-round-trip migration; False when the destination lacks it."""
+        nid = naplet.naplet_id
+        was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=False)
+        image = self.server.serializer.dumps(naplet)
+        frame = self._transfer_frame(
+            naplet, nid, dest_urn, hop,
+            payload=pickle.dumps((credential, image)),
+            extra_headers={"fast-path": "1"},
+        )
+        self.server.events.record(
+            "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(image),
+            fast_path=True,
+        )
+
+        def _rollback() -> None:
+            self._rollback_departure(naplet, nid, was_resident, record, reported=False)
+
+        try:
+            ack = pickle.loads(self.server.transport.request(frame))
+        except NapletCommunicationError as exc:
+            _rollback()
+            raise NapletMigrationError(f"transfer to {dest_urn} failed: {exc}") from exc
+        if ack.get("ok") is True:
+            self.server.telemetry.fast_path_hops.inc()
+            hop.set("fast_path", True)
+            # Messages that were parked here waiting for this naplet chase it.
+            self.server.messenger.forward_parked(nid, dest_urn)
+            return True
+        _rollback()
+        if ack.get("unsupported"):
+            return False
+        if ack.get("denied"):
+            self.server.events.record(
+                "landing-denied", naplet=str(nid), dest=dest_urn,
+                reason=ack.get("reason"), fast_path=True,
+            )
+            raise LandingDeniedError(
+                f"{dest_urn} denied landing for {nid}: {ack.get('reason', 'unknown')}"
+            )
+        raise NapletMigrationError(
+            f"{dest_urn} rejected the transfer of {nid}: {ack.get('reason')}"
+        )
+
+    # -- two-phase path: LANDING_REQUEST then NAPLET_TRANSFER -------------- #
+
+    def _transfer_two_phase(
+        self, naplet: "Naplet", dest_urn: str, hop, credential: Credential
+    ) -> None:
+        nid = naplet.naplet_id
         # 2. LANDING permission at the destination.
         request = Frame(
             kind=FrameKind.LANDING_REQUEST,
@@ -132,42 +277,16 @@ class Navigator:
             raise LandingDeniedError(
                 f"{dest_urn} denied landing for {nid}: {reply.get('reason', 'unknown')}"
             )
-        # 3. Mark the naplet in transit *before* the wire transfer: the
-        # directory's latest event must never run behind the synchronous
-        # landing, and messages arriving here during the transfer must be
-        # forwarded toward the destination, not deposited in a mailbox the
-        # naplet will never read.  Both are rolled back on failure.
-        was_resident = self.server.manager.is_resident(nid)
-        resident_record = self.server.manager.begin_departure(nid, dest_urn)
-        self.server.directory_client.report_departure(nid, self.server.urn)
-        if naplet.navigation_log.current_server() == self.server.urn:
-            naplet.navigation_log.record_departure(self.server.urn)
+        # 3. Mark in transit, report DEPART, then ship.
+        was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=True)
         payload = self.server.serializer.dumps(naplet)
-        hop.set("bytes", len(payload))
-        self.server.telemetry.frame_bytes.inc(len(payload), kind="naplet-transfer")
-        headers = {"naplet": str(nid)}
-        if hop.span_id:
-            # The landing span at the destination nests under this hop.
-            ctx = naplet.trace_context
-            if ctx is not None:
-                headers["trace-id"] = ctx.trace_id
-                headers["trace-parent"] = hop.span_id
-        frame = Frame(
-            kind=FrameKind.NAPLET_TRANSFER,
-            source=self.server.urn,
-            dest=dest_urn,
-            payload=payload,
-            headers=headers,
-        )
+        frame = self._transfer_frame(naplet, nid, dest_urn, hop, payload)
         self.server.events.record(
             "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)
         )
+
         def _rollback() -> None:
-            self.server.manager.abort_departure(nid, resident_record)
-            if naplet.navigation_log.servers_visited() and not naplet.navigation_log.current_server():
-                naplet.navigation_log.record_arrival(self.server.urn)
-            if was_resident:
-                self.server.directory_client.report_arrival(nid, self.server.urn)
+            self._rollback_departure(naplet, nid, was_resident, record, reported=True)
 
         try:
             ack = pickle.loads(self.server.transport.request(frame))
@@ -186,30 +305,39 @@ class Navigator:
     # Inbound (frame handlers)
     # ------------------------------------------------------------------ #
 
+    def _landing_denial(self, credential: Credential) -> str | None:
+        """Reason to refuse this landing, or None when it is admissible."""
+        try:
+            self.server.security.check(credential, Permission.LANDING)
+        except Exception as exc:
+            return str(exc)
+        limit = self.server.config.max_residents
+        if limit is not None and self.server.manager.resident_count >= limit:
+            return f"server full ({limit} residents)"
+        owner_limit = self.server.config.max_residents_per_owner
+        if owner_limit is not None:
+            owner = credential.naplet_id.owner
+            if self.server.manager.resident_count_for_owner(owner) >= owner_limit:
+                return f"owner {owner!r} at capacity ({owner_limit})"
+        return None
+
     def _deny_landing(self, reason: str) -> bytes:
         self.server.telemetry.landings_denied.inc()
         return pickle.dumps({"granted": False, "reason": reason})
 
     def handle_landing_request(self, frame: Frame) -> bytes:
         credential: Credential = pickle.loads(frame.payload)
-        try:
-            self.server.security.check(credential, Permission.LANDING)
-        except Exception as exc:
-            return self._deny_landing(str(exc))
-        limit = self.server.config.max_residents
-        if limit is not None and self.server.manager.resident_count >= limit:
-            return self._deny_landing(f"server full ({limit} residents)")
-        owner_limit = self.server.config.max_residents_per_owner
-        if owner_limit is not None:
-            owner = credential.naplet_id.owner
-            if self.server.manager.resident_count_for_owner(owner) >= owner_limit:
-                return self._deny_landing(f"owner {owner!r} at capacity ({owner_limit})")
+        reason = self._landing_denial(credential)
+        if reason is not None:
+            return self._deny_landing(reason)
         self.server.events.record(
             "landing-granted", naplet=str(credential.naplet_id), source=frame.source
         )
-        return pickle.dumps({"granted": True})
+        return _GRANTED
 
     def handle_transfer(self, frame: Frame) -> bytes:
+        if frame.headers.get("fast-path") == "1":
+            return self._handle_fast_transfer(frame)
         try:
             naplet: "Naplet" = self.server.serializer.loads(
                 frame.payload, self.server.code_cache
@@ -222,7 +350,43 @@ class Navigator:
             payload_bytes=len(frame.payload),
             trace_parent=frame.headers.get("trace-parent"),
         )
-        return pickle.dumps({"ok": True})
+        return _ACK_OK
+
+    def _handle_fast_transfer(self, frame: Frame) -> bytes:
+        """Landing check + land + ack, all in one exchange.
+
+        The credential rides ahead of the naplet image, so admission is
+        decided *before* the image is deserialized — same security posture
+        as the two-phase protocol, one round trip instead of two.
+        """
+        if not self.server.config.migration_fast_path:
+            return _FAST_PATH_UNSUPPORTED
+        try:
+            credential, image = pickle.loads(frame.payload)
+        except Exception as exc:
+            return pickle.dumps({"ok": False, "reason": f"bad fast-path payload: {exc}"})
+        reason = self._landing_denial(credential)
+        if reason is not None:
+            self.server.telemetry.landings_denied.inc()
+            return pickle.dumps({"ok": False, "denied": True, "reason": reason})
+        self.server.events.record(
+            "landing-granted",
+            naplet=str(credential.naplet_id),
+            source=frame.source,
+            fast_path=True,
+        )
+        try:
+            naplet: "Naplet" = self.server.serializer.loads(image, self.server.code_cache)
+        except Exception as exc:
+            return pickle.dumps({"ok": False, "reason": f"deserialization failed: {exc}"})
+        self.receive(
+            naplet,
+            arrived_from=frame.source,
+            payload_bytes=len(image),
+            trace_parent=frame.headers.get("trace-parent"),
+            departed_from=frame.source,
+        )
+        return _ACK_OK
 
     def receive(
         self,
@@ -230,6 +394,7 @@ class Navigator:
         arrived_from: str | None,
         payload_bytes: int = 0,
         trace_parent: str | None = None,
+        departed_from: str | None = None,
     ) -> None:
         """Land *naplet* at this server: register, bind, and start it.
 
@@ -237,6 +402,9 @@ class Navigator:
         ``trace_parent`` is the source hop's span id (from the transfer
         frame headers), so the landing span nests under the hop in the
         journey tree; without one (thaw) it parents to the journey root.
+        ``departed_from`` set means the fast path piggybacked the DEPART
+        registration onto the transfer: this server reports the combined
+        depart+arrival in one directory exchange on the source's behalf.
         """
         nid = naplet.naplet_id
         telemetry = self.server.telemetry
@@ -248,7 +416,12 @@ class Navigator:
             bytes=payload_bytes,
         ):
             # Postpone execution until the arrival registration is acknowledged.
-            self.server.directory_client.report_arrival(nid, self.server.urn)
+            if departed_from is not None:
+                self.server.directory_client.report_migration(
+                    nid, departed_from, self.server.urn
+                )
+            else:
+                self.server.directory_client.report_arrival(nid, self.server.urn)
             self.server.manager.record_arrival(naplet, arrived_from=arrived_from)
             naplet.navigation_log.record_arrival(self.server.urn)
             self.server.messenger.create_mailbox(nid)

@@ -66,8 +66,15 @@ class ServerConfig:
     policy: SecurityPolicy = field(default_factory=SecurityPolicy.permissive)
     require_signature: bool = True
     locator_cache_ttl: float = 5.0
+    locator_cache_capacity: int | None = 10_000  # LRU bound; None = unbounded
     codebase_host: str | None = None  # where lazy code fetches are billed from
     telemetry_enabled: bool = True  # False: no-op metrics/tracer (benchmarks)
+    # Single-round-trip migration: piggyback the credential on the transfer
+    # frame and register depart+arrival in one combined directory event.
+    # Controls both initiating the fast path and accepting it; a server
+    # with this off answers fast-path transfers with an "unsupported" ack
+    # and the source falls back to the two-phase protocol.
+    migration_fast_path: bool = True
 
 
 class NapletServer:
@@ -141,6 +148,7 @@ class NapletServer:
             self.config.locator_cache_ttl,
             events=self.events,
             telemetry=self.telemetry,
+            cache_capacity=self.config.locator_cache_capacity,
         )
 
         # Every server exposes its own telemetry in-space (open service), so
@@ -152,6 +160,9 @@ class NapletServer:
 
         self._shutdown = threading.Event()
         transport.register(self.urn, self._handle_frame)
+        # Wire-level connection failures at our endpoint land in our
+        # EventLog instead of vanishing inside the transport.
+        transport.bind_event_log(self.urn, self.events)
 
     # ------------------------------------------------------------------ #
     # Construction helpers

@@ -66,6 +66,14 @@ class ServerTelemetry:
         self.hops = reg.counter(
             "naplet_hops_total", "Migration hops initiated at this server"
         )
+        self.fast_path_hops = reg.counter(
+            "naplet_fast_path_hops_total",
+            "Hops completed by the single-round-trip migration fast path",
+        )
+        self.fast_path_fallbacks = reg.counter(
+            "naplet_fast_path_fallbacks_total",
+            "Fast-path transfers that fell back to the two-phase protocol",
+        )
         self.hop_latency = reg.histogram(
             "naplet_hop_latency_seconds",
             "End-to-end migration latency (LAUNCH grant to transfer ack)",
@@ -98,6 +106,10 @@ class ServerTelemetry:
         )
         self.locator_misses = reg.counter(
             "naplet_locator_cache_misses_total", "Locator answers needing the directory"
+        )
+        self.locator_evictions = reg.counter(
+            "naplet_locator_cache_evictions_total",
+            "Locator cache entries evicted by the LRU capacity bound",
         )
         # NapletMonitor
         self.admitted = reg.counter(

@@ -8,6 +8,7 @@ from repro.transport.latency import (
     UniformLatency,
     ZeroLatency,
 )
+from repro.transport.pool import ConnectionPool, PooledConnection
 from repro.transport.serializer import NapletSerializer
 from repro.transport.tcp import TcpTransport
 
@@ -17,6 +18,8 @@ __all__ = [
     "Transport",
     "InMemoryTransport",
     "TcpTransport",
+    "ConnectionPool",
+    "PooledConnection",
     "NapletSerializer",
     "LatencyModel",
     "ZeroLatency",

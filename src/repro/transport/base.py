@@ -26,6 +26,7 @@ from typing import Callable
 
 from repro.core.errors import NapletCommunicationError
 from repro.telemetry.metrics import MetricsRegistry
+from repro.util.eventlog import EventLog
 
 __all__ = [
     "Frame",
@@ -80,6 +81,10 @@ class Frame:
     dest: str
     payload: bytes = b""
     headers: dict[str, str] = field(default_factory=dict)
+    # Correlation id: set by multiplexing transports so many concurrent
+    # request/reply exchanges can share one connection.  ``None`` means the
+    # frame travelled on a dedicated (or synchronous in-memory) channel.
+    correlation_id: int | None = None
 
     @property
     def size(self) -> int:
@@ -103,6 +108,8 @@ class Transport(abc.ABC):
         self._handlers: dict[str, FrameHandler] = {}
         self._lock = threading.RLock()
         self.metrics = MetricsRegistry()
+        self.events = EventLog()
+        self._bound_events: dict[str, EventLog] = {}
         self._wire_frames = self.metrics.counter(
             "wire_frames_total", "Frames moved by this transport, by kind"
         )
@@ -112,12 +119,60 @@ class Transport(abc.ABC):
         self._wire_send_seconds = self.metrics.histogram(
             "wire_send_seconds", "Per-frame delivery latency at this transport"
         )
+        self._wire_connections = self.metrics.counter(
+            "wire_connections_opened_total",
+            "Connections (real or logical) opened by this transport",
+        )
+        self._wire_pool_reuse = self.metrics.counter(
+            "wire_pool_reuse_total",
+            "Frames that rode an already-open pooled connection",
+        )
+        self._wire_dropped_connections = self.metrics.counter(
+            "wire_dropped_connections_total",
+            "Server-side connections dropped on error, by endpoint",
+        )
 
     def _observe_wire(self, frame: Frame, duration: float) -> None:
         """Account one frame's trip (called by concrete send/request)."""
         self._wire_frames.inc(kind=frame.kind)
         self._wire_bytes.inc(frame.size, kind=frame.kind)
         self._wire_send_seconds.observe(duration)
+
+    # -- connection accounting -------------------------------------------- #
+
+    def connections_opened(self) -> int:
+        """Connections this transport has opened so far (all destinations)."""
+        return int(self._wire_connections.total())
+
+    def pool_reuse_count(self) -> int:
+        """Frames that reused a pooled connection instead of dialing."""
+        return int(self._wire_pool_reuse.total())
+
+    def _note_connection_opened(self, dest: str) -> None:
+        self._wire_connections.inc(dest=dest)
+
+    def _note_connection_reused(self, dest: str) -> None:
+        self._wire_pool_reuse.inc(dest=dest)
+
+    def _record_connection_error(self, urn: str, error: BaseException) -> None:
+        """Account a server-side connection failure instead of losing it.
+
+        The drop is counted on the transport metrics and recorded both in
+        the transport's own :class:`EventLog` and in any log bound to the
+        endpoint via :meth:`bind_event_log` (the owning server's log).
+        """
+        self._wire_dropped_connections.inc(endpoint=urn)
+        detail = {"endpoint": urn, "error": f"{type(error).__name__}: {error}"}
+        self.events.record("transport-connection-dropped", **detail)
+        with self._lock:
+            bound = self._bound_events.get(urn)
+        if bound is not None:
+            bound.record("transport-connection-dropped", **detail)
+
+    def bind_event_log(self, urn: str, events: EventLog) -> None:
+        """Route connection-level failures at *urn* into *events* too."""
+        with self._lock:
+            self._bound_events[urn] = events
 
     # -- endpoint management --------------------------------------------- #
 
@@ -130,6 +185,7 @@ class Transport(abc.ABC):
     def unregister(self, urn: str) -> None:
         with self._lock:
             self._handlers.pop(urn, None)
+            self._bound_events.pop(urn, None)
 
     def endpoints(self) -> list[str]:
         with self._lock:

@@ -14,6 +14,7 @@ thread-safe.
 
 from __future__ import annotations
 
+import itertools
 import threading
 
 from repro.core.errors import NapletCommunicationError
@@ -41,6 +42,12 @@ class InMemoryTransport(Transport):
         self._down_links: set[tuple[str, str]] = set()
         self._down_hosts: set[str] = set()
         self._fault_lock = threading.Lock()
+        # Pool-aware semantics: the first frame over a (src, dst) link is a
+        # logical connection open; every later frame is a reuse.  This gives
+        # benchmarks one accounting surface across both transports.
+        self._links_opened: set[tuple[str, str]] = set()
+        self._links_lock = threading.Lock()
+        self._correlation_ids = itertools.count(1)
 
     # -- fault injection ---------------------------------------------------- #
 
@@ -79,6 +86,15 @@ class InMemoryTransport(Transport):
         src, dst = host_of(frame.source), host_of(frame.dest)
         self._check_reachable(src, dst)
         handler = self._handler_for(frame.dest)
+        if frame.correlation_id is None:
+            frame.correlation_id = next(self._correlation_ids)
+        link = (src, dst)
+        with self._links_lock:
+            if link in self._links_opened:
+                self._note_connection_reused(frame.dest)
+            else:
+                self._links_opened.add(link)
+                self._note_connection_opened(frame.dest)
         delay = self.latency.delay(src, dst, frame.size)
         self.meter.record(src, dst, frame.kind, frame.size, delay)
         self.clock.advance(delay)

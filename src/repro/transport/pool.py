@@ -1,0 +1,319 @@
+"""Pooled, multiplexed client connections for the TCP transport.
+
+The connection-per-frame wire layer pays a dial (SYN/ACK + thread spawn)
+for every hop, message, and directory report — the dominant agent-transfer
+cost identified by the lightweight-MA literature.  This module keeps one
+keepalive socket per destination URN and multiplexes many concurrent
+request/reply exchanges over it:
+
+- every wire message is a length-prefixed pickle.  Requests travel as
+  ``("req", correlation_id, frame, expects_reply)``; replies come back as
+  ``("rep", correlation_id, payload)`` or ``("err", correlation_id, text)``
+  when the remote handler raised;
+- a :class:`PooledConnection` owns the socket: senders serialize on a write
+  lock, a single reader thread demultiplexes replies to per-request waiters
+  by correlation id, so N threads can have N requests in flight at once;
+- the :class:`ConnectionPool` keeps at most one live connection per
+  destination, transparently redials when a kept-alive peer went away, and
+  counts opens/reuses for the transport's telemetry.
+
+Retry semantics: a request that dies on a *reused* connection (stale
+keepalive — the peer restarted or idled us out) is retried once on a fresh
+connection.  A failure on a freshly dialed connection, a timeout, or a
+remote handler error is never retried.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import socket
+import threading
+from typing import Callable
+
+from repro.core.errors import NapletCommunicationError
+from repro.transport.base import Frame
+
+__all__ = ["ConnectionPool", "PooledConnection", "ConnectionClosedError"]
+
+_LEN_SIZE = 4
+MAX_FRAME = 64 * 1024 * 1024
+
+REQ = "req"
+REP = "rep"
+ERR = "err"
+
+
+class ConnectionClosedError(NapletCommunicationError):
+    """The pooled connection died before (or while) a reply arrived."""
+
+
+def send_blob(sock: socket.socket, blob: bytes) -> None:
+    if len(blob) > MAX_FRAME:
+        raise NapletCommunicationError(f"frame too large: {len(blob)} bytes")
+    sock.sendall(len(blob).to_bytes(_LEN_SIZE, "big") + blob)
+
+
+def _recv_exact(sock: socket.socket, count: int, allow_eof: bool = False) -> bytes | None:
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if allow_eof and remaining == count:
+                return None  # clean close at a message boundary
+            raise NapletCommunicationError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_blob(sock: socket.socket, allow_eof: bool = False) -> bytes | None:
+    prefix = _recv_exact(sock, _LEN_SIZE, allow_eof=allow_eof)
+    if prefix is None:
+        return None
+    length = int.from_bytes(prefix, "big")
+    if length > MAX_FRAME:
+        raise NapletCommunicationError(f"frame too large: {length} bytes")
+    return _recv_exact(sock, length)
+
+
+class _Waiter:
+    """Parking spot for one in-flight request's reply."""
+
+    __slots__ = ("event", "payload", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.payload: bytes | None = None
+        self.error: str | None = None
+
+
+class PooledConnection:
+    """One keepalive socket to a destination, shared by many requests."""
+
+    def __init__(self, sock: socket.socket, dest: str) -> None:
+        # The dialer's connect timeout must not linger on the keepalive
+        # socket: an idle reader would otherwise die of socket.timeout.
+        sock.settimeout(None)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self.sock = sock
+        self.dest = dest
+        self._send_lock = threading.Lock()
+        self._pending: dict[int, _Waiter] = {}
+        self._pending_lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._dead = threading.Event()
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"tcp-pool-reader-{dest}", daemon=True
+        )
+        self._reader.start()
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead.is_set()
+
+    # -- reader: demultiplex replies by correlation id --------------------- #
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                blob = recv_blob(self.sock, allow_eof=True)
+                if blob is None:
+                    break
+                tag, cid, body = pickle.loads(blob)
+                with self._pending_lock:
+                    waiter = self._pending.pop(cid, None)
+                if waiter is None:
+                    continue  # request timed out and gave up; drop the reply
+                if tag == ERR:
+                    waiter.error = body
+                else:
+                    waiter.payload = body
+                waiter.event.set()
+        except Exception:
+            pass  # any wire failure kills the connection below
+        finally:
+            self.close()
+
+    # -- wire operations ---------------------------------------------------- #
+
+    def _post(self, frame: Frame, expects_reply: bool) -> int:
+        cid = next(self._ids)
+        frame.correlation_id = cid
+        blob = pickle.dumps((REQ, cid, frame, expects_reply))
+        try:
+            with self._send_lock:
+                send_blob(self.sock, blob)
+        except OSError as exc:
+            self.close()
+            raise ConnectionClosedError(
+                f"pooled connection to {self.dest} died: {exc}"
+            ) from exc
+        return cid
+
+    def send(self, frame: Frame) -> None:
+        """Fire-and-forget delivery over the shared socket."""
+        if not self.alive:
+            raise ConnectionClosedError(f"pooled connection to {self.dest} is closed")
+        self._post(frame, expects_reply=False)
+
+    def request(self, frame: Frame, timeout: float | None = None) -> bytes:
+        """Send *frame* and block until its correlated reply arrives."""
+        if not self.alive:
+            raise ConnectionClosedError(f"pooled connection to {self.dest} is closed")
+        waiter = _Waiter()
+        cid = next(self._ids)
+        frame.correlation_id = cid
+        with self._pending_lock:
+            self._pending[cid] = waiter
+        blob = pickle.dumps((REQ, cid, frame, True))
+        try:
+            with self._send_lock:
+                send_blob(self.sock, blob)
+        except OSError as exc:
+            with self._pending_lock:
+                self._pending.pop(cid, None)
+            self.close()
+            raise ConnectionClosedError(
+                f"pooled connection to {self.dest} died: {exc}"
+            ) from exc
+        if not waiter.event.wait(timeout):
+            with self._pending_lock:
+                self._pending.pop(cid, None)
+            raise NapletCommunicationError(f"request to {frame.dest} timed out")
+        if waiter.error is not None:
+            if waiter.error == "connection closed":
+                raise ConnectionClosedError(
+                    f"pooled connection to {self.dest} closed mid-request"
+                )
+            raise NapletCommunicationError(
+                f"request to {frame.dest} failed remotely: {waiter.error}"
+            )
+        assert waiter.payload is not None
+        return waiter.payload
+
+    def close(self) -> None:
+        self._dead.set()
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for waiter in pending:
+            waiter.error = "connection closed"
+            waiter.event.set()
+
+
+class ConnectionPool:
+    """At most one live :class:`PooledConnection` per destination URN."""
+
+    def __init__(
+        self,
+        dialer: Callable[[str], socket.socket],
+        on_open: Callable[[str], None] | None = None,
+        on_reuse: Callable[[str], None] | None = None,
+    ) -> None:
+        self._dialer = dialer
+        self._on_open = on_open
+        self._on_reuse = on_reuse
+        self._conns: dict[str, PooledConnection] = {}
+        self._lock = threading.Lock()
+        self._dest_locks: dict[str, threading.Lock] = {}
+        self.opened = 0
+        self.reused = 0
+
+    def _dest_lock(self, dest: str) -> threading.Lock:
+        with self._lock:
+            lock = self._dest_locks.get(dest)
+            if lock is None:
+                lock = self._dest_locks[dest] = threading.Lock()
+            return lock
+
+    def _acquire(self, dest: str) -> tuple[PooledConnection, bool]:
+        """Live connection for *dest*; second element is True when freshly dialed."""
+        with self._lock:
+            conn = self._conns.get(dest)
+        if conn is not None and conn.alive:
+            self.reused += 1
+            if self._on_reuse is not None:
+                self._on_reuse(dest)
+            return conn, False
+        with self._dest_lock(dest):
+            # Re-check under the per-destination lock: another thread may
+            # have redialed while we waited.
+            with self._lock:
+                conn = self._conns.get(dest)
+            if conn is not None and conn.alive:
+                self.reused += 1
+                if self._on_reuse is not None:
+                    self._on_reuse(dest)
+                return conn, False
+            sock = self._dialer(dest)
+            conn = PooledConnection(sock, dest)
+            with self._lock:
+                self._conns[dest] = conn
+            self.opened += 1
+            if self._on_open is not None:
+                self._on_open(dest)
+            return conn, True
+
+    def _invalidate(self, dest: str, conn: PooledConnection) -> None:
+        conn.close()
+        with self._lock:
+            if self._conns.get(dest) is conn:
+                del self._conns[dest]
+
+    def request(self, frame: Frame, timeout: float | None = None) -> bytes:
+        conn, fresh = self._acquire(frame.dest)
+        try:
+            return conn.request(frame, timeout)
+        except ConnectionClosedError:
+            self._invalidate(frame.dest, conn)
+            if fresh:
+                raise
+            # Stale keepalive: the peer closed while we were idle. Retry
+            # once on a fresh connection; a second failure propagates.
+            conn, _ = self._acquire(frame.dest)
+            try:
+                return conn.request(frame, timeout)
+            except ConnectionClosedError:
+                self._invalidate(frame.dest, conn)
+                raise
+
+    def send(self, frame: Frame) -> None:
+        conn, fresh = self._acquire(frame.dest)
+        try:
+            conn.send(frame)
+        except ConnectionClosedError:
+            self._invalidate(frame.dest, conn)
+            if fresh:
+                raise
+            conn, _ = self._acquire(frame.dest)
+            try:
+                conn.send(frame)
+            except ConnectionClosedError:
+                self._invalidate(frame.dest, conn)
+                raise
+
+    def connection_to(self, dest: str) -> PooledConnection | None:
+        """The live pooled connection toward *dest*, if any (test helper)."""
+        with self._lock:
+            return self._conns.get(dest)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            active = sum(1 for c in self._conns.values() if c.alive)
+        return {"opened": self.opened, "reused": self.reused, "active": active}
+
+    def close(self) -> None:
+        with self._lock:
+            conns = list(self._conns.values())
+            self._conns.clear()
+        for conn in conns:
+            conn.close()

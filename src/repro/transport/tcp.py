@@ -1,64 +1,67 @@
 """Localhost TCP transport.
 
-Proves the Naplet wire protocol over real sockets: each registered endpoint
-gets a listening socket on 127.0.0.1 and an accept loop; frames travel as
-length-prefixed pickled tuples; ``request`` keeps the connection open for
-the reply.  Intended for integration tests and small deployments — the
-large-scale experiments use the in-memory transport.
+Proves the Naplet wire protocol over real sockets.  Each registered
+endpoint gets a listening socket on 127.0.0.1; connections are persistent
+and multiplexed: a client-side :class:`~repro.transport.pool.ConnectionPool`
+keeps one keepalive socket per destination URN, frames carry correlation
+ids so many concurrent ``request()``s share that socket, and the server
+side serves many frames per connection, dispatching handler work to a
+bounded per-endpoint worker pool instead of spawning a thread per accept.
+
+The legacy one-frame-per-connection envelope ``(frame, expects_reply)`` is
+still accepted (and produced with ``pooled=False``), so a pooled server
+interoperates with an unpooled client — the benchmark baseline.
+
+Caveat for reentrant handlers: handler work runs on a bounded pool
+(``server_workers`` per endpoint), so deeply nested request chains that
+revisit the *same* endpoint more times than it has workers can starve.
+Forwarding chains are hop-bounded well below the default, and distinct
+endpoints use distinct pools.
 """
 
 from __future__ import annotations
 
 import pickle
 import socket
-import struct
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.errors import NapletCommunicationError
+from repro.transport import pool as _poolmod
 from repro.transport.base import Frame, FrameHandler, Transport
+from repro.transport.pool import (
+    ConnectionPool,
+    ERR,
+    REP,
+    REQ,
+    recv_blob,
+    send_blob,
+)
 
 __all__ = ["TcpTransport"]
 
-_LEN = struct.Struct("!I")
-_MAX_FRAME = 64 * 1024 * 1024
-
-
-def _send_blob(sock: socket.socket, blob: bytes) -> None:
-    sock.sendall(_LEN.pack(len(blob)) + blob)
-
-
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    chunks: list[bytes] = []
-    remaining = count
-    while remaining > 0:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            raise NapletCommunicationError("peer closed the connection mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def _recv_blob(sock: socket.socket) -> bytes:
-    (length,) = _LEN.unpack(_recv_exact(sock, _LEN.size))
-    if length > _MAX_FRAME:
-        raise NapletCommunicationError(f"frame too large: {length} bytes")
-    return _recv_exact(sock, length)
+_MAX_FRAME = _poolmod.MAX_FRAME  # re-exported for tests predating pool.py
 
 
 class _Endpoint:
-    """Listening socket + accept loop for one registered URN."""
+    """Listening socket + accept loop + bounded worker pool for one URN."""
 
-    def __init__(self, urn: str, handler: FrameHandler) -> None:
+    def __init__(self, urn: str, handler: FrameHandler, transport: "TcpTransport") -> None:
         self.urn = urn
         self.handler = handler
+        self._transport = transport
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self.sock.bind(("127.0.0.1", 0))
         self.sock.listen(64)
         self.port = self.sock.getsockname()[1]
         self._closing = threading.Event()
+        self._conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self._workers = ThreadPoolExecutor(
+            max_workers=transport.server_workers, thread_name_prefix=f"tcp-work-{urn}"
+        )
         self._thread = threading.Thread(
             target=self._accept_loop, name=f"tcp-accept-{urn}", daemon=True
         )
@@ -70,23 +73,95 @@ class _Endpoint:
                 conn, _addr = self.sock.accept()
             except OSError:
                 return  # socket closed
+            try:
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            with self._conns_lock:
+                self._conns.add(conn)
             threading.Thread(
                 target=self._serve, args=(conn,), name=f"tcp-conn-{self.urn}", daemon=True
             ).start()
 
     def _serve(self, conn: socket.socket) -> None:
+        """Serve frames on one connection until the peer closes it.
+
+        Multiplexed requests are handed to the worker pool and replied to
+        out of order, tagged by correlation id; the legacy envelope serves
+        one frame and closes, as the old protocol did.
+        """
+        write_lock = threading.Lock()
         try:
             with conn:
-                blob = _recv_blob(conn)
-                frame, expects_reply = pickle.loads(blob)
-                reply = self.handler(frame)
-                if expects_reply:
-                    _send_blob(conn, pickle.dumps(reply if reply is not None else b""))
-        except Exception:
+                while not self._closing.is_set():
+                    blob = recv_blob(conn, allow_eof=True)
+                    if blob is None:
+                        break  # clean close at a frame boundary
+                    envelope = pickle.loads(blob)
+                    if len(envelope) == 4 and envelope[0] == REQ:
+                        _tag, cid, frame, expects_reply = envelope
+                        self._workers.submit(
+                            self._handle_one, conn, write_lock, cid, frame, expects_reply
+                        )
+                    else:
+                        frame, expects_reply = envelope
+                        reply = self.handler(frame)
+                        if expects_reply:
+                            send_blob(
+                                conn, pickle.dumps(reply if reply is not None else b"")
+                            )
+                        break
+        except Exception as exc:
             # Connection-scoped failure (bad frame, handler error, dead
-            # peer): drop this connection; the requester times out or sees
-            # a communication error. The accept loop keeps serving.
-            return
+            # peer): the connection is dropped, but not silently — the
+            # transport counts it and records it in the bound EventLog.
+            self._transport._record_connection_error(self.urn, exc)
+        finally:
+            with self._conns_lock:
+                self._conns.discard(conn)
+
+    def _handle_one(
+        self,
+        conn: socket.socket,
+        write_lock: threading.Lock,
+        cid: int,
+        frame: Frame,
+        expects_reply: bool,
+    ) -> None:
+        try:
+            reply = self.handler(frame)
+        except Exception as exc:
+            if not expects_reply:
+                self._transport._record_connection_error(self.urn, exc)
+                return
+            # A handler failure poisons only this request, not the shared
+            # connection: the caller gets a correlated error reply.
+            blob = pickle.dumps((ERR, cid, f"{type(exc).__name__}: {exc}"))
+        else:
+            if not expects_reply:
+                return
+            blob = pickle.dumps((REP, cid, reply if reply is not None else b""))
+        try:
+            with write_lock:
+                send_blob(conn, blob)
+        except OSError:
+            pass  # requester already gone; it will time out on its side
+
+    def drop_connections(self) -> None:
+        """Close every live served connection (keepalive churn / shutdown)."""
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            # shutdown() (not just close()) sends FIN and wakes any thread
+            # blocked in recv() on this socket.
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
 
     def close(self) -> None:
         self._closing.set()
@@ -94,21 +169,43 @@ class _Endpoint:
             self.sock.close()
         except OSError:
             pass
+        self.drop_connections()
+        self._workers.shutdown(wait=False)
 
 
 class TcpTransport(Transport):
-    """Frame router over localhost TCP sockets."""
+    """Frame router over localhost TCP sockets with pooled connections."""
 
-    def __init__(self, connect_timeout: float = 5.0) -> None:
+    def __init__(
+        self,
+        connect_timeout: float = 5.0,
+        pooled: bool = True,
+        server_workers: int = 8,
+    ) -> None:
         super().__init__()
         self._endpoints: dict[str, _Endpoint] = {}
         self._ports: dict[str, int] = {}
         self._connect_timeout = connect_timeout
         self._eplock = threading.RLock()
+        self.pooled = pooled
+        self.server_workers = server_workers
+        self._pool: ConnectionPool | None = (
+            ConnectionPool(
+                dialer=self._connect,
+                on_open=self._note_connection_opened,
+                on_reuse=self._note_connection_reused,
+            )
+            if pooled
+            else None
+        )
+
+    @property
+    def pool(self) -> ConnectionPool | None:
+        return self._pool
 
     def register(self, urn: str, handler: FrameHandler) -> None:
         super().register(urn, handler)
-        endpoint = _Endpoint(urn, handler)
+        endpoint = _Endpoint(urn, handler, self)
         with self._eplock:
             self._endpoints[urn] = endpoint
             self._ports[urn] = endpoint.port
@@ -138,31 +235,41 @@ class TcpTransport(Transport):
 
     def send(self, frame: Frame) -> None:
         started = time.monotonic()
-        sock = self._connect(frame.dest)
-        try:
-            with sock:
-                _send_blob(sock, pickle.dumps((frame, False)))
-        except OSError as exc:
-            raise NapletCommunicationError(f"send to {frame.dest} failed: {exc}") from exc
+        if self._pool is not None:
+            self._pool.send(frame)
+        else:
+            sock = self._connect(frame.dest)
+            self._note_connection_opened(frame.dest)
+            try:
+                with sock:
+                    send_blob(sock, pickle.dumps((frame, False)))
+            except OSError as exc:
+                raise NapletCommunicationError(f"send to {frame.dest} failed: {exc}") from exc
         self._observe_wire(frame, time.monotonic() - started)
 
     def request(self, frame: Frame, timeout: float | None = None) -> bytes:
         started = time.monotonic()
-        sock = self._connect(frame.dest)
-        try:
-            with sock:
-                if timeout is not None:
-                    sock.settimeout(timeout)
-                _send_blob(sock, pickle.dumps((frame, True)))
-                reply = pickle.loads(_recv_blob(sock))
-        except socket.timeout as exc:
-            raise NapletCommunicationError(f"request to {frame.dest} timed out") from exc
-        except OSError as exc:
-            raise NapletCommunicationError(f"request to {frame.dest} failed: {exc}") from exc
+        if self._pool is not None:
+            reply = self._pool.request(frame, timeout)
+        else:
+            sock = self._connect(frame.dest)
+            self._note_connection_opened(frame.dest)
+            try:
+                with sock:
+                    if timeout is not None:
+                        sock.settimeout(timeout)
+                    send_blob(sock, pickle.dumps((frame, True)))
+                    reply = pickle.loads(recv_blob(sock))
+            except socket.timeout as exc:
+                raise NapletCommunicationError(f"request to {frame.dest} timed out") from exc
+            except OSError as exc:
+                raise NapletCommunicationError(f"request to {frame.dest} failed: {exc}") from exc
         self._observe_wire(frame, time.monotonic() - started)
         return reply
 
     def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
         with self._eplock:
             endpoints = list(self._endpoints.values())
             self._endpoints.clear()

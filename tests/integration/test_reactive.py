@@ -34,7 +34,9 @@ class TestReactiveDispatch:
         assert diagnosis["interfaces_down"] == [2]
         assert str(TrapType.LINK_DOWN) in diagnosis["trap"]
         assert 0.0 <= diagnosis["cpu_load"] <= 1.0
-        assert dispatcher.dispatch_count == 1
+        # The dispatcher records the dispatch after launch() returns, which
+        # races the report posted from the device server.
+        assert wait_until(lambda: dispatcher.dispatch_count == 1)
 
     def test_each_trap_dispatches_one_agent(self, reactive_man):
         framework, dispatcher, _sink, senders = reactive_man
@@ -43,7 +45,9 @@ class TestReactiveDispatch:
         reports = dispatcher.listener.reports(len(framework.device_hosts), timeout=30)
         diagnosed = sorted(r.payload["device"] for r in reports)
         assert diagnosed == framework.device_hosts
-        assert dispatcher.dispatch_count == len(framework.device_hosts)
+        assert wait_until(
+            lambda: dispatcher.dispatch_count == len(framework.device_hosts)
+        )
 
     def test_diagnosis_sees_healthy_interfaces_after_recovery(self, reactive_man):
         framework, dispatcher, _sink, senders = reactive_man

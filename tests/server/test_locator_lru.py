@@ -1,0 +1,76 @@
+"""Locator cache LRU bound: capacity, recency, eviction accounting."""
+
+from __future__ import annotations
+
+from repro.core.naplet_id import NapletID
+from repro.server.directory import DirectoryClient, DirectoryMode, NapletDirectory
+from repro.server.locator import Locator
+from repro.telemetry.exposition import ServerTelemetry
+from repro.transport.base import urn_of
+from repro.transport.inmemory import InMemoryTransport
+
+
+def _locator(capacity, telemetry=None):
+    store = NapletDirectory()
+    client = DirectoryClient(
+        mode=DirectoryMode.HOME,
+        transport=InMemoryTransport(),
+        self_urn=urn_of("home"),
+        local_directory=store,
+    )
+    return Locator(client, cache_capacity=capacity, telemetry=telemetry), store
+
+
+def _nid(name):
+    return NapletID.create(name, "home", stamp="240101120000")
+
+
+class TestLruBound:
+    def test_capacity_enforced(self):
+        locator, _ = _locator(capacity=3)
+        for i in range(10):
+            locator.note_location(_nid(f"n{i}"), "naplet://x")
+        assert locator.cache_size == 3
+        assert locator.cache_evictions == 7
+
+    def test_oldest_entry_evicted_first(self):
+        locator, _ = _locator(capacity=2)
+        locator.note_location(_nid("old"), "naplet://a")
+        locator.note_location(_nid("mid"), "naplet://b")
+        locator.note_location(_nid("new"), "naplet://c")
+        assert locator.locate(_nid("old")) is None  # evicted, not in directory
+        assert locator.locate(_nid("mid")) == "naplet://b"
+        assert locator.locate(_nid("new")) == "naplet://c"
+
+    def test_cache_hit_refreshes_recency(self):
+        locator, _ = _locator(capacity=2)
+        locator.note_location(_nid("a"), "naplet://a")
+        locator.note_location(_nid("b"), "naplet://b")
+        assert locator.locate(_nid("a")) == "naplet://a"  # touch 'a'
+        locator.note_location(_nid("c"), "naplet://c")  # evicts 'b', not 'a'
+        assert locator.locate(_nid("a")) == "naplet://a"
+        assert locator.locate(_nid("b")) is None
+
+    def test_renoting_existing_entry_does_not_evict(self):
+        locator, _ = _locator(capacity=2)
+        locator.note_location(_nid("a"), "naplet://a")
+        locator.note_location(_nid("b"), "naplet://b")
+        locator.note_location(_nid("a"), "naplet://a2")  # update, same key
+        assert locator.cache_size == 2
+        assert locator.cache_evictions == 0
+        assert locator.locate(_nid("a")) == "naplet://a2"
+
+    def test_unbounded_when_capacity_none(self):
+        locator, _ = _locator(capacity=None)
+        for i in range(500):
+            locator.note_location(_nid(f"n{i}"), "naplet://x")
+        assert locator.cache_size == 500
+        assert locator.cache_evictions == 0
+
+    def test_evictions_counted_in_telemetry(self):
+        telemetry = ServerTelemetry("home")
+        locator, _ = _locator(capacity=1, telemetry=telemetry)
+        for i in range(4):
+            locator.note_location(_nid(f"n{i}"), "naplet://x")
+        snapshot = telemetry.registry.snapshot()
+        assert snapshot.total("naplet_locator_cache_evictions_total") == 3

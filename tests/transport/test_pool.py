@@ -1,0 +1,176 @@
+"""Pooled TCP connections: multiplexing, reuse, reconnects, frame limits."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import NapletCommunicationError
+from repro.transport import pool as poolmod
+from repro.transport.base import Frame, FrameKind
+from repro.transport.tcp import TcpTransport
+
+
+@pytest.fixture
+def transport():
+    t = TcpTransport()
+    yield t
+    t.close()
+
+
+def _frame(dest, payload=b"", kind=FrameKind.MESSAGE):
+    return Frame(kind=kind, source="naplet://a", dest=dest, payload=payload)
+
+
+class TestPooledReuse:
+    def test_sequential_requests_share_one_connection(self, transport):
+        transport.register("naplet://echo", lambda f: pickle.dumps(f.payload))
+        for i in range(20):
+            reply = transport.request(_frame("naplet://echo", str(i).encode()), timeout=5)
+            assert pickle.loads(reply) == str(i).encode()
+        assert transport.connections_opened() == 1
+        assert transport.pool_reuse_count() == 19
+
+    def test_concurrent_interleaved_requests_over_one_connection(self, transport):
+        def slow_echo(frame):
+            time.sleep(0.01)  # force interleaving of in-flight requests
+            return pickle.dumps(frame.payload)
+
+        transport.register("naplet://echo", slow_echo)
+        results: dict[int, bytes] = {}
+        errors: list[Exception] = []
+
+        def worker(i):
+            try:
+                for j in range(5):
+                    payload = f"{i}:{j}".encode()
+                    reply = transport.request(_frame("naplet://echo", payload), timeout=10)
+                    assert pickle.loads(reply) == payload
+                results[i] = b"ok"
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert not errors
+        assert len(results) == 8
+        assert transport.connections_opened() == 1
+
+    def test_correlation_ids_are_distinct(self, transport):
+        seen = []
+        transport.register(
+            "naplet://c", lambda f: seen.append(f.correlation_id) or pickle.dumps(b"ok")
+        )
+        for _ in range(5):
+            transport.request(_frame("naplet://c"), timeout=5)
+        assert len(set(seen)) == 5
+        assert all(cid is not None for cid in seen)
+
+    def test_unpooled_transport_dials_per_frame(self):
+        transport = TcpTransport(pooled=False)
+        try:
+            transport.register("naplet://echo", lambda f: pickle.dumps(b"ok"))
+            for _ in range(5):
+                transport.request(_frame("naplet://echo"), timeout=5)
+            assert transport.connections_opened() == 5
+            assert transport.pool_reuse_count() == 0
+        finally:
+            transport.close()
+
+    def test_one_way_send_rides_the_pool(self, transport):
+        seen = threading.Event()
+        transport.register("naplet://sink", lambda f: seen.set())
+        transport.request(_frame("naplet://sink"), timeout=5)  # open the conn
+        seen.clear()
+        transport.send(_frame("naplet://sink"))
+        assert seen.wait(5)
+        assert transport.connections_opened() == 1
+
+
+class TestPoolResilience:
+    def test_reconnect_after_peer_closes_keepalive(self, transport):
+        transport.register("naplet://echo", lambda f: pickle.dumps(b"ok"))
+        transport.request(_frame("naplet://echo"), timeout=5)
+        assert transport.connections_opened() == 1
+        # The peer drops the kept-alive connection (restart, idle timeout).
+        endpoint = transport._endpoints["naplet://echo"]
+        endpoint.drop_connections()
+        conn = transport.pool.connection_to("naplet://echo")
+        deadline = time.monotonic() + 5
+        while conn.alive and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not conn.alive
+        # The next request transparently redials.
+        reply = transport.request(_frame("naplet://echo"), timeout=5)
+        assert pickle.loads(reply) == b"ok"
+        assert transport.connections_opened() == 2
+
+    def test_handler_error_poisons_only_its_request(self, transport):
+        def sometimes(frame):
+            if frame.payload == b"boom":
+                raise RuntimeError("handler exploded")
+            return pickle.dumps(b"ok")
+
+        transport.register("naplet://mixed", sometimes)
+        with pytest.raises(NapletCommunicationError, match="handler exploded"):
+            transport.request(_frame("naplet://mixed", b"boom"), timeout=5)
+        # Connection survives: the next request reuses it and succeeds.
+        reply = transport.request(_frame("naplet://mixed", b"fine"), timeout=5)
+        assert pickle.loads(reply) == b"ok"
+        assert transport.connections_opened() == 1
+
+    def test_timeout_leaves_connection_usable(self, transport):
+        def slow(frame):
+            if frame.payload == b"slow":
+                time.sleep(0.5)
+            return pickle.dumps(b"ok")
+
+        transport.register("naplet://slow", slow)
+        with pytest.raises(NapletCommunicationError, match="timed out"):
+            transport.request(_frame("naplet://slow", b"slow"), timeout=0.05)
+        reply = transport.request(_frame("naplet://slow", b"fast"), timeout=5)
+        assert pickle.loads(reply) == b"ok"
+        assert transport.connections_opened() == 1
+
+
+class TestFrameSizeBoundary:
+    def test_frame_at_limit_passes_over_limit_rejected(self, transport, monkeypatch):
+        monkeypatch.setattr(poolmod, "MAX_FRAME", 64 * 1024)
+        transport.register("naplet://big", lambda f: pickle.dumps(len(f.payload)))
+        # Comfortably under the limit: passes.
+        ok = _frame("naplet://big", b"z" * (32 * 1024))
+        assert pickle.loads(transport.request(ok, timeout=5)) == 32 * 1024
+        # Encoded size over the limit: rejected at send time, before the wire.
+        too_big = _frame("naplet://big", b"z" * (64 * 1024 + 1))
+        with pytest.raises(NapletCommunicationError, match="frame too large"):
+            transport.request(too_big, timeout=5)
+        # The shared connection was not poisoned by the rejected frame.
+        assert pickle.loads(transport.request(_frame("naplet://big", b"x"), timeout=5)) == 1
+
+    def test_oversized_length_prefix_counted_as_dropped(self, transport):
+        import socket
+        import struct
+
+        transport.register("naplet://sturdy", lambda f: pickle.dumps(b"ok"))
+        before = int(transport.metrics.counter("wire_dropped_connections_total").total())
+        raw = socket.create_connection(("127.0.0.1", transport.port_of("naplet://sturdy")))
+        raw.sendall(struct.pack("!I", poolmod.MAX_FRAME + 1) + b"xxxx")
+        raw.close()
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            dropped = int(
+                transport.metrics.counter("wire_dropped_connections_total").total()
+            )
+            if dropped > before:
+                break
+            time.sleep(0.01)
+        assert dropped == before + 1
+        assert transport.events.count("transport-connection-dropped") == 1
+        # Valid traffic still flows.
+        assert pickle.loads(transport.request(_frame("naplet://sturdy"), timeout=5)) == b"ok"
