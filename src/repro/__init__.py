@@ -10,6 +10,7 @@ Public surface (see README.md for the tour):
 - :mod:`repro.server`       — the NapletServer architecture (7 components)
 - :mod:`repro.transport`    — frames, in-memory + TCP transports, serializer
 - :mod:`repro.codeshipping` — codebases and lazy class loading
+- :mod:`repro.faults`       — fault injection, retry policies, dead letters
 - :mod:`repro.simnet`       — virtual networks, topologies, traffic metering
 - :mod:`repro.snmp`         — simulated SNMP/MIB substrate (paper §6)
 - :mod:`repro.man`          — mobile-agent network management application
@@ -26,6 +27,7 @@ from repro.core import (
     NapletState,
     SigningAuthority,
 )
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.itinerary import Itinerary, JoinPolicy, alt, par, seq, singleton
 from repro.server import (
     NapletServer,
@@ -59,5 +61,8 @@ __all__ = [
     "ResourceQuota",
     "deploy",
     "VirtualNetwork",
+    "FaultPlan",
+    "FaultInjector",
+    "RetryPolicy",
     "__version__",
 ]

@@ -168,6 +168,10 @@ class Itinerary:
         self._alt_pending: int | None = None  # stack index of a backtrackable Alt
         self._terminal_notice: tuple["NapletID", str] | None = None
         self._failures: list[_FailureRecord] = []
+        # Times a failed dispatch fell through to the next Alt branch;
+        # travels with the naplet, so the journey's report can show how
+        # many mirrors were burned through.
+        self.alt_failovers = 0
         self.on_failure = on_failure
         self.join_timeout = join_timeout
 
@@ -448,6 +452,7 @@ class Itinerary:
         frame.entered = False
         self._alt_pending = None
         self._current_visit = None
+        self.alt_failovers += 1
         return True
 
     # -- misc -------------------------------------------------------------------- #

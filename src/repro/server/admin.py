@@ -205,6 +205,44 @@ class SpaceAdmin:
         return MetricsSnapshot.merged(snapshots)
 
     # ------------------------------------------------------------------ #
+    # Dead letters
+    # ------------------------------------------------------------------ #
+
+    def dead_letters(self, hostname: str | None = None) -> dict[str, list[dict]]:
+        """Undelivered-message backlog per host (described, not drained)."""
+        hosts = [hostname] if hostname is not None else self.hostnames
+        return {
+            host: [
+                letter.describe()
+                for letter in self._servers[host].messenger.dead_letters.peek()
+            ]
+            for host in hosts
+        }
+
+    def dead_letter_depth(self) -> int:
+        """Total dead letters waiting anywhere in the space."""
+        return sum(
+            len(server.messenger.dead_letters) for server in self._servers.values()
+        )
+
+    def requeue_dead_letters(self, hostname: str | None = None) -> tuple[int, int]:
+        """Redeliver dead letters space-wide (or on one host) after a heal.
+
+        Returns the space-wide ``(delivered, requeued)`` totals.
+        """
+        servers = (
+            [self._servers[hostname]]
+            if hostname is not None
+            else list(self._servers.values())
+        )
+        delivered = requeued = 0
+        for server in servers:
+            got, kept = server.messenger.requeue_dead_letters()
+            delivered += got
+            requeued += kept
+        return delivered, requeued
+
+    # ------------------------------------------------------------------ #
     # Control (location-routed)
     # ------------------------------------------------------------------ #
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.naplet_id import NapletID
 from repro.server.directory import DirectoryClient, DirectoryRecord
@@ -45,10 +45,12 @@ class Locator:
         events: EventLog | None = None,
         telemetry: "ServerTelemetry | None" = None,
         cache_capacity: int | None = None,
+        time_source: "Callable[[], float]" = time.monotonic,
     ) -> None:
         self.directory = directory
         self.cache_ttl = cache_ttl
         self.cache_capacity = cache_capacity
+        self._now = time_source
         self.events = events if events is not None else EventLog()
         self.telemetry = telemetry
         self._cache: OrderedDict[NapletID, tuple[str, float]] = OrderedDict()
@@ -63,7 +65,7 @@ class Locator:
         """Record a location learned out-of-band (confirmations, arrivals)."""
         evicted = 0
         with self._lock:
-            self._cache[nid] = (urn, time.monotonic())
+            self._cache[nid] = (urn, self._now())
             self._cache.move_to_end(nid)
             if self.cache_capacity is not None:
                 while len(self._cache) > self.cache_capacity:
@@ -83,7 +85,7 @@ class Locator:
             if entry is None:
                 return None
             urn, stamp = entry
-            if time.monotonic() - stamp > self.cache_ttl:
+            if self._now() - stamp > self.cache_ttl:
                 del self._cache[nid]
                 return None
             self._cache.move_to_end(nid)  # a hit refreshes LRU recency

@@ -27,6 +27,7 @@ from repro.core.errors import (
     NapletLocationError,
 )
 from repro.core.naplet_id import NapletID
+from repro.faults.deadletter import DeadLetter, DeadLetterQueue
 from repro.server.mailbox import Mailbox
 from repro.server.messages import (
     DeliveryReceipt,
@@ -59,8 +60,16 @@ class Messenger:
         self._lock = threading.RLock()
         self.parked_count = 0
         self.forwarded_count = 0
+        # Messages that exhausted their delivery budget wait here for a
+        # requeue once the network heals, instead of vanishing.
+        self.dead_letters = DeadLetterQueue(server.config.dead_letter_capacity)
         # Queue depths are sampled lazily at snapshot time, not on every put.
         registry = server.telemetry.registry
+        registry.gauge_fn(
+            "naplet_dead_letter_depth",
+            "Undeliverable messages waiting in the dead-letter queue",
+            lambda: float(len(self.dead_letters)),
+        )
         registry.gauge_fn(
             "naplet_mailbox_queue_depth",
             "Messages waiting across resident mailboxes",
@@ -135,8 +144,66 @@ class Messenger:
             )
             try:
                 self.server.transport.request(frame)
-            except NapletCommunicationError:
+            except NapletCommunicationError as exc:
+                self._dead_letter(forwarded, dest_urn, str(exc))
                 continue
+
+    # ------------------------------------------------------------------ #
+    # Dead-letter queue
+    # ------------------------------------------------------------------ #
+
+    def _dead_letter(
+        self,
+        message: UserMessage | SystemMessage,
+        dest_urn: str,
+        reason: str,
+        attempts: int = 1,
+    ) -> None:
+        self.dead_letters.put(
+            DeadLetter(
+                message=message,
+                dest_urn=dest_urn,
+                reason=reason,
+                attempts=attempts,
+                source=self.server.urn,
+            )
+        )
+        self.server.telemetry.dead_letters.inc()
+        self.server.events.record(
+            "message-dead-lettered",
+            target=str(message.target),
+            dest=dest_urn,
+            reason=reason,
+        )
+
+    def requeue_dead_letters(self) -> tuple[int, int]:
+        """Retry every dead letter now that the network (maybe) healed.
+
+        Each letter is re-resolved through the locator — the target may
+        have moved while the link was down — and sent once; letters that
+        fail again go back on the queue.  Returns ``(delivered,
+        requeued)``.
+        """
+
+        def _deliver(letter: DeadLetter) -> None:
+            message = letter.message
+            try:
+                destination = self._resolve_destination(None, message.target, None)
+            except NapletLocationError:
+                destination = letter.dest_urn
+            if isinstance(message, SystemMessage):
+                self._send_control_once(message, destination)
+            else:
+                self._send_user_message_once(message, destination)
+
+        delivered, requeued = self.dead_letters.redeliver(_deliver)
+        if delivered:
+            self.server.telemetry.dead_letters_requeued.inc(delivered)
+        if delivered or requeued:
+            self.server.events.record(
+                "dead-letters-requeued", delivered=delivered, requeued=requeued
+            )
+        return delivered, requeued
 
     # ------------------------------------------------------------------ #
     # Sending
@@ -157,6 +224,37 @@ class Messenger:
         raise NapletLocationError(f"cannot locate naplet {target} from {self.server.urn}")
 
     def _send_user_message(self, message: UserMessage, dest_urn: str) -> DeliveryReceipt:
+        """Send under ``config.message_retry``; dead-letter when it gives up.
+
+        Retries happen only here, at the origin — the forwarding path in
+        :meth:`_deliver_local` never retries, so a chase across N servers
+        cannot amplify into N retry storms.
+        """
+        policy = self.server.config.message_retry
+
+        def _on_retry(attempt: int, wait: float, exc: BaseException) -> None:
+            self.server.telemetry.message_retries.inc()
+            self.server.events.record(
+                "message-retry",
+                target=str(message.target),
+                dest=dest_urn,
+                attempt=attempt,
+                error=str(exc),
+            )
+
+        try:
+            return policy.run(
+                lambda: self._send_user_message_once(message, dest_urn),
+                retry_on=(NapletCommunicationError,),
+                on_retry=_on_retry,
+            )
+        except NapletCommunicationError as exc:
+            self._dead_letter(message, dest_urn, str(exc), attempts=policy.max_attempts)
+            raise
+
+    def _send_user_message_once(
+        self, message: UserMessage, dest_urn: str
+    ) -> DeliveryReceipt:
         payload = self.server.serializer.dumps(message)
         self.server.telemetry.frame_bytes.inc(len(payload), kind="message")
         frame = Frame(
@@ -244,6 +342,33 @@ class Messenger:
         """Send a system message (terminate/suspend/resume/callback/...)."""
         message = SystemMessage(control=control, target=target, payload=payload)
         destination = self._resolve_destination(None, target, dest_urn)
+        policy = self.server.config.message_retry
+
+        def _on_retry(attempt: int, wait: float, exc: BaseException) -> None:
+            self.server.telemetry.message_retries.inc()
+            self.server.events.record(
+                "control-retry",
+                target=str(target),
+                control=control,
+                attempt=attempt,
+                error=str(exc),
+            )
+
+        try:
+            return policy.run(
+                lambda: self._send_control_once(message, destination),
+                retry_on=(NapletCommunicationError,),
+                on_retry=_on_retry,
+            )
+        except NapletCommunicationError as exc:
+            self._dead_letter(message, destination, str(exc), attempts=policy.max_attempts)
+            raise
+
+    def _send_control_once(
+        self, message: SystemMessage, destination: str
+    ) -> DeliveryReceipt:
+        target = message.target
+        control = message.control
         frame = Frame(
             kind=FrameKind.CONTROL,
             source=self.server.urn,
@@ -352,6 +477,14 @@ class Messenger:
             self._special.setdefault(target, []).append(message)
             self.parked_count += 1
         telemetry.messages_parked.inc()
+        # The naplet may have landed between the residency check above and
+        # the park — after the landing's own special-mailbox drain ran.
+        # Re-check and hand over now, or the message is stranded until the
+        # naplet departs (and a clone that retires here never departs).
+        if self.server.manager.is_resident(target):
+            self.create_mailbox(target)
+            telemetry.messages_delivered.inc()
+            return {"status": "delivered", "server": self.server.urn, "hops": hops}
         return {"status": "parked", "server": self.server.urn, "hops": hops}
 
     def handle_report_frame(self, frame: Frame) -> bytes:

@@ -36,13 +36,16 @@ clone spawning, credential re-issue, and Par join signalling.
 
 from __future__ import annotations
 
+import itertools
 import pickle
+from collections import OrderedDict
 from typing import TYPE_CHECKING
 
 from repro.core.context import NapletContext
 from repro.core.credential import Credential
 from repro.core.errors import (
     LandingDeniedError,
+    LaunchDeniedError,
     NapletCommunicationError,
     NapletDeparted,
     NapletMigrationError,
@@ -66,6 +69,10 @@ _FAST_PATH_UNSUPPORTED = pickle.dumps(
     {"ok": False, "unsupported": True, "reason": "fast-path not supported here"}
 )
 
+# Remembered transfer-ids per destination navigator: enough to absorb any
+# realistic retry window, small enough to never matter for memory.
+_TRANSFER_DEDUP_CAPACITY = 4096
+
 
 class Navigator:
     """Per-server migration endpoint."""
@@ -74,6 +81,11 @@ class Navigator:
         self.server = server
         self.migrations_out = 0
         self.migrations_in = 0
+        # Exactly-once landing: retransmitted transfers (the source never
+        # saw our ack) are recognized by their transfer-id and re-acked
+        # without landing a second copy of the naplet.
+        self._landed_transfers: OrderedDict[str, NapletID] = OrderedDict()
+        self._transfer_seq = itertools.count(1)
 
     # ------------------------------------------------------------------ #
     # Outbound
@@ -120,29 +132,62 @@ class Navigator:
         raise NapletDeparted(dest_urn)
 
     def transfer(self, naplet: "Naplet", dest_urn: str) -> None:
-        """Run the LAUNCH/LANDING/transfer protocol toward *dest_urn*."""
-        telemetry = self.server.telemetry
-        with telemetry.naplet_span(
-            naplet, "hop", source=self.server.hostname, dest=dest_urn
-        ) as hop:
-            self._transfer(naplet, dest_urn, hop)
-        telemetry.hops.inc()
-        telemetry.hop_latency.observe(hop.duration)
+        """Run the LAUNCH/LANDING/transfer protocol toward *dest_urn*.
 
-    def _transfer(self, naplet: "Naplet", dest_urn: str, hop) -> None:
+        The whole protocol is attempted under ``config.migration_retry``:
+        each attempt marks the departure, ships, and rolls back cleanly on
+        failure, so a retry starts from the same resident state.  All
+        attempts share one transfer-id, letting the destination recognize
+        a retransmission whose ack was lost and re-ack instead of landing
+        a second copy.  Deterministic denials (landing/launch refused) are
+        never retried — the destination already said no.
+        """
+        telemetry = self.server.telemetry
+        nid = naplet.naplet_id
+        transfer_id = f"{self.server.urn}#{next(self._transfer_seq)}"
+
+        def _attempt() -> None:
+            with telemetry.naplet_span(
+                naplet, "hop", source=self.server.hostname, dest=dest_urn
+            ) as hop:
+                self._transfer(naplet, dest_urn, hop, transfer_id)
+            telemetry.hops.inc()
+            telemetry.hop_latency.observe(hop.duration)
+
+        def _on_retry(attempt: int, wait: float, exc: BaseException) -> None:
+            telemetry.migration_retries.inc()
+            self.server.events.record(
+                "migration-retry",
+                naplet=str(nid),
+                dest=dest_urn,
+                attempt=attempt,
+                wait=round(wait, 4),
+                error=str(exc),
+            )
+
+        self.server.config.migration_retry.run(
+            _attempt,
+            retry_on=(NapletMigrationError,),
+            give_up_on=(LandingDeniedError, LaunchDeniedError),
+            on_retry=_on_retry,
+        )
+
+    def _transfer(
+        self, naplet: "Naplet", dest_urn: str, hop, transfer_id: str
+    ) -> None:
         nid = naplet.naplet_id
         credential = naplet.credential
         # 1. LAUNCH permission at the source (both paths).
         self.server.security.check(credential, Permission.LAUNCH)
         if self.server.config.migration_fast_path:
-            if self._transfer_fast(naplet, dest_urn, hop, credential):
+            if self._transfer_fast(naplet, dest_urn, hop, credential, transfer_id):
                 return
             # Destination predates (or disabled) the fast path: fall back.
             self.server.telemetry.fast_path_fallbacks.inc()
             self.server.events.record(
                 "fast-path-fallback", naplet=str(nid), dest=dest_urn
             )
-        self._transfer_two_phase(naplet, dest_urn, hop, credential)
+        self._transfer_two_phase(naplet, dest_urn, hop, credential, transfer_id)
 
     # -- departure bookkeeping shared by both protocols ------------------- #
 
@@ -183,11 +228,11 @@ class Navigator:
 
     def _transfer_frame(
         self, naplet: "Naplet", nid: NapletID, dest_urn: str, hop, payload: bytes,
-        extra_headers: dict[str, str] | None = None,
+        transfer_id: str, extra_headers: dict[str, str] | None = None,
     ) -> Frame:
         hop.set("bytes", len(payload))
         self.server.telemetry.frame_bytes.inc(len(payload), kind="naplet-transfer")
-        headers = {"naplet": str(nid)}
+        headers = {"naplet": str(nid), "transfer-id": transfer_id}
         if extra_headers:
             headers.update(extra_headers)
         if hop.span_id:
@@ -207,7 +252,8 @@ class Navigator:
     # -- fast path: landing check + transfer ack in one exchange ----------- #
 
     def _transfer_fast(
-        self, naplet: "Naplet", dest_urn: str, hop, credential: Credential
+        self, naplet: "Naplet", dest_urn: str, hop, credential: Credential,
+        transfer_id: str,
     ) -> bool:
         """Single-round-trip migration; False when the destination lacks it."""
         nid = naplet.naplet_id
@@ -216,6 +262,7 @@ class Navigator:
         frame = self._transfer_frame(
             naplet, nid, dest_urn, hop,
             payload=pickle.dumps((credential, image)),
+            transfer_id=transfer_id,
             extra_headers={"fast-path": "1"},
         )
         self.server.events.record(
@@ -255,7 +302,8 @@ class Navigator:
     # -- two-phase path: LANDING_REQUEST then NAPLET_TRANSFER -------------- #
 
     def _transfer_two_phase(
-        self, naplet: "Naplet", dest_urn: str, hop, credential: Credential
+        self, naplet: "Naplet", dest_urn: str, hop, credential: Credential,
+        transfer_id: str,
     ) -> None:
         nid = naplet.naplet_id
         # 2. LANDING permission at the destination.
@@ -280,7 +328,7 @@ class Navigator:
         # 3. Mark in transit, report DEPART, then ship.
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=True)
         payload = self.server.serializer.dumps(naplet)
-        frame = self._transfer_frame(naplet, nid, dest_urn, hop, payload)
+        frame = self._transfer_frame(naplet, nid, dest_urn, hop, payload, transfer_id)
         self.server.events.record(
             "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)
         )
@@ -335,7 +383,44 @@ class Navigator:
         )
         return _GRANTED
 
+    def _duplicate_transfer_ack(self, frame: Frame) -> bytes | None:
+        """Ack a retransmitted transfer without landing a second copy.
+
+        A retry whose previous attempt landed but whose ack was lost (the
+        two-generals window) arrives with a transfer-id we have already
+        landed.  Re-acking makes the retransmit idempotent; if the naplet
+        still lives here we also re-report the arrival, repairing any
+        directory record the source's rollback overwrote.
+        """
+        transfer_id = frame.headers.get("transfer-id")
+        if not transfer_id:
+            return None
+        nid = self._landed_transfers.get(transfer_id)
+        if nid is None:
+            return None
+        self.server.telemetry.duplicate_transfers.inc()
+        self.server.events.record(
+            "duplicate-transfer",
+            naplet=str(nid),
+            transfer_id=transfer_id,
+            source=frame.source,
+        )
+        if self.server.manager.is_resident(nid):
+            self.server.directory_client.report_arrival(nid, self.server.urn)
+        return _ACK_OK
+
+    def _remember_transfer(self, frame: Frame, nid: NapletID) -> None:
+        transfer_id = frame.headers.get("transfer-id")
+        if not transfer_id:
+            return
+        self._landed_transfers[transfer_id] = nid
+        while len(self._landed_transfers) > _TRANSFER_DEDUP_CAPACITY:
+            self._landed_transfers.popitem(last=False)
+
     def handle_transfer(self, frame: Frame) -> bytes:
+        duplicate = self._duplicate_transfer_ack(frame)
+        if duplicate is not None:
+            return duplicate
         if frame.headers.get("fast-path") == "1":
             return self._handle_fast_transfer(frame)
         try:
@@ -350,6 +435,9 @@ class Navigator:
             payload_bytes=len(frame.payload),
             trace_parent=frame.headers.get("trace-parent"),
         )
+        # Remember only after the landing succeeded: a failed landing must
+        # NOT dedup the retry that follows it.
+        self._remember_transfer(frame, naplet.naplet_id)
         return _ACK_OK
 
     def _handle_fast_transfer(self, frame: Frame) -> bytes:
@@ -386,6 +474,7 @@ class Navigator:
             trace_parent=frame.headers.get("trace-parent"),
             departed_from=frame.source,
         )
+        self._remember_transfer(frame, naplet.naplet_id)
         return _ACK_OK
 
     def receive(

@@ -30,6 +30,7 @@ from repro.core.credential import Credential, SigningAuthority
 from repro.core.errors import NapletError
 from repro.core.listener import NapletListener
 from repro.core.naplet_id import NapletID
+from repro.faults.retry import RetryPolicy, no_retry
 from repro.server.directory import DirectoryClient, DirectoryMode, NapletDirectory
 from repro.server.locator import Locator
 from repro.server.manager import NapletManager
@@ -75,6 +76,12 @@ class ServerConfig:
     # with this off answers fast-path transfers with an "unsupported" ack
     # and the source falls back to the two-phase protocol.
     migration_fast_path: bool = True
+    # Resilience policies (DESIGN.md §6.3).  The defaults are the
+    # single-attempt policies — exactly the historical give-up behavior —
+    # so existing spaces are unaffected until a config opts in.
+    migration_retry: RetryPolicy = field(default_factory=no_retry)
+    message_retry: RetryPolicy = field(default_factory=no_retry)
+    dead_letter_capacity: int = 256
 
 
 class NapletServer:

@@ -16,7 +16,7 @@ host).  Fault injection and metering are reached through the transport.
 from __future__ import annotations
 
 import threading
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import networkx as nx
 
@@ -29,6 +29,9 @@ from repro.transport.traffic import TrafficMeter
 from repro.transport.base import host_of
 from repro.transport.inmemory import InMemoryTransport
 from repro.transport.latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
 
 __all__ = ["GraphLatency", "VirtualNetwork"]
 
@@ -92,6 +95,7 @@ class VirtualNetwork:
         graph: nx.Graph,
         latency: LatencyModel | None = None,
         sleep_scale: float = 0.0,
+        fault_plan: "FaultPlan | None" = None,
     ) -> None:
         self.graph = graph
         self.clock = SimClock(scale=sleep_scale)
@@ -100,6 +104,14 @@ class VirtualNetwork:
         self.transport = InMemoryTransport(
             latency=self.latency, clock=self.clock, meter=self.meter
         )
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            # Chaos experiments: every frame in the space crosses the
+            # injector.  Healing the plan also flushes dead letters.
+            from repro.faults.engine import FaultInjector
+
+            self.transport = FaultInjector(self.transport, fault_plan)
+            fault_plan.on_heal(self._requeue_dead_letters)
         self.authority = SigningAuthority()
         self.code_registry = CodeBaseRegistry()
         self._hosts: dict[str, VirtualHost] = {}
@@ -157,6 +169,19 @@ class VirtualNetwork:
 
     def heal_host(self, hostname: str) -> None:
         self.transport.heal_host(host_of(hostname))
+        if self.fault_plan is not None:
+            self.fault_plan.heal_host(host_of(hostname))
+
+    def heal(self) -> None:
+        """Clear the fault plan (if any) and requeue dead letters space-wide."""
+        if self.fault_plan is not None:
+            self.fault_plan.heal()
+
+    def _requeue_dead_letters(self) -> None:
+        for host in self.hosts():
+            server = host.server
+            if server is not None and hasattr(server, "messenger"):
+                server.messenger.requeue_dead_letters()
 
     # -- lifecycle -------------------------------------------------------------- #
 

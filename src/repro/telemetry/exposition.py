@@ -74,6 +74,14 @@ class ServerTelemetry:
             "naplet_fast_path_fallbacks_total",
             "Fast-path transfers that fell back to the two-phase protocol",
         )
+        self.migration_retries = reg.counter(
+            "naplet_migration_retries_total",
+            "Migration attempts retried under the server's RetryPolicy",
+        )
+        self.duplicate_transfers = reg.counter(
+            "naplet_duplicate_transfers_total",
+            "Retransmitted transfers re-acked without landing a second copy",
+        )
         self.hop_latency = reg.histogram(
             "naplet_hop_latency_seconds",
             "End-to-end migration latency (LAUNCH grant to transfer ack)",
@@ -99,6 +107,18 @@ class ServerTelemetry:
         self.special_mailbox_hits = reg.counter(
             "naplet_special_mailbox_hits_total",
             "Parked messages claimed by a landing naplet",
+        )
+        self.message_retries = reg.counter(
+            "naplet_message_retries_total",
+            "Message sends retried under the server's RetryPolicy",
+        )
+        self.dead_letters = reg.counter(
+            "naplet_dead_letters_total",
+            "Messages dead-lettered after delivery gave up",
+        )
+        self.dead_letters_requeued = reg.counter(
+            "naplet_dead_letters_requeued_total",
+            "Dead letters successfully redelivered after a heal",
         )
         # Locator
         self.locator_hits = reg.counter(

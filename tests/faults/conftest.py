@@ -1,0 +1,84 @@
+"""Fixtures for the chaos suite: one space factory over both transports.
+
+Every test in ``tests/faults`` runs twice — once on the synchronous
+:class:`InMemoryTransport` (via :class:`VirtualNetwork`'s ``fault_plan``
+hook) and once on the pooled :class:`TcpTransport` wrapped directly in a
+:class:`FaultInjector` — so the resilience machinery is proven against
+both the simulated and the real wire.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codeshipping.codebase import CodeBaseRegistry
+from repro.core.credential import SigningAuthority
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.server import NapletServer, ServerConfig, deploy
+from repro.simnet import VirtualNetwork, full_mesh
+from repro.transport.tcp import TcpTransport
+
+CHAOS_HOSTS = ("c00", "c01", "c02", "c03")
+
+
+def resilient_config() -> ServerConfig:
+    """A config whose retry budgets outlast every fault the suite injects."""
+    return ServerConfig(
+        migration_retry=RetryPolicy(
+            max_attempts=5, base_delay=0.005, multiplier=1.5, max_delay=0.05, jitter=0.0
+        ),
+        message_retry=RetryPolicy(
+            max_attempts=4, base_delay=0.005, multiplier=1.5, max_delay=0.05, jitter=0.0
+        ),
+    )
+
+
+@pytest.fixture(params=["inmemory", "tcp"])
+def chaos_space(request):
+    """Factory: ``(plan, config) -> (servers, faulty_transport)``.
+
+    The returned transport is the injector-wrapped one shared by every
+    server; ``transport.heal()`` clears the plan and (through the on_heal
+    hook) requeues dead letters space-wide on both transports.
+    """
+    cleanups = []
+
+    def _build(plan: FaultPlan, config: ServerConfig | None = None):
+        config = config or resilient_config()
+        if request.param == "inmemory":
+            network = VirtualNetwork(
+                full_mesh(len(CHAOS_HOSTS), prefix="c"), fault_plan=plan
+            )
+            servers = deploy(network, config=config)
+            cleanups.append(network.shutdown)
+            return servers, network.transport
+        transport = TcpTransport()
+        injector = FaultInjector(transport, plan)
+        authority = SigningAuthority()
+        registry = CodeBaseRegistry()
+        servers = {
+            name: NapletServer(
+                hostname=name,
+                transport=injector,
+                authority=authority,
+                code_registry=registry,
+                config=config,
+            )
+            for name in CHAOS_HOSTS
+        }
+        # Same requeue-on-heal contract VirtualNetwork wires up.
+        plan.on_heal(
+            lambda: [s.messenger.requeue_dead_letters() for s in servers.values()]
+        )
+
+        def _shutdown():
+            for server in servers.values():
+                server.shutdown()
+            transport.close()
+
+        cleanups.append(_shutdown)
+        return servers, injector
+
+    yield _build
+    for cleanup in reversed(cleanups):
+        cleanup()

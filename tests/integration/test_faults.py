@@ -6,9 +6,10 @@ import pytest
 
 import repro
 from repro.core.errors import NapletMigrationError
+from repro.faults import RetryPolicy
 from repro.itinerary import Itinerary, ResultReport, SeqPattern, alt, seq, singleton
-from repro.server import NapletOutcome
-from repro.simnet import full_mesh, line
+from repro.server import NapletOutcome, ServerConfig
+from repro.simnet import VirtualNetwork, full_mesh, line
 from repro.util.concurrency import wait_until
 from tests.conftest import CollectorNaplet
 
@@ -39,20 +40,46 @@ class TestMigrationFaults:
             servers["s00"].launch(agent, owner="ops")
 
     def test_heal_restores_service(self, space):
-        network, servers = space(line(2, prefix="s"))
+        """The SAME agent survives a transient outage via the retry path.
+
+        The retry policy's injectable sleep doubles as the heal hook: the
+        first attempt fails on the dead link, the backoff wait heals it,
+        and the second attempt delivers the agent — no fresh-agent
+        relaunch workaround.
+        """
+        network = VirtualNetwork(line(2, prefix="s"))
+
+        def heal_during_backoff(_wait: float) -> None:
+            network.heal_link("s00", "s01")
+
+        config = ServerConfig(
+            migration_retry=RetryPolicy(
+                max_attempts=3, base_delay=0.01, jitter=0.0, sleep=heal_during_backoff
+            )
+        )
+        network, servers = space(network, config=config)
         network.fail_link("s00", "s01")
+        listener = repro.NapletListener()
         agent = CollectorNaplet("retry")
+        agent.set_itinerary(
+            Itinerary(SeqPattern.of_servers(["s01"], post_action=ResultReport("visited")))
+        )
+        servers["s00"].launch(agent, owner="ops", listener=listener)
+        assert listener.next_report(timeout=10).payload == ["s01"]
+        assert servers["s00"].telemetry.migration_retries.value() >= 1
+
+    def test_retries_zero_keeps_give_up_semantics(self, space):
+        """max_attempts=1 is exactly the historical behavior: one try, raise."""
+        network, servers = space(
+            line(2, prefix="s"),
+            config=ServerConfig(migration_retry=RetryPolicy(max_attempts=1)),
+        )
+        network.fail_link("s00", "s01")
+        agent = CollectorNaplet("doomed-no-retry")
         agent.set_itinerary(Itinerary(seq("s01")))
         with pytest.raises(NapletMigrationError):
             servers["s00"].launch(agent, owner="ops")
-        network.heal_link("s00", "s01")
-        listener = repro.NapletListener()
-        fresh = CollectorNaplet("retry2")
-        fresh.set_itinerary(
-            Itinerary(SeqPattern.of_servers(["s01"], post_action=ResultReport("visited")))
-        )
-        servers["s00"].launch(fresh, owner="ops", listener=listener)
-        assert listener.next_report(timeout=10).payload == ["s01"]
+        assert servers["s00"].telemetry.migration_retries.value() == 0
 
     def test_skip_policy_survives_partitioned_host(self, space):
         network, servers = space(full_mesh(4, prefix="n"))

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import time
-
 from repro.core.naplet_id import NapletID
 from repro.server.directory import DirectoryClient, DirectoryMode, NapletDirectory
 from repro.server.locator import Locator
@@ -11,7 +9,20 @@ from repro.transport.base import urn_of
 from repro.transport.inmemory import InMemoryTransport
 
 
-def _locator(cache_ttl=5.0):
+class FakeTime:
+    """Injectable monotonic clock: tests advance it instead of sleeping."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _locator(cache_ttl=5.0, time_source=None):
     """Locator whose client authority is a local store (home == self)."""
     store = NapletDirectory()
     client = DirectoryClient(
@@ -20,7 +31,8 @@ def _locator(cache_ttl=5.0):
         self_urn=urn_of("home"),
         local_directory=store,
     )
-    return Locator(client, cache_ttl=cache_ttl), store
+    kwargs = {"time_source": time_source} if time_source is not None else {}
+    return Locator(client, cache_ttl=cache_ttl, **kwargs), store
 
 
 def _nid():
@@ -82,11 +94,14 @@ class TestCacheMaintenance:
         assert locator.locate(nid) == "naplet://fresh"
 
     def test_ttl_expiry(self):
-        locator, store = _locator(cache_ttl=0.02)
+        clock = FakeTime()
+        locator, store = _locator(cache_ttl=5.0, time_source=clock)
         nid = _nid()
         locator.note_location(nid, "naplet://stale")
         store.register_arrival(nid, "naplet://fresh")
-        time.sleep(0.03)
+        clock.advance(4.9)
+        assert locator.locate(nid) == "naplet://stale"  # still within TTL
+        clock.advance(0.2)
         assert locator.locate(nid) == "naplet://fresh"
 
     def test_cache_size(self):

@@ -207,6 +207,7 @@ class TestInterrupts:
         assert outcome == NapletOutcome.TERMINATED
         assert (SystemControl.TERMINATE, "why") in seen
 
+    @pytest.mark.slow  # the 0.08s park window is a timing-bound negative check
     def test_suspend_resume(self, monitor):
         agent = _identified()
         stopped = []

@@ -22,6 +22,7 @@ def transport():
 
 
 class TestEdges:
+    @pytest.mark.slow  # the stalled handler holds its thread for 2s
     def test_request_timeout_when_handler_stalls(self, transport):
         def slow(frame):
             time.sleep(2.0)

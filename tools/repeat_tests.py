@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Repeat a pytest selection N times and report any flakes.
+
+The chaos suite (tests/faults/) is built on seeded fault plans and
+injectable clocks, so it must pass *every* run, not just most of them.
+This runner executes the selection repeatedly in fresh interpreter
+processes (no cross-run state bleed) and fails loudly on the first
+non-deterministic result:
+
+    python tools/repeat_tests.py tests/faults -n 20
+    python tools/repeat_tests.py tests/faults -n 20 --fail-fast
+    python tools/repeat_tests.py tests/property/test_retry_props.py -n 5 -- -k backoff
+
+Everything after ``--`` is passed to pytest verbatim.  Exit status is 0
+only when every run passes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_once(selection: list[str], pytest_args: list[str]) -> tuple[int, float, str]:
+    """One fresh-process pytest run; returns (exit_code, seconds, tail)."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    started = time.monotonic()
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", *selection, *pytest_args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    elapsed = time.monotonic() - started
+    tail = "\n".join((proc.stdout + proc.stderr).strip().splitlines()[-25:])
+    return proc.returncode, elapsed, tail
+
+
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if "--" in argv:
+        split = argv.index("--")
+        argv, pytest_args = argv[:split], argv[split + 1 :]
+    else:
+        pytest_args = []
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "selection", nargs="*", default=["tests/faults"],
+        help="test files/dirs to repeat (default: tests/faults)",
+    )
+    parser.add_argument("-n", "--runs", type=int, default=20,
+                        help="number of repetitions (default: 20)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="stop at the first failing run")
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for run in range(1, args.runs + 1):
+        code, elapsed, tail = run_once(args.selection, pytest_args)
+        status = "ok" if code == 0 else f"FAIL (exit {code})"
+        print(f"run {run:>3}/{args.runs}: {status}  [{elapsed:.2f}s]", flush=True)
+        if code != 0:
+            failures += 1
+            print(tail, flush=True)
+            if args.fail_fast:
+                break
+
+    if failures:
+        print(f"\nFLAKY: {failures}/{args.runs} runs failed", flush=True)
+        return 1
+    print(f"\ndeterministic: {args.runs}/{args.runs} runs passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
