@@ -1,10 +1,11 @@
-"""E11 (ablation): what does the telemetry layer cost a migrating naplet?
+"""E11 (ablation): what do telemetry and the health plane cost a naplet?
 
-Runs the same line tour through two otherwise-identical spaces — one with
-``ServerConfig.telemetry_enabled=True`` (spans + metrics recorded at every
-hop, landing, and message) and one with it off (no-op instruments, null
-spans) — and compares wall-clock per journey.  The instrumentation sits on
-the migration control path, so this is the honest end-to-end number.
+Runs the same line tour through three otherwise-identical spaces —
+telemetry off (no-op instruments, null spans), telemetry on with the
+health plane dormant, and telemetry on with the health plane sampling at
+its default cadence — and compares wall-clock per journey.  The
+instrumentation sits on the migration control path and the health sampler
+runs on its own thread, so this is the honest end-to-end number for both.
 """
 
 from __future__ import annotations
@@ -37,26 +38,32 @@ def _run_tours(servers, count: int) -> float:
     return time.perf_counter() - start
 
 
-def _space(enabled: bool):
+def _space(telemetry: bool, health: bool = False):
     network = VirtualNetwork(line(4, prefix="s"))
-    servers = repro.deploy(network, config=ServerConfig(telemetry_enabled=enabled))
+    servers = repro.deploy(
+        network,
+        config=ServerConfig(telemetry_enabled=telemetry, health_enabled=health),
+    )
     return network, servers
 
 
 class TestTelemetryOverhead:
     def test_bench_tour_with_and_without_telemetry(self, benchmark, table):
-        net_on, on = _space(enabled=True)
-        net_off, off = _space(enabled=False)
+        net_on, on = _space(telemetry=True, health=False)
+        net_health, with_health = _space(telemetry=True, health=True)
+        net_off, off = _space(telemetry=False)
         try:
-            # warm both spaces (code paths, caches) before timing
+            # warm all spaces (code paths, caches) before timing
             _run_tours(on, 2)
+            _run_tours(with_health, 2)
             _run_tours(off, 2)
             instrumented = _run_tours(on, TOURS)
+            health_on = _run_tours(with_health, TOURS)
             bare = _run_tours(off, TOURS)
 
             spans = sum(len(s.telemetry.tracer) for s in on.values())
             table(
-                "E11 — telemetry overhead per 3-hop journey",
+                "E11 — telemetry/health overhead per 3-hop journey",
                 ["configuration", "total (s)", "ms/journey", "spans kept"],
                 [
                     [
@@ -64,6 +71,12 @@ class TestTelemetryOverhead:
                         f"{instrumented:.3f}",
                         f"{instrumented / TOURS * 1e3:.1f}",
                         spans,
+                    ],
+                    [
+                        "telemetry + health plane",
+                        f"{health_on:.3f}",
+                        f"{health_on / TOURS * 1e3:.1f}",
+                        sum(len(s.telemetry.tracer) for s in with_health.values()),
                     ],
                     [
                         "telemetry off",
@@ -74,6 +87,7 @@ class TestTelemetryOverhead:
                 ],
             )
             benchmark.extra_info["instrumented_s"] = instrumented
+            benchmark.extra_info["health_on_s"] = health_on
             benchmark.extra_info["bare_s"] = bare
 
             # telemetry-off really records nothing
@@ -83,6 +97,18 @@ class TestTelemetryOverhead:
             # the layer must stay far below the migration cost itself;
             # generous bound to keep CI timing noise out of the signal
             assert instrumented <= bare * 4 + 0.5
+            # the health plane samples off the hot path: enabling it at the
+            # default cadence must cost the tours under 5% (plus a small
+            # absolute cushion for scheduler jitter on loaded CI boxes)
+            assert health_on <= instrumented * 1.05 + 0.25
+            # and its sampler is genuinely running (first tick lands at the
+            # default cadence, which may be after the short bench window)
+            from repro.util.concurrency import wait_until
+
+            assert wait_until(
+                lambda: sum(s.health.samples_taken for s in with_health.values()) > 0,
+                timeout=2.0,
+            )
 
             def one_tour():
                 _run_tours(on, 1)
@@ -90,4 +116,5 @@ class TestTelemetryOverhead:
             benchmark.pedantic(one_tour, rounds=5, iterations=1)
         finally:
             net_on.shutdown()
+            net_health.shutdown()
             net_off.shutdown()

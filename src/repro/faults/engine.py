@@ -32,15 +32,45 @@ exposition endpoint pick the counters up with no extra wiring.
 from __future__ import annotations
 
 import time
+from collections import deque
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.errors import NapletCommunicationError
 from repro.faults.plan import FaultDecision, FaultPlan
 from repro.transport.base import Frame
 
-__all__ = ["FaultInjector", "InjectedFault"]
+__all__ = ["FaultInjector", "FaultRecord", "InjectedFault"]
 
 _CORRUPT_MARK = b"\xde\xad"
+_RECORD_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fired fault, annotated for trace timelines.
+
+    The metrics counter answers *how many*; records answer *when and to
+    whom*, which is what the Chrome trace exporter needs to pin injected
+    faults onto the same monotonic timeline as the spans they disturbed.
+    """
+
+    labels: tuple[str, ...]
+    kind: str  # frame kind the fault hit
+    source: str
+    dest: str
+    wall: float
+    mono: float
+
+    def describe(self) -> dict:
+        return {
+            "labels": list(self.labels),
+            "kind": self.kind,
+            "source": self.source,
+            "dest": self.dest,
+            "wall": self.wall,
+            "mono": self.mono,
+        }
 
 
 class InjectedFault(NapletCommunicationError):
@@ -62,6 +92,7 @@ class FaultInjector:
         self._fault_counter = inner.metrics.counter(
             "fault_injected_total", "Faults injected into the wire, by fault label."
         )
+        self._records: deque[FaultRecord] = deque(maxlen=_RECORD_CAPACITY)
 
     # Everything the framework asks of a transport that we do not
     # intercept — register, unregister, bind_event_log, metrics, clock,
@@ -83,9 +114,23 @@ class FaultInjector:
         else:
             time.sleep(seconds)
 
-    def _count(self, decision: FaultDecision) -> None:
+    def _count(self, decision: FaultDecision, frame: Frame) -> None:
         for label in decision.labels:
             self._fault_counter.inc(fault=label)
+        self._records.append(
+            FaultRecord(
+                labels=tuple(decision.labels),
+                kind=str(frame.kind),
+                source=frame.source,
+                dest=frame.dest,
+                wall=time.time(),
+                mono=time.monotonic(),
+            )
+        )
+
+    def records(self) -> list[FaultRecord]:
+        """Fired faults in firing order (bounded to the most recent 1024)."""
+        return list(self._records)
 
     @staticmethod
     def _corrupted(frame: Frame) -> Frame:
@@ -118,7 +163,7 @@ class FaultInjector:
         if not decision.labels:
             self.inner.send(frame)
             return
-        self._count(decision)
+        self._count(decision, frame)
         if decision.terminal:
             return  # one-way loss is silent, like the real network
         self._pause(decision.delay)
@@ -143,7 +188,7 @@ class FaultInjector:
         decision = self.plan.decide(frame)
         if not decision.labels:
             return self.inner.request(frame, timeout)
-        self._count(decision)
+        self._count(decision, frame)
         if decision.terminal:
             raise self._fail(decision, frame)
         self._pause(decision.delay)

@@ -1,0 +1,29 @@
+"""Space health plane: resource profiles, watchdog findings, harvesting.
+
+Extends the telemetry layer (DESIGN.md §6.1) with *continuous* platform
+observability (§6.4):
+
+- :mod:`repro.health.profile`  — per-naplet CPU/message/bandwidth time
+  series sampled from the NapletMonitor's control blocks;
+- :mod:`repro.health.findings` — typed, severity-ranked watchdog findings;
+- :mod:`repro.health.plane`    — the per-server sampler + watchdog;
+- :mod:`repro.health.harvest`  — an itinerant probe that harvests health
+  over any transport, the paper's MAN pattern applied to the platform.
+"""
+
+from repro.health.findings import FindingKind, HealthFinding, Severity
+from repro.health.harvest import HealthProbeNaplet, harvest_via_probe
+from repro.health.plane import HealthPlane
+from repro.health.profile import ProfileTable, ResourceProfile, ResourceSample
+
+__all__ = [
+    "FindingKind",
+    "HealthFinding",
+    "Severity",
+    "HealthPlane",
+    "HealthProbeNaplet",
+    "harvest_via_probe",
+    "ProfileTable",
+    "ResourceProfile",
+    "ResourceSample",
+]

@@ -1,0 +1,74 @@
+"""Health harvesting as an itinerant workload (paper §6 applied to us).
+
+The paper's MAN application treats monitoring as *just another naplet*:
+an agent tours the space and reads SNMP variables on-site.  The
+:class:`HealthProbeNaplet` does the same for the platform's own health
+plane — it visits every server, opens the standard ``telemetry`` service,
+collects the health snapshot plus a few headline metrics, and reports the
+merged harvest home.  Because it rides the normal migration machinery the
+probe works over any transport (in-memory or TCP-split) with zero extra
+wiring — exactly how ``tools/napletstat.py`` polls a space it cannot
+reach in-process.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.naplet import Naplet
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.listener import NapletListener
+    from repro.server.server import NapletServer
+
+__all__ = ["HealthProbeNaplet", "harvest_via_probe"]
+
+# Counters worth carrying home verbatim (headline dashboard numbers).
+_HEADLINE_METRICS = (
+    "naplet_hops_total",
+    "naplet_landings_total",
+    "naplet_messages_delivered_total",
+    "naplet_dead_letters_total",
+    "naplet_health_active_findings",
+)
+
+
+class HealthProbeNaplet(Naplet):
+    """Visits each server and harvests its telemetry service's health view."""
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        harvest: list[dict[str, Any]] = self.state.get("harvest") or []
+        row: dict[str, Any] = {"server": context.hostname}
+        try:
+            service = context.open_service("telemetry")
+        except Exception as exc:
+            row["error"] = str(exc)
+        else:
+            row["status"] = service.status()
+            row["health"] = service.health()
+            snapshot = service.metrics()
+            row["metrics"] = {
+                name: snapshot.total(name) for name in _HEADLINE_METRICS
+            }
+        harvest.append(row)
+        self.state.set("harvest", harvest)
+        self.travel()
+
+
+def harvest_via_probe(
+    home: "NapletServer",
+    hostnames: list[str],
+    listener: "NapletListener",
+    owner: str = "napletstat",
+    timeout: float = 30.0,
+) -> list[dict[str, Any]]:
+    """Tour *hostnames* with a probe launched from *home*; return the rows."""
+    probe = HealthProbeNaplet("health-probe")
+    probe.set_itinerary(
+        Itinerary(SeqPattern.of_servers(hostnames, post_action=ResultReport("harvest")))
+    )
+    home.launch(probe, owner=owner, listener=listener)
+    report = listener.next_report(timeout=timeout)
+    return list(report.payload or [])

@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.core.errors import NapletError, NapletLocationError
 from repro.core.naplet_id import NapletID
+from repro.health.findings import HealthFinding, Severity
+from repro.health.profile import ResourceProfile
 from repro.server.manager import Footprint
 from repro.server.messages import SystemControl
 from repro.server.monitor import ResourceUsage
@@ -61,6 +63,9 @@ class ServerSummary:
     outcomes: dict[str, int]
     active_channels: int
     footprints: int
+    active_naplets: int = 0  # monitor threads currently running
+    dead_letter_depth: int = 0  # undeliverable messages awaiting requeue
+    health_findings: int = 0  # active watchdog findings
 
 
 class SpaceAdmin:
@@ -154,6 +159,9 @@ class SpaceAdmin:
                     outcomes=dict(server.monitor.outcomes),
                     active_channels=server.resource_manager.active_channel_count,
                     footprints=len(server.manager.footprints()),
+                    active_naplets=server.monitor.active_count,
+                    dead_letter_depth=len(server.messenger.dead_letters),
+                    health_findings=len(server.health.findings()),
                 )
             )
         return rows
@@ -189,20 +197,60 @@ class SpaceAdmin:
     def space_metrics(self) -> MetricsSnapshot:
         """One merged snapshot over every server registry and transport.
 
-        Transports are deduplicated by identity: in-memory spaces share one
-        transport object across servers, TCP-split spaces may not.
+        Servers are visited in sorted-hostname order so the merge (and any
+        text rendering of it) is deterministic regardless of construction
+        order.  Transports are deduplicated by identity: in-memory spaces
+        share one transport object across servers, TCP-split spaces may
+        not.
         """
-        snapshots = [
-            server.telemetry.registry.snapshot() for server in self._servers.values()
-        ]
+        ordered = [self._servers[hostname] for hostname in self.hostnames]
+        snapshots = [server.telemetry.registry.snapshot() for server in ordered]
         seen: set[int] = set()
-        for server in self._servers.values():
+        for server in ordered:
             transport = server.transport
             if id(transport) in seen:
                 continue
             seen.add(id(transport))
             snapshots.append(transport.metrics.snapshot())
         return MetricsSnapshot.merged(snapshots)
+
+    # ------------------------------------------------------------------ #
+    # Health plane (space-wide)
+    # ------------------------------------------------------------------ #
+
+    def space_health(self) -> dict[str, dict]:
+        """Every server's health snapshot (findings + profiles), by host."""
+        return {
+            hostname: self._servers[hostname].health.describe()
+            for hostname in self.hostnames
+        }
+
+    def space_findings(self) -> list["HealthFinding"]:
+        """All active watchdog findings, most severe first."""
+        findings: list[HealthFinding] = []
+        for hostname in self.hostnames:
+            findings.extend(self._servers[hostname].health.findings())
+        findings.sort(key=lambda f: (-Severity.rank(f.severity), f.first_seen))
+        return findings
+
+    def resource_profiles(self, nid: NapletID) -> dict[str, "ResourceProfile"]:
+        """Per-server resource profiles recorded for *nid* (host → profile)."""
+        profiles: dict[str, ResourceProfile] = {}
+        for hostname in self.hostnames:
+            profile = self._servers[hostname].health.profile(nid)
+            if profile is not None:
+                profiles[hostname] = profile
+        return profiles
+
+    def top_naplets_by_cpu(self, count: int = 5) -> list[tuple[str, "ResourceProfile"]]:
+        """The space's busiest naplets: (hostname, profile), hottest first."""
+        candidates: list[tuple[str, ResourceProfile]] = []
+        for hostname in self.hostnames:
+            for profile in self._servers[hostname].health.profiles:
+                if profile.latest is not None:
+                    candidates.append((hostname, profile))
+        candidates.sort(key=lambda hp: hp[1].latest.cpu_seconds, reverse=True)  # type: ignore[union-attr]
+        return candidates[:count]
 
     # ------------------------------------------------------------------ #
     # Dead letters

@@ -304,6 +304,29 @@ class NapletMonitor:
         block = self.control_block(nid)
         return block.usage if block is not None else None
 
+    def usage_table(self) -> dict["NapletID", ResourceUsage]:
+        """Consistent copies of every resident control block's usage.
+
+        The health plane's sampler calls this on its cadence; copies are
+        taken under each block's own lock so a concurrently checkpointing
+        naplet cannot tear a reading.  CPU figures advance only at
+        cooperative checkpoints — which is precisely what lets the
+        watchdog spot a wedged naplet that stopped checkpointing.
+        """
+        with self._lock:
+            blocks = dict(self._runs)
+        table: dict["NapletID", ResourceUsage] = {}
+        for nid, block in blocks.items():
+            with block._lock:
+                usage = block.usage
+                table[nid] = ResourceUsage(
+                    cpu_seconds=usage.cpu_seconds,
+                    started_at=usage.started_at,
+                    messages_sent=usage.messages_sent,
+                    message_bytes=usage.message_bytes,
+                )
+        return table
+
     def resident_ids(self) -> list["NapletID"]:
         with self._lock:
             return list(self._runs)

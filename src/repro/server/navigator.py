@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import pickle
+import time
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -258,7 +259,9 @@ class Navigator:
         """Single-round-trip migration; False when the destination lacks it."""
         nid = naplet.naplet_id
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=False)
+        serialize_started = time.monotonic()
         image = self.server.serializer.dumps(naplet)
+        hop.set("serialize_s", time.monotonic() - serialize_started)
         frame = self._transfer_frame(
             naplet, nid, dest_urn, hop,
             payload=pickle.dumps((credential, image)),
@@ -327,7 +330,9 @@ class Navigator:
             )
         # 3. Mark in transit, report DEPART, then ship.
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=True)
+        serialize_started = time.monotonic()
         payload = self.server.serializer.dumps(naplet)
+        hop.set("serialize_s", time.monotonic() - serialize_started)
         frame = self._transfer_frame(naplet, nid, dest_urn, hop, payload, transfer_id)
         self.server.events.record(
             "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)

@@ -82,6 +82,14 @@ class ServerConfig:
     migration_retry: RetryPolicy = field(default_factory=no_retry)
     message_retry: RetryPolicy = field(default_factory=no_retry)
     dead_letter_capacity: int = 256
+    # Health plane (DESIGN.md §6.4): background sampler + watchdog.  It is
+    # dormant whenever telemetry is disabled; all work happens off the hot
+    # path on its own thread at ``health_cadence`` seconds per pass.
+    health_enabled: bool = True
+    health_cadence: float = 0.25
+    health_stuck_deadline: float = 30.0  # no-progress watchdog deadline
+    health_profile_window: int = 240  # samples kept per naplet profile
+    health_profile_capacity: int = 512  # naplet profiles kept (LRU)
 
 
 class NapletServer:
@@ -164,6 +172,14 @@ class NapletServer:
         self.resource_manager.register_open_service(
             TelemetryService.SERVICE_NAME, TelemetryService(self)
         )
+
+        # Health plane: samples the monitor's control blocks on a cadence
+        # and runs the watchdog.  Dormant (no thread) unless telemetry and
+        # health are both enabled.
+        from repro.health.plane import HealthPlane
+
+        self.health = HealthPlane(self)
+        self.health.start()
 
         self._shutdown = threading.Event()
         transport.register(self.urn, self._handle_frame)
@@ -327,6 +343,7 @@ class NapletServer:
         if self._shutdown.is_set():
             return
         self._shutdown.set()
+        self.health.stop()
         for nid in self.monitor.resident_ids():
             self.monitor.interrupt(nid, SystemControl.TERMINATE, "server shutdown")
         self.transport.unregister(self.urn)

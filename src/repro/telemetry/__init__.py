@@ -20,7 +20,14 @@ from repro.telemetry.exposition import (
     render_metrics_text,
     span_to_dict,
 )
-from repro.telemetry.journey import Journey, JourneyNode, stitch
+from repro.telemetry.export import chrome_trace, write_chrome_trace
+from repro.telemetry.journey import (
+    CriticalPath,
+    HopBreakdown,
+    Journey,
+    JourneyNode,
+    stitch,
+)
 from repro.telemetry.metrics import (
     Counter,
     Gauge,
@@ -50,6 +57,10 @@ __all__ = [
     "Journey",
     "JourneyNode",
     "stitch",
+    "CriticalPath",
+    "HopBreakdown",
+    "chrome_trace",
+    "write_chrome_trace",
     "ServerTelemetry",
     "TelemetryService",
     "render_metrics_text",

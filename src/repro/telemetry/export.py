@@ -1,0 +1,201 @@
+"""Chrome trace-event export: one timeline for spans, resources, faults.
+
+``chrome://tracing`` / Perfetto load a JSON object with a ``traceEvents``
+list; this module renders a naplet space's telemetry into that format so
+a whole chaos experiment can be scrubbed on one timeline:
+
+- every :class:`~repro.telemetry.trace.Span` becomes a complete (``"X"``)
+  event — hops, landings, message sends, locator lookups — grouped into
+  one *process* row per server and one *thread* row per naplet (spans
+  with no naplet attribute group under their trace id);
+- every :class:`~repro.health.profile.ResourceProfile` sample becomes a
+  counter (``"C"``) event, so CPU and message-byte consumption render as
+  area charts under the spans they explain;
+- every fired :class:`~repro.faults.engine.FaultRecord` becomes an
+  instant (``"i"``) event, pinning "the injector dropped this frame
+  here" onto the exact moment the surrounding spans stretched.
+
+All timestamps derive from the *same* process-wide monotonic clock the
+tracers and the health plane sample (``time.monotonic()``), rebased to
+the earliest event and scaled to microseconds, so ordering across
+servers, profiles and faults is consistent by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.telemetry.trace import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.health.profile import ResourceProfile
+    from repro.telemetry.journey import Journey
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_FAULT_PROCESS = "fault-injector"
+
+
+class _IdAllocator:
+    """Stable small-integer ids for process/thread names, plus metadata."""
+
+    def __init__(self) -> None:
+        self._ids: dict[tuple[str, str | None], int] = {}
+        self.metadata: list[dict[str, Any]] = []
+
+    def pid(self, process: str) -> int:
+        key = (process, None)
+        pid = self._ids.get(key)
+        if pid is None:
+            pid = self._ids[key] = len(self._ids) + 1
+            self.metadata.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "args": {"name": process},
+                }
+            )
+        return pid
+
+    def tid(self, process: str, thread: str) -> tuple[int, int]:
+        pid = self.pid(process)
+        key = (process, thread)
+        tid = self._ids.get(key)
+        if tid is None:
+            tid = self._ids[key] = len(self._ids) + 1
+            self.metadata.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread},
+                }
+            )
+        return pid, tid
+
+
+def _thread_label(span: Span) -> str:
+    naplet = span.attributes.get("naplet")
+    if naplet:
+        return str(naplet)
+    return f"trace {span.trace_id[:8]}"
+
+
+def _flatten_profiles(profiles: Iterable[Any]) -> "list[tuple[str, ResourceProfile]]":
+    """Accept bare profiles or ``(hostname, profile)`` pairs."""
+    out: list[tuple[str, Any]] = []
+    for entry in profiles:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            host, profile = entry
+            out.append((str(host), profile))
+        else:
+            out.append(("space", entry))
+    return out
+
+
+def chrome_trace(
+    spans: "Iterable[Span] | Journey" = (),
+    *,
+    profiles: Iterable[Any] = (),
+    fault_records: Iterable[Any] = (),
+) -> dict[str, Any]:
+    """Render telemetry into a Chrome trace-event JSON object.
+
+    ``spans`` is any span iterable or a stitched :class:`Journey`;
+    ``profiles`` takes :class:`ResourceProfile` objects or
+    ``(hostname, profile)`` pairs (as :meth:`SpaceAdmin.top_naplets_by_cpu`
+    returns); ``fault_records`` takes :class:`FaultRecord` objects (from
+    :meth:`FaultInjector.records` / :meth:`VirtualNetwork.fault_records`).
+    """
+    span_list: list[Span] = (
+        list(spans.spans) if hasattr(spans, "spans") else list(spans)
+    )
+    profile_list = _flatten_profiles(profiles)
+    record_list = list(fault_records)
+
+    # One shared monotonic origin so every event lands on the same axis.
+    candidates: list[float] = [span.start_mono for span in span_list]
+    candidates.extend(
+        sample.mono for _host, profile in profile_list for sample in profile.samples
+    )
+    candidates.extend(record.mono for record in record_list)
+    base = min(candidates) if candidates else 0.0
+
+    def micros(mono: float) -> float:
+        return (mono - base) * 1e6
+
+    ids = _IdAllocator()
+    events: list[dict[str, Any]] = []
+
+    for span in span_list:
+        pid, tid = ids.tid(span.server, _thread_label(span))
+        args: dict[str, Any] = dict(span.attributes)
+        if span.status != "ok":
+            args["status"] = span.status
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": "span" if span.status == "ok" else "span,error",
+                "ts": micros(span.start_mono),
+                "dur": span.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+
+    for host, profile in profile_list:
+        pid = ids.pid(host)
+        name = f"resources {profile.naplet_id}"
+        for sample in profile.samples:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": name,
+                    "ts": micros(sample.mono),
+                    "pid": pid,
+                    "args": {
+                        "cpu_seconds": sample.cpu_seconds,
+                        "message_bytes": sample.message_bytes,
+                    },
+                }
+            )
+
+    for record in record_list:
+        pid, tid = ids.tid(_FAULT_PROCESS, f"{record.source} -> {record.dest}")
+        events.append(
+            {
+                "ph": "i",
+                "name": f"fault {'+'.join(record.labels)}",
+                "cat": "fault",
+                "ts": micros(record.mono),
+                "pid": pid,
+                "tid": tid,
+                "s": "g",  # global scope: draw the line across all rows
+                "args": record.describe(),
+            }
+        )
+
+    events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("tid", 0)))
+    return {
+        "traceEvents": ids.metadata + events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(
+    path: str,
+    spans: "Iterable[Span] | Journey" = (),
+    *,
+    profiles: Iterable[Any] = (),
+    fault_records: Iterable[Any] = (),
+) -> dict[str, Any]:
+    """Write :func:`chrome_trace` output to *path*; returns the trace dict."""
+    trace = chrome_trace(spans, profiles=profiles, fault_records=fault_records)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1)
+    return trace

@@ -181,11 +181,35 @@ class TelemetryService:
     def hostname(self) -> str:
         return self._server.hostname
 
+    @property
+    def enabled(self) -> bool:
+        return self._server.telemetry.enabled
+
+    def status(self) -> dict[str, Any]:
+        """Harvester handshake: is there anything to collect here?
+
+        A server running with ``telemetry_enabled=False`` answers every
+        query with empty-but-valid payloads; this tells the harvester
+        *why* (``"disabled"``) instead of letting it misread silence as
+        a perfectly idle server.
+        """
+        return {
+            "server": self._server.hostname,
+            "telemetry": "enabled" if self.enabled else "disabled",
+            "health": "enabled" if self._server.health.enabled else "disabled",
+        }
+
     def metrics(self) -> MetricsSnapshot:
         return self._server.telemetry.registry.snapshot()
 
     def metrics_text(self) -> str:
+        if not self.enabled:
+            return f"# telemetry disabled on {self._server.hostname}"
         return render_metrics_text(self.metrics())
+
+    def health(self) -> dict[str, Any]:
+        """The health plane's findings + profiles (empty shell when dormant)."""
+        return self._server.health.describe()
 
     def metrics_dict(self) -> dict[str, Any]:
         return metrics_to_dict(self.metrics())
@@ -210,10 +234,25 @@ class TelemetryService:
 # ---------------------------------------------------------------------- #
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through.  Backslash must be first or it would re-escape the others.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: tuple[tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
     return "{" + inner + "}"
 
 

@@ -17,7 +17,112 @@ from typing import Iterable, Iterator
 
 from repro.telemetry.trace import Span
 
-__all__ = ["JourneyNode", "Journey", "stitch"]
+__all__ = ["CriticalPath", "HopBreakdown", "JourneyNode", "Journey", "stitch"]
+
+
+@dataclass(frozen=True)
+class HopBreakdown:
+    """Where one migration hop spent its time.
+
+    ``total`` is the hop span's duration; ``serialize`` is measured by the
+    navigator around ``serializer.dumps``; ``landing`` is the destination's
+    landing-span duration; ``wire`` is the remainder (transfer frames on
+    the wire plus destination queueing), clamped non-negative because the
+    landing clock runs on another server.  ``execute`` is the dwell time
+    between this hop's landing finishing and the *next* hop starting —
+    the naplet's useful work at the destination (0.0 for the final hop).
+    """
+
+    source: str
+    dest: str
+    total: float
+    serialize: float
+    wire: float
+    landing: float
+    execute: float
+    status: str = "ok"
+
+    @property
+    def dominant(self) -> str:
+        """The segment that dominated this hop (ties go leftmost)."""
+        segments = {
+            "serialize": self.serialize,
+            "wire": self.wire,
+            "landing": self.landing,
+            "execute": self.execute,
+        }
+        return max(segments, key=lambda k: segments[k])
+
+    def describe(self) -> dict:
+        return {
+            "source": self.source,
+            "dest": self.dest,
+            "total": self.total,
+            "serialize": self.serialize,
+            "wire": self.wire,
+            "landing": self.landing,
+            "execute": self.execute,
+            "dominant": self.dominant,
+            "status": self.status,
+        }
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """Per-hop latency attribution across a whole journey."""
+
+    hops: tuple[HopBreakdown, ...]
+
+    @property
+    def total(self) -> float:
+        return sum(hop.total + hop.execute for hop in self.hops)
+
+    def segment_totals(self) -> dict[str, float]:
+        """Journey-wide time per segment, for answering 'where did the
+        latency go' without reading every hop."""
+        totals = {"serialize": 0.0, "wire": 0.0, "landing": 0.0, "execute": 0.0}
+        for hop in self.hops:
+            totals["serialize"] += hop.serialize
+            totals["wire"] += hop.wire
+            totals["landing"] += hop.landing
+            totals["execute"] += hop.execute
+        return totals
+
+    def dominant_segment(self) -> str | None:
+        if not self.hops:
+            return None
+        totals = self.segment_totals()
+        return max(totals, key=lambda k: totals[k])
+
+    def render(self) -> str:
+        """Aligned table of the per-hop breakdown, milliseconds."""
+        if not self.hops:
+            return "(no hops)"
+        lines = [
+            f"{'hop':<24} {'total':>9} {'serial':>9} {'wire':>9} "
+            f"{'landing':>9} {'execute':>9}  dominant"
+        ]
+        for hop in self.hops:
+            route = f"{hop.source} -> {hop.dest}"
+            lines.append(
+                f"{route:<24} {hop.total * 1e3:>8.2f}m {hop.serialize * 1e3:>8.2f}m "
+                f"{hop.wire * 1e3:>8.2f}m {hop.landing * 1e3:>8.2f}m "
+                f"{hop.execute * 1e3:>8.2f}m  {hop.dominant}"
+                + (f" [{hop.status}]" if hop.status != "ok" else "")
+            )
+        totals = self.segment_totals()
+        lines.append(
+            f"{'(journey)':<24} {self.total * 1e3:>8.2f}m {totals['serialize'] * 1e3:>8.2f}m "
+            f"{totals['wire'] * 1e3:>8.2f}m {totals['landing'] * 1e3:>8.2f}m "
+            f"{totals['execute'] * 1e3:>8.2f}m  {self.dominant_segment()}"
+        )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __iter__(self):
+        return iter(self.hops)
 
 
 @dataclass
@@ -60,6 +165,53 @@ class Journey:
 
     def __bool__(self) -> bool:
         return bool(self.roots)
+
+    # -- critical path ------------------------------------------------------ #
+
+    def critical_path(self) -> CriticalPath:
+        """Attribute each hop's latency to serialize/wire/landing/execute.
+
+        Hops are taken in monotonic start order (every tracer shares the
+        process clock, so cross-server ordering is sound in-process).  The
+        wire share is what remains of the hop after subtracting the
+        measured serialize time and the destination's landing-span
+        duration; execute is the gap from a hop's end to the next hop's
+        start, i.e. how long the naplet actually worked at the
+        destination before moving on.
+        """
+        hop_nodes = sorted(
+            (node for node in self.nodes() if node.span.name == "hop"),
+            key=lambda n: (n.span.start_mono, n.span.start_wall, n.span.span_id),
+        )
+        breakdowns: list[HopBreakdown] = []
+        for index, node in enumerate(hop_nodes):
+            span = node.span
+            serialize = float(span.attributes.get("serialize_s", 0.0) or 0.0)
+            landing = sum(
+                child.span.duration
+                for child in node.children
+                if child.span.name == "landing"
+            )
+            wire = max(0.0, span.duration - serialize - landing)
+            hop_end = span.start_mono + span.duration
+            if index + 1 < len(hop_nodes):
+                next_start = hop_nodes[index + 1].span.start_mono
+                execute = max(0.0, next_start - hop_end)
+            else:
+                execute = 0.0
+            breakdowns.append(
+                HopBreakdown(
+                    source=str(span.attributes.get("source", span.server)),
+                    dest=str(span.attributes.get("dest", "?")),
+                    total=span.duration,
+                    serialize=serialize,
+                    wire=wire,
+                    landing=landing,
+                    execute=execute,
+                    status=span.status,
+                )
+            )
+        return CriticalPath(hops=tuple(breakdowns))
 
     # -- rendering ---------------------------------------------------------- #
 

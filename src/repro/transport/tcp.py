@@ -225,6 +225,27 @@ class TcpTransport(Transport):
             except KeyError:
                 raise NapletCommunicationError(f"no endpoint registered at {urn}") from None
 
+    def worker_backlog(self, urn: str | None = None) -> int:
+        """Frames queued behind the inbound worker pool(s), not yet served.
+
+        The health plane's wedged-server rule polls this: a sustained
+        non-zero backlog means every ``server_workers`` thread is busy and
+        requests are waiting.  ``urn`` restricts the count to one
+        endpoint; the default sums the whole transport.
+        """
+        with self._eplock:
+            endpoints = (
+                [self._endpoints[urn]]
+                if urn is not None and urn in self._endpoints
+                else list(self._endpoints.values()) if urn is None else []
+            )
+        backlog = 0
+        for endpoint in endpoints:
+            queue = getattr(endpoint._workers, "_work_queue", None)
+            if queue is not None:
+                backlog += queue.qsize()
+        return backlog
+
     def _connect(self, urn: str) -> socket.socket:
         port = self.port_of(urn)
         try:

@@ -1,0 +1,53 @@
+"""Agents and fixtures for the health-plane suite.
+
+Module-level agent classes so pickle can ship them by reference during
+in-process migrations (same convention as the top-level conftest).
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro
+
+
+class WedgedNaplet(repro.Naplet):
+    """Sleeps without checkpointing: no CPU, no messages — the watchdog's prey."""
+
+    def on_start(self) -> None:
+        while True:
+            time.sleep(0.05)
+
+
+class SleepyNaplet(repro.Naplet):
+    """Stalls (no checkpoints) for a bounded nap, then wakes and finishes.
+
+    Long enough asleep to trip the watchdog, awake soon after — the
+    recovery path: the finding must clear once progress resumes/retires.
+    """
+
+    def __init__(self, name: str, nap_seconds: float = 0.4, **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self.nap_seconds = nap_seconds
+
+    def on_start(self) -> None:
+        time.sleep(self.nap_seconds)
+        self.checkpoint()
+        self.state.set("woke", True)
+
+
+class BusyNaplet(repro.Naplet):
+    """Burns CPU (checkpointing) for a bounded time, then travels on."""
+
+    def __init__(self, name: str, busy_seconds: float = 0.3, **kwargs) -> None:
+        super().__init__(name, **kwargs)
+        self.busy_seconds = busy_seconds
+
+    def on_start(self) -> None:
+        deadline = time.monotonic() + self.busy_seconds
+        total = 0
+        while time.monotonic() < deadline:
+            total += sum(i * i for i in range(2000))
+            self.checkpoint()
+        self.state.set("total", total)
+        self.travel()

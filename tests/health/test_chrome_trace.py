@@ -1,0 +1,144 @@
+"""Chrome trace export: valid JSON, one consistent timeline, fault pins.
+
+Covers the ISSUE acceptance: an exported trace for a 3-hop journey in a
+chaos space must be valid JSON with monotonically consistent timestamps
+and contain the injected-fault annotation events.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.faults import FaultPlan
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.server import ServerConfig, SpaceAdmin, deploy
+from repro.simnet import VirtualNetwork, line
+from repro.telemetry import chrome_trace, write_chrome_trace
+from repro.telemetry.trace import Span
+
+from tests.conftest import CollectorNaplet
+
+pytestmark = [pytest.mark.health, pytest.mark.chaos]
+
+
+@pytest.fixture
+def chaos_journey(space):
+    """3-hop tour under injected delays: (admin, journey, fault_records)."""
+    plan = FaultPlan(seed=13).delay(0.002)
+    network, servers = space(
+        VirtualNetwork(line(4, prefix="s"), fault_plan=plan),
+        config=ServerConfig(health_cadence=0.05),
+    )
+    listener = repro.NapletListener()
+    agent = CollectorNaplet("trace-tour")
+    agent.set_itinerary(
+        Itinerary(
+            SeqPattern.of_servers(
+                ["s01", "s02", "s03"], post_action=ResultReport("visited")
+            )
+        )
+    )
+    admin = SpaceAdmin(servers)
+    nid = servers["s00"].launch(agent, owner="alice", listener=listener)
+    listener.next_report(timeout=15)
+    assert admin.wait_space_idle()
+    return admin, admin.journey(nid), network.fault_records()
+
+
+def _non_meta(trace: dict) -> list[dict]:
+    return [e for e in trace["traceEvents"] if e["ph"] != "M"]
+
+
+class TestChromeTrace:
+    def test_three_hop_chaos_trace_is_valid_and_consistent(self, chaos_journey):
+        admin, journey, records = chaos_journey
+        assert records, "the fault plan injected nothing?"
+        trace = chrome_trace(
+            journey,
+            profiles=admin.top_naplets_by_cpu(),
+            fault_records=records,
+        )
+        # Valid JSON end to end.
+        decoded = json.loads(json.dumps(trace))
+        assert decoded["displayTimeUnit"] == "ms"
+        events = _non_meta(decoded)
+        # Monotonically consistent: sorted, non-negative, shared origin.
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        assert all(t >= 0 for t in timestamps)
+        # The journey's hops and landings are there as complete events.
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "hop" in names and "landing" in names
+        assert sum(1 for e in events if e["ph"] == "X" and e["name"] == "hop") == 3
+        # Injected faults are pinned as instant annotations.
+        faults = [e for e in events if e["ph"] == "i"]
+        assert faults and all(e["cat"] == "fault" for e in faults)
+        assert all(e["args"]["labels"] == ["delay"] for e in faults)
+
+    def test_metadata_names_every_process_and_thread(self, chaos_journey):
+        _admin, journey, records = chaos_journey
+        trace = chrome_trace(journey, fault_records=records)
+        metadata = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        named_pids = {
+            e["pid"] for e in metadata if e["name"] == "process_name"
+        }
+        used_pids = {e["pid"] for e in _non_meta(trace)}
+        assert used_pids <= named_pids
+        process_names = {
+            e["args"]["name"] for e in metadata if e["name"] == "process_name"
+        }
+        assert {"s00", "s01", "fault-injector"} <= process_names
+
+    def test_write_chrome_trace_round_trips_through_disk(self, chaos_journey, tmp_path):
+        _admin, journey, records = chaos_journey
+        path = tmp_path / "journey.json"
+        written = write_chrome_trace(str(path), journey, fault_records=records)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["traceEvents"]
+
+    def test_profile_samples_become_counter_events(self):
+        from repro.health.profile import ResourceProfile, ResourceSample
+
+        profile = ResourceProfile("nap-1")
+        for i in range(3):
+            profile.append(
+                ResourceSample(
+                    wall=1000.0 + i,
+                    mono=float(i),
+                    cpu_seconds=0.1 * i,
+                    wall_seconds=float(i),
+                    messages_sent=i,
+                    message_bytes=100 * i,
+                )
+            )
+        trace = chrome_trace(profiles=[("s01", profile)])
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert len(counters) == 3
+        assert counters[0]["name"] == "resources nap-1"
+        assert counters[-1]["args"] == {"cpu_seconds": 0.2, "message_bytes": 200}
+
+    def test_error_spans_keep_their_status(self):
+        span = Span(
+            trace_id="t",
+            span_id="s",
+            parent_id=None,
+            name="hop",
+            server="a",
+            start_wall=1.0,
+            start_mono=1.0,
+            duration=0.1,
+            status="error",
+        )
+        trace = chrome_trace([span])
+        event = _non_meta(trace)[0]
+        assert event["cat"] == "span,error"
+        assert event["args"]["status"] == "error"
+
+    def test_empty_inputs_yield_an_empty_but_valid_trace(self):
+        trace = chrome_trace([])
+        assert trace["traceEvents"] == []
+        json.dumps(trace)

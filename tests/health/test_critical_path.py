@@ -1,0 +1,149 @@
+"""Journey.critical_path(): per-hop serialize/wire/landing/execute split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.telemetry.journey import CriticalPath, HopBreakdown, stitch
+from repro.telemetry.trace import Span
+
+import repro
+from tests.conftest import CollectorNaplet
+
+pytestmark = pytest.mark.health
+
+
+def _hop(
+    span_id: str,
+    start: float,
+    duration: float,
+    source: str,
+    dest: str,
+    serialize: float = 0.0,
+) -> Span:
+    return Span(
+        trace_id="t1",
+        span_id=span_id,
+        parent_id=None,
+        name="hop",
+        server=source,
+        start_wall=1000.0 + start,
+        start_mono=start,
+        duration=duration,
+        attributes={"source": source, "dest": dest, "serialize_s": serialize},
+    )
+
+
+def _landing(span_id: str, parent: str, start: float, duration: float, server: str) -> Span:
+    return Span(
+        trace_id="t1",
+        span_id=span_id,
+        parent_id=parent,
+        name="landing",
+        server=server,
+        start_wall=1000.0 + start,
+        start_mono=start,
+        duration=duration,
+    )
+
+
+class TestSegmentMath:
+    def test_single_hop_attribution(self):
+        spans = [
+            _hop("h1", start=0.0, duration=1.0, source="a", dest="b", serialize=0.2),
+            _landing("l1", parent="h1", start=0.5, duration=0.3, server="b"),
+        ]
+        path = stitch(spans).critical_path()
+        assert len(path) == 1
+        hop = path.hops[0]
+        assert hop.serialize == pytest.approx(0.2)
+        assert hop.landing == pytest.approx(0.3)
+        assert hop.wire == pytest.approx(0.5)  # 1.0 - 0.2 - 0.3
+        assert hop.execute == 0.0  # final hop
+        assert hop.dominant == "wire"
+
+    def test_execute_is_the_gap_between_hops(self):
+        spans = [
+            _hop("h1", start=0.0, duration=1.0, source="a", dest="b"),
+            _hop("h2", start=3.0, duration=1.0, source="b", dest="c"),
+        ]
+        path = stitch(spans).critical_path()
+        assert path.hops[0].execute == pytest.approx(2.0)  # 3.0 - (0.0 + 1.0)
+        assert path.hops[1].execute == 0.0
+
+    def test_wire_clamps_when_remote_clock_overshoots(self):
+        # Landing longer than the hop (cross-host clocks): wire floors at 0.
+        spans = [
+            _hop("h1", start=0.0, duration=0.5, source="a", dest="b", serialize=0.1),
+            _landing("l1", parent="h1", start=0.1, duration=0.9, server="b"),
+        ]
+        hop = stitch(spans).critical_path().hops[0]
+        assert hop.wire == 0.0
+
+    def test_hops_ordered_by_monotonic_start(self):
+        spans = [
+            _hop("h2", start=5.0, duration=1.0, source="b", dest="c"),
+            _hop("h1", start=0.0, duration=1.0, source="a", dest="b"),
+        ]
+        path = stitch(spans).critical_path()
+        assert [h.source for h in path.hops] == ["a", "b"]
+
+    def test_totals_and_dominant_segment(self):
+        path = CriticalPath(
+            hops=(
+                HopBreakdown("a", "b", total=1.0, serialize=0.1, wire=0.6, landing=0.3, execute=2.0),
+                HopBreakdown("b", "c", total=1.0, serialize=0.2, wire=0.5, landing=0.3, execute=0.0),
+            )
+        )
+        assert path.total == pytest.approx(4.0)
+        totals = path.segment_totals()
+        assert totals["wire"] == pytest.approx(1.1)
+        assert path.dominant_segment() == "execute"
+
+    def test_empty_journey_has_empty_path(self):
+        path = stitch([]).critical_path()
+        assert len(path) == 0
+        assert path.dominant_segment() is None
+        assert path.render() == "(no hops)"
+
+    def test_render_lists_every_hop_and_the_journey_row(self):
+        spans = [
+            _hop("h1", start=0.0, duration=1.0, source="a", dest="b", serialize=0.2),
+        ]
+        text = stitch(spans).critical_path().render()
+        assert "a -> b" in text
+        assert "(journey)" in text
+        assert "dominant" in text
+
+
+class TestLiveJourney:
+    def test_three_hop_tour_attributes_every_segment(self, small_line):
+        """A real tour: serialize measured on the hop, landings matched,
+        and the sum of parts never exceeds the hop total."""
+        _network, servers = small_line
+        listener = repro.NapletListener()
+        agent = CollectorNaplet("cp")
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(
+                    ["s01", "s02", "s03"], post_action=ResultReport("visited")
+                )
+            )
+        )
+        from repro.server import SpaceAdmin
+
+        admin = SpaceAdmin(servers)
+        nid = servers["s00"].launch(agent, owner="alice", listener=listener)
+        listener.next_report(timeout=10)
+        assert admin.wait_space_idle()
+
+        path = admin.journey(nid).critical_path()
+        assert len(path) == 3
+        assert [h.source for h in path.hops] == ["s00", "s01", "s02"]
+        for hop in path.hops:
+            assert hop.total > 0
+            assert hop.serialize > 0  # navigator measured dumps()
+            assert hop.landing > 0
+            assert hop.serialize + hop.landing <= hop.total + 1e-9
+        assert path.hops[-1].execute == 0.0

@@ -1,0 +1,163 @@
+"""tools/napletstat.py: the renderer and the live --once acceptance path.
+
+``tools/`` is not a package, so the module is loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.itinerary import Itinerary
+from repro.itinerary.pattern import singleton
+from repro.server import ServerConfig, SpaceAdmin
+from repro.simnet import line
+from repro.util.concurrency import wait_until
+
+from tests.health.conftest import WedgedNaplet
+
+pytestmark = pytest.mark.health
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "napletstat.py"
+
+
+@pytest.fixture(scope="module")
+def napletstat():
+    spec = importlib.util.spec_from_file_location("napletstat", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("napletstat", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRender:
+    def test_synthetic_rows_render_all_sections(self, napletstat):
+        rows = [
+            {
+                "server": "s00",
+                "status": {"health": "enabled"},
+                "residents": 2,
+                "health": {
+                    "samples_taken": 10,
+                    "dead_letter_depth": 3,
+                    "findings": [
+                        {
+                            "kind": "stuck_naplet",
+                            "severity": "warning",
+                            "server": "s00",
+                            "subject": "nap-1",
+                            "detail": "no progress for 2s",
+                            "first_seen": 1.0,
+                        }
+                    ],
+                    "profiles": [
+                        {
+                            "naplet": "nap-1",
+                            "resident": True,
+                            "cpu_seconds": 1.5,
+                            "cpu_rate": 0.4,
+                            "bandwidth": 2048.0,
+                            "messages_sent": 7,
+                        },
+                        {
+                            "naplet": "nap-2",
+                            "resident": False,
+                            "cpu_seconds": 9.0,
+                            "cpu_rate": 0.0,
+                            "bandwidth": 0.0,
+                            "messages_sent": 0,
+                        },
+                    ],
+                },
+            },
+        ]
+        output = napletstat.render(rows, top=5)
+        assert "servers=1" in output
+        assert "stuck_naplet" in output and "no progress for 2s" in output
+        assert "dead letters space-wide: 3" in output
+        # nap-2 has more CPU: listed first in the top table.
+        assert output.index("nap-2") < output.index("nap-1@") if "nap-1@" in output else True
+        lines = output.splitlines()
+        top_rows = [l for l in lines if l.strip().startswith("nap-")]
+        assert top_rows[0].strip().startswith("nap-2")
+
+    def test_findings_sorted_most_severe_first(self, napletstat):
+        rows = [
+            {
+                "server": "s00",
+                "status": {"health": "enabled"},
+                "health": {
+                    "findings": [
+                        {"kind": "a", "severity": "warning", "subject": "x",
+                         "detail": "", "first_seen": 1.0},
+                        {"kind": "b", "severity": "critical", "subject": "y",
+                         "detail": "", "first_seen": 2.0},
+                    ],
+                    "profiles": [],
+                },
+            }
+        ]
+        output = napletstat.render(rows)
+        assert output.index("critical") < output.index("warning")
+
+    def test_unreachable_server_row_is_shown_not_fatal(self, napletstat):
+        rows = [
+            {"server": "s00", "error": "connection refused"},
+            {"server": "s01", "status": {"health": "enabled"}, "health": {"profiles": []}},
+        ]
+        output = napletstat.render(rows)
+        assert "unreachable: connection refused" in output
+        assert "(space is healthy)" in output
+
+    def test_empty_space_renders_placeholders(self, napletstat):
+        output = napletstat.render([])
+        assert "(no resource profiles yet)" in output
+        assert "(space is healthy)" in output
+
+
+class TestLiveDashboard:
+    def test_once_renders_a_wedged_naplet_finding(self, napletstat, space):
+        """ISSUE acceptance: the dashboard shows the stuck_naplet finding."""
+        _network, servers = space(
+            line(2, prefix="s"),
+            config=ServerConfig(health_cadence=0.05, health_stuck_deadline=0.15),
+        )
+        agent = WedgedNaplet("wedged")
+        agent.set_itinerary(Itinerary(singleton("s01")))
+        servers["s00"].launch(agent, owner="ops")
+        admin = SpaceAdmin(servers)
+        assert wait_until(lambda: admin.space_findings(), timeout=5.0)
+
+        rows = napletstat.rows_from_admin(admin)
+        output = napletstat.render(rows)
+        assert "stuck_naplet" in output
+        assert "no CPU/message progress" in output
+        assert "findings: 1" in output
+
+    def test_rows_match_the_probe_harvest_shape(self, napletstat, space):
+        """The renderer must accept harvest_via_probe rows unchanged."""
+        import repro
+        from repro.health import harvest_via_probe
+
+        _network, servers = space(line(2, prefix="s"))
+        listener = repro.NapletListener()
+        rows = harvest_via_probe(
+            servers["s00"], ["s00", "s01"], listener, timeout=15.0
+        )
+        assert len(rows) == 2
+        output = napletstat.render(rows)
+        assert "servers=2" in output
+
+    def test_cli_requires_demo_mode(self, napletstat):
+        with pytest.raises(SystemExit):
+            napletstat.main(["--once"])
+
+    @pytest.mark.slow
+    def test_demo_once_prints_a_frame(self, napletstat, capsys):
+        assert napletstat.main(["--demo", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "napletstat" in out
+        assert "top naplets by CPU" in out

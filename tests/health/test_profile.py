@@ -1,0 +1,140 @@
+"""Unit tests for ResourceProfile / ProfileTable (no servers involved)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.health.profile import ProfileTable, ResourceProfile, ResourceSample
+
+pytestmark = pytest.mark.health
+
+
+def sample(
+    mono: float,
+    cpu: float = 0.0,
+    msgs: int = 0,
+    nbytes: int = 0,
+    wall: float | None = None,
+) -> ResourceSample:
+    return ResourceSample(
+        wall=wall if wall is not None else 1000.0 + mono,
+        mono=mono,
+        cpu_seconds=cpu,
+        wall_seconds=mono,
+        messages_sent=msgs,
+        message_bytes=nbytes,
+    )
+
+
+class TestResourceProfile:
+    def test_first_sample_counts_as_progress(self):
+        profile = ResourceProfile("nap-1")
+        assert profile.append(sample(1.0)) is True
+        assert profile.last_progress_mono == 1.0
+
+    def test_identical_samples_show_no_progress(self):
+        profile = ResourceProfile("nap-1")
+        profile.append(sample(1.0, cpu=0.5))
+        assert profile.append(sample(2.0, cpu=0.5)) is False
+        assert profile.last_progress_mono == 1.0
+        assert profile.stalled_for(5.0) == pytest.approx(4.0)
+
+    def test_cpu_delta_is_progress(self):
+        profile = ResourceProfile("nap-1")
+        profile.append(sample(1.0, cpu=0.5))
+        assert profile.append(sample(2.0, cpu=0.6)) is True
+        assert profile.stalled_for(2.0) == 0.0
+
+    def test_message_and_byte_deltas_are_progress(self):
+        profile = ResourceProfile("nap-1")
+        profile.append(sample(1.0, msgs=1, nbytes=10))
+        assert profile.append(sample(2.0, msgs=2, nbytes=10)) is True
+        assert profile.append(sample(3.0, msgs=2, nbytes=20)) is True
+        assert profile.append(sample(4.0, msgs=2, nbytes=20)) is False
+
+    def test_cpu_jitter_below_epsilon_is_not_progress(self):
+        profile = ResourceProfile("nap-1")
+        profile.append(sample(1.0, cpu=0.5))
+        assert profile.append(sample(2.0, cpu=0.5 + 1e-9)) is False
+
+    def test_window_bounds_samples(self):
+        profile = ResourceProfile("nap-1", window=3)
+        for i in range(10):
+            profile.append(sample(float(i)))
+        assert len(profile) == 3
+        assert profile.samples[0].mono == 7.0
+
+    def test_cpu_rate_and_bandwidth_over_window(self):
+        profile = ResourceProfile("nap-1")
+        profile.append(sample(0.0, cpu=0.0, nbytes=0))
+        profile.append(sample(2.0, cpu=1.0, nbytes=2000))
+        assert profile.cpu_rate() == pytest.approx(0.5)
+        assert profile.bandwidth() == pytest.approx(1000.0)
+
+    def test_rates_need_two_samples(self):
+        profile = ResourceProfile("nap-1")
+        assert profile.cpu_rate() == 0.0
+        assert profile.bandwidth() == 0.0
+        profile.append(sample(1.0, cpu=5.0))
+        assert profile.cpu_rate() == 0.0
+
+    def test_series_extracts_one_attribute(self):
+        profile = ResourceProfile("nap-1")
+        profile.append(sample(1.0, cpu=0.1))
+        profile.append(sample(2.0, cpu=0.3))
+        assert profile.series("cpu_seconds") == [(1.0, 0.1), (2.0, 0.3)]
+
+    def test_describe_is_json_shaped(self):
+        import json
+
+        profile = ResourceProfile("nap-1")
+        profile.append(sample(1.0, cpu=0.25, msgs=3, nbytes=99))
+        described = json.loads(json.dumps(profile.describe()))
+        assert described["naplet"] == "nap-1"
+        assert described["cpu_seconds"] == 0.25
+        assert described["messages_sent"] == 3
+        assert described["resident"] is True
+
+
+class TestProfileTable:
+    def test_touch_creates_then_reuses(self):
+        table = ProfileTable(capacity=4)
+        first = table.touch("a")
+        assert table.touch("a") is first
+        assert len(table) == 1
+
+    def test_capacity_evicts_least_recently_touched(self):
+        table = ProfileTable(capacity=2)
+        table.touch("a")
+        table.touch("b")
+        table.touch("a")  # refresh a; b is now oldest
+        table.touch("c")
+        assert table.get("b") is None
+        assert table.get("a") is not None
+        assert table.evicted == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProfileTable(capacity=0)
+
+    def test_mark_non_resident_flips_absentees(self):
+        table = ProfileTable()
+        table.touch("a")
+        table.touch("b")
+        table.mark_non_resident({"a"})
+        assert table.get("a").resident is True
+        assert table.get("b").resident is False
+
+    def test_top_by_cpu_orders_hottest_first(self):
+        table = ProfileTable()
+        for nid, cpu in (("cold", 0.1), ("hot", 2.0), ("warm", 0.7)):
+            table.touch(nid).append(sample(1.0, cpu=cpu))
+        table.touch("empty")  # no samples: excluded
+        top = table.top_by_cpu(2)
+        assert [p.naplet_id for p in top] == ["hot", "warm"]
+
+    def test_iteration_yields_profiles(self):
+        table = ProfileTable()
+        table.touch("a")
+        table.touch("b")
+        assert {p.naplet_id for p in table} == {"a", "b"}

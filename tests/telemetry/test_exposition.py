@@ -95,6 +95,39 @@ class TestRenderers:
         assert 'lat_bucket{le="2"} 2' in text
         assert 'lat_bucket{le="+Inf"} 3' in text
 
+    def test_label_values_escape_reserved_characters(self):
+        """Prometheus exposition reserves \\ " and newline inside quoted
+        label values; raw occurrences would corrupt the whole page."""
+        reg = MetricsRegistry()
+        counter = reg.counter("odd_total", "odd labels")
+        counter.inc(path='C:\\temp\\"x"\nnext')
+        text = render_metrics_text(reg.snapshot())
+        assert 'path="C:\\\\temp\\\\\\"x\\"\\nnext"' in text
+        # The rendered page stays one-sample-per-line.
+        sample_lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert len(sample_lines) == 1
+
+    def test_backslash_escaped_before_quote_and_newline(self):
+        # Escaping backslash last would double-escape the other two.
+        from repro.telemetry.exposition import _escape_label_value
+
+        assert _escape_label_value("\\") == "\\\\"
+        assert _escape_label_value('"') == '\\"'
+        assert _escape_label_value("\n") == "\\n"
+        assert _escape_label_value('\\"') == '\\\\\\"'
+        assert _escape_label_value("plain") == "plain"
+
+    def test_labeled_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", "latency", buckets=(1.0, 2.0))
+        for v in (0.5, 1.5, 9.0):
+            h.observe(v, op="send")
+        text = render_metrics_text(reg.snapshot())
+        assert 'lat_bucket{op="send",le="1"} 1' in text
+        assert 'lat_bucket{op="send",le="2"} 2' in text
+        assert 'lat_bucket{op="send",le="+Inf"} 3' in text
+        assert 'lat_count{op="send"} 3' in text
+
     def test_gauge_text_format(self):
         reg = MetricsRegistry()
         reg.gauge("depth", "queue depth").set(7)

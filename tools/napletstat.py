@@ -1,0 +1,290 @@
+#!/usr/bin/env python
+"""napletstat: a live terminal dashboard for a naplet space.
+
+``top`` for mobile agents.  Polls every server's health plane and renders
+per-server status, the busiest naplets by CPU, dead-letter depth, and the
+watchdog's active findings — plain ANSI, no curses, so it works in any
+terminal (and in CI logs with ``--once``).
+
+The dashboard consumes the JSON-shaped rows the ``telemetry`` open service
+exposes, so the same renderer works on both collection paths:
+
+- **in-process** — a :class:`~repro.server.SpaceAdmin` over the server
+  objects (``rows_from_admin``), as the demo mode does;
+- **over the wire** — a :class:`~repro.health.HealthProbeNaplet` touring
+  the space and carrying the health snapshots home
+  (:func:`repro.health.harvest_via_probe`), which works over any
+  transport the space runs on.
+
+Run:
+
+    python tools/napletstat.py --demo --once          # one frame, demo space
+    python tools/napletstat.py --demo --interval 1.0  # live, ctrl-C to stop
+    python tools/napletstat.py --demo --wedge --once  # demo with a stuck naplet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402  (sys.path fixed above)
+
+_CLEAR = "\x1b[2J\x1b[H"
+_SEVERITY_GLYPH = {"critical": "!!", "warning": " !", "info": "  "}
+
+
+# --------------------------------------------------------------------- #
+# Collection
+# --------------------------------------------------------------------- #
+
+
+def rows_from_admin(admin) -> list[dict[str, Any]]:
+    """Health rows straight off the server objects (in-process path).
+
+    Shape-compatible with what ``harvest_via_probe`` brings home, so the
+    renderer cannot tell the two apart.
+    """
+    rows: list[dict[str, Any]] = []
+    for summary in admin.space_summary():
+        server = admin._servers[summary.hostname]
+        snapshot = server.telemetry.registry.snapshot()
+        rows.append(
+            {
+                "server": summary.hostname,
+                "status": {
+                    "server": summary.hostname,
+                    "telemetry": "enabled" if server.telemetry.enabled else "disabled",
+                    "health": "enabled" if server.health.enabled else "disabled",
+                },
+                "health": server.health.describe(),
+                "metrics": {
+                    "naplet_hops_total": snapshot.total("naplet_hops_total"),
+                    "naplet_landings_total": snapshot.total("naplet_landings_total"),
+                },
+                "residents": summary.residents,
+            }
+        )
+    return rows
+
+
+# --------------------------------------------------------------------- #
+# Rendering
+# --------------------------------------------------------------------- #
+
+
+def _fmt_rate(value: float) -> str:
+    if value >= 1e6:
+        return f"{value / 1e6:.1f}M"
+    if value >= 1e3:
+        return f"{value / 1e3:.1f}k"
+    return f"{value:.1f}"
+
+
+def render(rows: list[dict[str, Any]], top: int = 5) -> str:
+    """One dashboard frame over the harvested *rows* (pure, testable)."""
+    lines: list[str] = []
+    stamp = time.strftime("%H:%M:%S")
+    lines.append(f"napletstat  {stamp}  servers={len(rows)}")
+    lines.append("")
+
+    # -- per-server table ---------------------------------------------- #
+    lines.append(
+        f"  {'server':<10} {'health':<9} {'residents':>9} {'profiles':>9} "
+        f"{'samples':>8} {'dead-ltr':>9} {'findings':>9}"
+    )
+    total_dead = 0
+    findings: list[dict[str, Any]] = []
+    profiles: list[tuple[str, dict[str, Any]]] = []
+    for row in rows:
+        health = row.get("health") or {}
+        server = row.get("server", "?")
+        if "error" in row:
+            lines.append(f"  {server:<10} unreachable: {row['error']}")
+            continue
+        dead = int(health.get("dead_letter_depth", 0))
+        total_dead += dead
+        active = health.get("findings") or []
+        findings.extend(dict(f, server=f.get("server", server)) for f in active)
+        profiles.extend((server, p) for p in (health.get("profiles") or []))
+        state = (row.get("status") or {}).get("health", "?")
+        residents = row.get(
+            "residents", sum(1 for p in health.get("profiles") or [] if p.get("resident"))
+        )
+        lines.append(
+            f"  {server:<10} {state:<9} {residents:>9} "
+            f"{len(health.get('profiles') or []):>9} "
+            f"{int(health.get('samples_taken', 0)):>8} {dead:>9} {len(active):>9}"
+        )
+    lines.append("")
+
+    # -- top naplets by CPU --------------------------------------------- #
+    profiles.sort(key=lambda sp: float(sp[1].get("cpu_seconds", 0.0)), reverse=True)
+    lines.append(f"  top naplets by CPU (of {len(profiles)} profiled)")
+    lines.append(
+        f"  {'naplet':<34} {'at':<10} {'cpu-s':>8} {'cpu%':>6} "
+        f"{'B/s':>8} {'msgs':>6} {'state':<9}"
+    )
+    for server, profile in profiles[:top]:
+        lines.append(
+            f"  {str(profile.get('naplet', '?')):<34} {server:<10} "
+            f"{float(profile.get('cpu_seconds', 0.0)):>8.3f} "
+            f"{float(profile.get('cpu_rate', 0.0)) * 100:>5.1f}% "
+            f"{_fmt_rate(float(profile.get('bandwidth', 0.0))):>8} "
+            f"{int(profile.get('messages_sent', 0)):>6} "
+            f"{'resident' if profile.get('resident') else 'gone':<9}"
+        )
+    if not profiles:
+        lines.append("  (no resource profiles yet)")
+    lines.append("")
+
+    # -- dead letters + findings ---------------------------------------- #
+    lines.append(f"  dead letters space-wide: {total_dead}")
+    findings.sort(
+        key=lambda f: (
+            {"critical": 0, "warning": 1, "info": 2}.get(f.get("severity"), 3),
+            f.get("first_seen", 0.0),
+        )
+    )
+    lines.append(f"  active findings: {len(findings)}")
+    for finding in findings:
+        glyph = _SEVERITY_GLYPH.get(finding.get("severity", "info"), "  ")
+        lines.append(
+            f"  {glyph} [{finding.get('severity', '?'):<8}] "
+            f"{finding.get('kind', '?')} {finding.get('subject', '?')}"
+            f"@{finding.get('server', '?')}: {finding.get('detail', '')}"
+        )
+    if not findings:
+        lines.append("     (space is healthy)")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- #
+# Demo space
+# --------------------------------------------------------------------- #
+
+
+class DemoWorker(repro.Naplet):
+    """Burns a little CPU at each stop so the dashboard has rates."""
+
+    def on_start(self) -> None:
+        total = 0
+        for _ in range(40):
+            total += sum(j * j for j in range(4000))
+            self.checkpoint()
+        self.state.set("total", total)
+        self.travel()
+
+
+class DemoWedged(repro.Naplet):
+    """Sleeps without checkpointing: exactly what the watchdog hunts."""
+
+    def on_start(self) -> None:
+        while True:
+            time.sleep(0.2)
+
+
+def build_demo_space(wedge: bool = False):
+    """A small live space generating its own traffic (and one stuck naplet).
+
+    Returns ``(network, admin)``; caller shuts the network down.
+    """
+    from repro.itinerary import Itinerary, SeqPattern
+    from repro.itinerary.pattern import singleton
+    from repro.server import ServerConfig, SpaceAdmin, deploy
+    from repro.simnet import VirtualNetwork, ring
+
+    network = VirtualNetwork(ring(4, prefix="d"))
+    servers = deploy(
+        network,
+        config=ServerConfig(health_cadence=0.1, health_stuck_deadline=0.5),
+    )
+    admin = SpaceAdmin(servers)
+    hosts = sorted(servers)
+    for i in range(3):
+        worker = DemoWorker(f"demo-worker-{i}")
+        worker.set_itinerary(
+            Itinerary(SeqPattern.of_servers(hosts[1:] * 4))
+        )
+        servers[hosts[0]].launch(worker, owner="demo")
+    if wedge:
+        wedged = DemoWedged("demo-wedged")
+        wedged.set_itinerary(Itinerary(singleton(hosts[1])))
+        servers[hosts[0]].launch(wedged, owner="demo")
+    return network, admin
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Live health dashboard for a naplet space."
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="spin up an in-process demo space"
+    )
+    parser.add_argument(
+        "--wedge",
+        action="store_true",
+        help="plant a stuck naplet in the demo space (shows a finding)",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period in seconds"
+    )
+    parser.add_argument(
+        "--top", type=int, default=5, help="naplets shown in the CPU table"
+    )
+    parser.add_argument(
+        "--frames", type=int, default=0, help="stop after N frames (0 = forever)"
+    )
+    args = parser.parse_args(argv)
+
+    if not args.demo:
+        parser.error(
+            "only --demo spaces can be reached from this process; "
+            "for a real space, import rows_from_admin/render or launch a "
+            "HealthProbeNaplet (repro.health.harvest_via_probe) and pipe "
+            "its rows into render()"
+        )
+
+    network, admin = build_demo_space(wedge=args.wedge)
+    try:
+        if args.wedge:
+            # Let the watchdog observe at least two cadence periods so the
+            # planted naplet shows up as a finding on the very first frame.
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and not admin.space_findings():
+                time.sleep(0.05)
+        frame = 0
+        while True:
+            rows = rows_from_admin(admin)
+            output = render(rows, top=args.top)
+            if args.once:
+                print(output)
+                return 0
+            print(_CLEAR + output, flush=True)
+            frame += 1
+            if args.frames and frame >= args.frames:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        network.shutdown()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ non-deterministic result:
 
     python tools/repeat_tests.py tests/faults -n 20
     python tools/repeat_tests.py tests/faults -n 20 --fail-fast
+    python tools/repeat_tests.py tests --marker chaos -n 10
     python tools/repeat_tests.py tests/property/test_retry_props.py -n 5 -- -k backoff
 
 Everything after ``--`` is passed to pytest verbatim.  Exit status is 0
@@ -65,7 +66,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="number of repetitions (default: 20)")
     parser.add_argument("--fail-fast", action="store_true",
                         help="stop at the first failing run")
+    parser.add_argument("--marker", "-m", default=None,
+                        help="only run tests matching this pytest marker "
+                             "expression (e.g. 'chaos', 'health and not slow')")
     args = parser.parse_args(argv)
+    if args.marker:
+        pytest_args = ["-m", args.marker, *pytest_args]
 
     failures = 0
     for run in range(1, args.runs + 1):
