@@ -66,6 +66,7 @@ class Naplet(abc.ABC):
         self._nav_log = NavigationLog()
         self._listener = listener
         self._trace_ctx: TraceContext | None = None  # minted at launch, travels
+        self._hlc: Any | None = None  # HLC stamp of the last freeze/departure
 
     # ------------------------------------------------------------------ #
     # Lifecycle hooks (paper: onStart / onInterrupt / onStop / onDestroy)
@@ -166,6 +167,19 @@ class Naplet(abc.ABC):
         if ctx is None:
             ctx = self._trace_ctx = TraceContext.mint()
         return ctx
+
+    @property
+    def hlc_stamp(self) -> Any | None:
+        """Hybrid-logical-clock stamp the sender applied before serializing.
+
+        Travels in the pickle like the trace context; the landing server
+        feeds it to its flight-recorder clock, so causality survives even
+        paths with no frame headers (thaw of a persisted image).
+        """
+        return getattr(self, "_hlc", None)
+
+    def _stamp_hlc(self, stamp: Any) -> None:
+        self._hlc = stamp
 
     @property
     def listener(self) -> ListenerRef | None:

@@ -34,7 +34,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.errors import NapletCommunicationError
 from repro.faults.plan import FaultDecision, FaultPlan
@@ -93,6 +93,10 @@ class FaultInjector:
             "fault_injected_total", "Faults injected into the wire, by fault label."
         )
         self._records: deque[FaultRecord] = deque(maxlen=_RECORD_CAPACITY)
+        # Flight-recorder journals by endpoint URN; each fired fault is
+        # journaled at the *source* endpoint only, so a space-wide causal
+        # merge sees it exactly once.
+        self._journals: dict[str, Any] = {}
 
     # Everything the framework asks of a transport that we do not
     # intercept — register, unregister, bind_event_log, metrics, clock,
@@ -114,19 +118,25 @@ class FaultInjector:
         else:
             time.sleep(seconds)
 
+    def bind_journal(self, urn: str, journal: Any) -> None:
+        """Journal faults fired on frames *from* this endpoint into *journal*."""
+        self._journals[urn] = journal
+
     def _count(self, decision: FaultDecision, frame: Frame) -> None:
         for label in decision.labels:
             self._fault_counter.inc(fault=label)
-        self._records.append(
-            FaultRecord(
-                labels=tuple(decision.labels),
-                kind=str(frame.kind),
-                source=frame.source,
-                dest=frame.dest,
-                wall=time.time(),
-                mono=time.monotonic(),
-            )
+        record = FaultRecord(
+            labels=tuple(decision.labels),
+            kind=str(frame.kind),
+            source=frame.source,
+            dest=frame.dest,
+            wall=time.time(),
+            mono=time.monotonic(),
         )
+        self._records.append(record)
+        journal = self._journals.get(frame.source)
+        if journal is not None:
+            journal.observe_fault(record)
 
     def records(self) -> list[FaultRecord]:
         """Fired faults in firing order (bounded to the most recent 1024)."""

@@ -12,7 +12,12 @@ observability (§6.4):
 """
 
 from repro.health.findings import FindingKind, HealthFinding, Severity
-from repro.health.harvest import HealthProbeNaplet, harvest_via_probe
+from repro.health.harvest import (
+    HealthProbeNaplet,
+    JournalProbeNaplet,
+    harvest_journal_via_probe,
+    harvest_via_probe,
+)
 from repro.health.plane import HealthPlane
 from repro.health.profile import ProfileTable, ResourceProfile, ResourceSample
 
@@ -23,6 +28,8 @@ __all__ = [
     "HealthPlane",
     "HealthProbeNaplet",
     "harvest_via_probe",
+    "JournalProbeNaplet",
+    "harvest_journal_via_probe",
     "ProfileTable",
     "ResourceProfile",
     "ResourceSample",

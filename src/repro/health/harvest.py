@@ -22,7 +22,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.listener import NapletListener
     from repro.server.server import NapletServer
 
-__all__ = ["HealthProbeNaplet", "harvest_via_probe"]
+__all__ = [
+    "HealthProbeNaplet",
+    "harvest_via_probe",
+    "JournalProbeNaplet",
+    "harvest_journal_via_probe",
+]
 
 # Counters worth carrying home verbatim (headline dashboard numbers).
 _HEADLINE_METRICS = (
@@ -72,3 +77,57 @@ def harvest_via_probe(
     home.launch(probe, owner=owner, listener=listener)
     report = listener.next_report(timeout=timeout)
     return list(report.payload or [])
+
+
+class JournalProbeNaplet(Naplet):
+    """Tours the space reading each server's flight-recorder journal.
+
+    The over-the-wire half of the harvest protocol (DESIGN.md §6.5): at
+    every stop it opens the standard ``"journal"`` service and carries the
+    described records home, where :func:`harvest_journal_via_probe` merges
+    them into one causal timeline — the same result
+    ``SpaceAdmin.harvest_journal`` computes in-process, but reachable over
+    any transport the space runs on.
+    """
+
+    def on_start(self) -> None:
+        context = self.require_context()
+        harvest: list[dict[str, Any]] = self.state.get("journal_harvest") or []
+        row: dict[str, Any] = {"server": context.hostname}
+        try:
+            service = context.open_service("journal")
+        except Exception as exc:
+            row["error"] = str(exc)
+        else:
+            row["status"] = service.status()
+            row["records"] = service.record_dicts()
+        harvest.append(row)
+        self.state.set("journal_harvest", harvest)
+        self.travel()
+
+
+def harvest_journal_via_probe(
+    home: "NapletServer",
+    hostnames: list[str],
+    listener: "NapletListener",
+    owner: str = "napletlog",
+    timeout: float = 30.0,
+):
+    """Tour *hostnames* with a journal probe; return the merged timeline."""
+    from repro.telemetry.journal import JournalRecord, merge_journals
+
+    probe = JournalProbeNaplet("journal-probe")
+    probe.set_itinerary(
+        Itinerary(
+            SeqPattern.of_servers(
+                hostnames, post_action=ResultReport("journal_harvest")
+            )
+        )
+    )
+    home.launch(probe, owner=owner, listener=listener)
+    report = listener.next_report(timeout=timeout)
+    journals = [
+        [JournalRecord.from_dict(data) for data in row.get("records") or []]
+        for row in report.payload or []
+    ]
+    return merge_journals(journals)

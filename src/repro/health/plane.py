@@ -252,6 +252,29 @@ class HealthPlane:
     def _raise(
         self, kind: str, severity: str, subject: str, detail: str, data: dict[str, Any]
     ) -> None:
+        # Every CRITICAL finding arrives with its own evidence: the slice
+        # of the flight-recorder journal mentioning the subject, captured
+        # the moment the finding is raised (or escalates) to CRITICAL.
+        if severity == Severity.CRITICAL:
+            with self._lock:
+                existing = self._findings.get((kind, subject))
+                fresh_critical = (
+                    existing is None or existing.severity != Severity.CRITICAL
+                )
+                carried = (
+                    None if existing is None else existing.data.get("journal_slice")
+                )
+            journal = getattr(self.server, "journal", None)
+            if journal is not None and journal.enabled:
+                data = dict(data)
+                if fresh_critical:
+                    data["journal_slice"] = [
+                        r.describe() for r in journal.slice_for(subject)
+                    ]
+                elif carried is not None:
+                    # Still CRITICAL: keep the slice captured at escalation
+                    # (the evidence of *how it got here*, not the aftermath).
+                    data["journal_slice"] = carried
         with self._lock:
             finding = self._findings.get((kind, subject))
             if finding is not None:

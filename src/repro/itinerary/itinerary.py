@@ -402,6 +402,7 @@ class Itinerary:
             except NapletMigrationError as exc:
                 self._failures.append(_FailureRecord(server=destination, error=str(exc)))
                 if self._try_alt_backtrack():
+                    self._note_failover(naplet, ops, destination, exc)
                     continue
                 if self.on_failure == "skip":
                     continue
@@ -436,10 +437,35 @@ class Itinerary:
             except NapletMigrationError as exc:
                 self._failures.append(_FailureRecord(server=destination, error=str(exc)))
                 if self._try_alt_backtrack():
+                    self._note_failover(naplet, ops, destination, exc)
                     continue
                 if self.on_failure == "skip":
                     continue
                 raise
+
+    def _note_failover(
+        self, naplet: "Naplet", ops: TravelOps, destination: str, exc: BaseException
+    ) -> None:
+        """Record a burned Alt mirror on the hosting server's event log.
+
+        Duck-typed like the tracer in :meth:`travel`: the itinerary layer
+        stays free of telemetry imports, and ops doubles without an
+        ``event_log`` simply record nothing.
+        """
+        events = getattr(ops, "event_log", None)
+        if events is None:
+            return
+        try:
+            naplet_key = str(naplet.naplet_id) if naplet.has_id else naplet.name
+        except Exception:  # pragma: no cover - defensive
+            naplet_key = naplet.name
+        events.record(
+            "alt-failover",
+            naplet=naplet_key,
+            failed=destination,
+            failovers=self.alt_failovers,
+            error=str(exc),
+        )
 
     def _try_alt_backtrack(self) -> bool:
         """After a failed dispatch, fall back to the next Alt branch if possible."""

@@ -26,6 +26,7 @@ from repro.health.profile import ResourceProfile
 from repro.server.manager import Footprint
 from repro.server.messages import SystemControl
 from repro.server.monitor import ResourceUsage
+from repro.telemetry.journal import JournalRecord, merge_journals
 from repro.telemetry.journey import Journey, stitch
 from repro.telemetry.metrics import MetricsSnapshot
 from repro.telemetry.trace import Span
@@ -214,6 +215,27 @@ class SpaceAdmin:
             snapshots.append(transport.metrics.snapshot())
         return MetricsSnapshot.merged(snapshots)
 
+    def harvest_journal(
+        self,
+        naplet: str | None = None,
+        kind: str | None = None,
+        category: str | None = None,
+        trace_id: str | None = None,
+    ) -> list["JournalRecord"]:
+        """Merge every server's flight-recorder journal into one timeline.
+
+        Records are causally ordered by their hybrid-logical-clock stamps
+        (DESIGN.md §6.5), so a hop's departure always precedes its landing
+        even when the servers' wall clocks disagree.  Filters pass through
+        to each server's journal before the merge.
+        """
+        return merge_journals(
+            self._servers[hostname].journal.records(
+                naplet=naplet, kind=kind, category=category, trace_id=trace_id
+            )
+            for hostname in self.hostnames
+        )
+
     # ------------------------------------------------------------------ #
     # Health plane (space-wide)
     # ------------------------------------------------------------------ #
@@ -330,14 +352,27 @@ class SpaceAdmin:
             count += 1
         return count
 
+    def _space_is_idle(self) -> bool:
+        # Residency alone is not enough: after a fast-path hop the source
+        # worker thread is still unwinding (closing its hop span, retiring
+        # the run) while the naplet is already resident — and possibly
+        # already finished — at the destination.  Requiring every monitor's
+        # run table to drain too means "idle" implies every span of every
+        # journey has been recorded.
+        if self.alive_naplets():
+            return False
+        return all(
+            server.monitor.active_count == 0 for server in self._servers.values()
+        )
+
     def wait_space_idle(self, timeout: float = 10.0) -> bool:
         """Block until no naplet runs anywhere in the space."""
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
-            if not self.alive_naplets():
+            if self._space_is_idle():
                 return True
             time.sleep(0.01)
-        return not self.alive_naplets()
+        return self._space_is_idle()
 
 
 def _host_of_fp(footprint: Footprint, servers: dict) -> str | None:

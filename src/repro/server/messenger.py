@@ -84,6 +84,13 @@ class Messenger:
             lambda: float(self.special_mailbox_size()),
         )
 
+    def _wire_headers(self, **headers: str) -> dict[str, str]:
+        """Frame headers with the flight recorder's HLC stamp piggybacked."""
+        stamp = self.server.journal.header_stamp()
+        if stamp is not None:
+            headers["hlc"] = stamp
+        return headers
+
     # ------------------------------------------------------------------ #
     # Mailbox lifecycle (driven by Navigator arrivals/departures)
     # ------------------------------------------------------------------ #
@@ -143,7 +150,7 @@ class Messenger:
                 source=self.server.urn,
                 dest=dest_urn,
                 payload=self.server.serializer.dumps(forwarded),
-                headers={"target": str(nid)},
+                headers=self._wire_headers(target=str(nid)),
             )
             try:
                 self.server.transport.request(frame)
@@ -269,7 +276,7 @@ class Messenger:
             source=self.server.urn,
             dest=dest_urn,
             payload=payload,
-            headers={"target": str(message.target)},
+            headers=self._wire_headers(target=str(message.target)),
         )
         reply = self.server.transport.request(frame)
         result = pickle.loads(reply)
@@ -381,7 +388,7 @@ class Messenger:
             source=self.server.urn,
             dest=destination,
             payload=self.server.serializer.dumps(message),
-            headers={"target": str(target), "control": control},
+            headers=self._wire_headers(target=str(target), control=control),
         )
         reply = self.server.transport.request(frame)
         result = pickle.loads(reply)
@@ -450,7 +457,7 @@ class Messenger:
                 source=self.server.urn,
                 dest=next_hop,
                 payload=self.server.serializer.dumps(forwarded),
-                headers={"target": str(target), "hops": str(hops + 1)},
+                headers=self._wire_headers(target=str(target), hops=str(hops + 1)),
             )
             self.forwarded_count += 1
             telemetry.messages_forwarded.inc()
@@ -509,6 +516,7 @@ class Messenger:
             payload=self.server.serializer.dumps(
                 {"listener_key": listener_key, "reporter": reporter, "payload": payload}
             ),
+            headers=self._wire_headers(),
         )
         reply = self.server.transport.request(frame)
         if pickle.loads(reply) is not True:

@@ -234,6 +234,12 @@ class Navigator:
         hop.set("bytes", len(payload))
         self.server.telemetry.frame_bytes.inc(len(payload), kind="naplet-transfer")
         headers = {"naplet": str(nid), "transfer-id": transfer_id}
+        # The HLC stamp is minted *after* the depart event was journaled
+        # (callers record it before building the frame), so the receiver's
+        # clock update places every landing record causally after it.
+        hlc = self.server.journal.header_stamp()
+        if hlc is not None:
+            headers["hlc"] = hlc
         if extra_headers:
             headers.update(extra_headers)
         if hop.span_id:
@@ -260,17 +266,21 @@ class Navigator:
         nid = naplet.naplet_id
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=False)
         serialize_started = time.monotonic()
+        if self.server.journal.enabled:
+            naplet._stamp_hlc(self.server.journal.clock.now())
         image = self.server.serializer.dumps(naplet)
         hop.set("serialize_s", time.monotonic() - serialize_started)
+        # Journal the departure *before* the frame's HLC header is minted:
+        # the merged timeline must show this record ahead of the landing.
+        self.server.events.record(
+            "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(image),
+            fast_path=True,
+        )
         frame = self._transfer_frame(
             naplet, nid, dest_urn, hop,
             payload=pickle.dumps((credential, image)),
             transfer_id=transfer_id,
             extra_headers={"fast-path": "1"},
-        )
-        self.server.events.record(
-            "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(image),
-            fast_path=True,
         )
 
         def _rollback() -> None:
@@ -310,12 +320,16 @@ class Navigator:
     ) -> None:
         nid = naplet.naplet_id
         # 2. LANDING permission at the destination.
+        headers = {"naplet": str(nid)}
+        hlc = self.server.journal.header_stamp()
+        if hlc is not None:
+            headers["hlc"] = hlc
         request = Frame(
             kind=FrameKind.LANDING_REQUEST,
             source=self.server.urn,
             dest=dest_urn,
             payload=pickle.dumps(credential),
-            headers={"naplet": str(nid)},
+            headers=headers,
         )
         try:
             reply = pickle.loads(self.server.transport.request(request))
@@ -331,12 +345,16 @@ class Navigator:
         # 3. Mark in transit, report DEPART, then ship.
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=True)
         serialize_started = time.monotonic()
+        if self.server.journal.enabled:
+            naplet._stamp_hlc(self.server.journal.clock.now())
         payload = self.server.serializer.dumps(naplet)
         hop.set("serialize_s", time.monotonic() - serialize_started)
-        frame = self._transfer_frame(naplet, nid, dest_urn, hop, payload, transfer_id)
+        # Depart is journaled before the frame's HLC header is minted, so
+        # the landing sorts after it in the merged timeline.
         self.server.events.record(
             "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)
         )
+        frame = self._transfer_frame(naplet, nid, dest_urn, hop, payload, transfer_id)
 
         def _rollback() -> None:
             self._rollback_departure(naplet, nid, was_resident, record, reported=True)
@@ -502,6 +520,12 @@ class Navigator:
         """
         nid = naplet.naplet_id
         telemetry = self.server.telemetry
+        # A stamp carried inside the pickle covers paths with no frame
+        # headers (thaw of a persisted image); the wire path already
+        # advanced the clock from the transfer frame's header.
+        stamp = naplet.hlc_stamp
+        if stamp is not None:
+            self.server.journal.receive(stamp)
         with telemetry.naplet_span(
             naplet,
             "landing",
@@ -585,6 +609,12 @@ class NavigatorOps:
     @property
     def origin_urn(self) -> str:
         return self._navigator.server.urn
+
+    @property
+    def event_log(self):
+        """Server EventLog, duck-typed for the itinerary driver's
+        failover notes (a test double without one simply records nothing)."""
+        return self._navigator.server.events
 
     def dispatch(self, naplet: "Naplet", destination: str) -> None:
         self._navigator.dispatch(naplet, urn_of(destination))

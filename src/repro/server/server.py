@@ -41,6 +41,7 @@ from repro.server.navigator import Navigator
 from repro.server.resource_manager import ResourceManager
 from repro.server.security import NapletSecurityManager, SecurityPolicy
 from repro.telemetry.exposition import ServerTelemetry, TelemetryService
+from repro.telemetry.journal import JournalService, SpaceJournal
 from repro.transport.base import Frame, FrameKind, Transport, urn_of
 from repro.transport.serializer import NapletSerializer
 from repro.util.eventlog import EventLog
@@ -90,6 +91,13 @@ class ServerConfig:
     health_stuck_deadline: float = 30.0  # no-progress watchdog deadline
     health_profile_window: int = 240  # samples kept per naplet profile
     health_profile_capacity: int = 512  # naplet profiles kept (LRU)
+    # Flight recorder (DESIGN.md §6.5): the per-server causal event journal.
+    # Dormant whenever telemetry is disabled.  ``journal_time_source`` lets
+    # tests run servers with deliberately skewed wall clocks to prove the
+    # hybrid logical clock keeps the merged timeline causally consistent.
+    journal_enabled: bool = True
+    journal_capacity: int = 4096
+    journal_time_source: Callable[[], float] | None = None
 
 
 class NapletServer:
@@ -113,6 +121,33 @@ class NapletServer:
         self.network = network
         self.events = EventLog()
         self.telemetry = ServerTelemetry(hostname, enabled=self.config.telemetry_enabled)
+
+        # Flight recorder: one causal journal fed by every event source.
+        # The shared EventLog (Locator, Monitor, CodeCache, transport drops,
+        # Messenger and Navigator all write to it) and the tracer feed it
+        # through observers, so components never know the journal exists.
+        self.journal = SpaceJournal(
+            hostname,
+            capacity=self.config.journal_capacity,
+            enabled=self.config.telemetry_enabled and self.config.journal_enabled,
+            time_source=self.config.journal_time_source,
+            records_counter=self.telemetry.registry.counter(
+                "naplet_journal_records_total",
+                "Flight-recorder records appended, by event kind",
+            ),
+        )
+        self.events.on_record = self.journal.observe_event
+        self.telemetry.tracer.on_span = self.journal.observe_span
+        self.telemetry.registry.gauge_fn(
+            "naplet_journal_depth",
+            "Records currently held in the flight-recorder ring",
+            lambda: float(self.journal.depth),
+        )
+        self.telemetry.registry.gauge_fn(
+            "naplet_journal_dropped_records",
+            "Flight-recorder records discarded by the ring bound",
+            lambda: float(self.journal.dropped),
+        )
 
         if (
             self.config.directory_mode is DirectoryMode.CENTRAL
@@ -172,6 +207,10 @@ class NapletServer:
         self.resource_manager.register_open_service(
             TelemetryService.SERVICE_NAME, TelemetryService(self)
         )
+        # ... and its flight-recorder journal, for the causal harvest.
+        self.resource_manager.register_open_service(
+            JournalService.SERVICE_NAME, JournalService(self)
+        )
 
         # Health plane: samples the monitor's control blocks on a cadence
         # and runs the watchdog.  Dormant (no thread) unless telemetry and
@@ -186,6 +225,11 @@ class NapletServer:
         # Wire-level connection failures at our endpoint land in our
         # EventLog instead of vanishing inside the transport.
         transport.bind_event_log(self.urn, self.events)
+        # A fault-injecting transport journals each fault it fires on our
+        # outbound frames, pinning it onto the causal timeline exactly once.
+        bind_journal = getattr(transport, "bind_journal", None)
+        if callable(bind_journal):
+            bind_journal(self.urn, self.journal)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -213,6 +257,12 @@ class NapletServer:
     def _handle_frame(self, frame: Frame) -> bytes | None:
         if self._shutdown.is_set():
             return pickle.dumps({"ok": False, "reason": "server shut down"})
+        # Piggybacked HLC stamp: advance our clock before any handler
+        # journals, so everything recorded here sorts after the sender's
+        # pre-send records in the merged timeline (DESIGN.md §6.5).
+        hlc_header = frame.headers.get("hlc")
+        if hlc_header is not None:
+            self.journal.receive(hlc_header)
         kind = frame.kind
         if kind == FrameKind.LANDING_REQUEST:
             return self.navigator.handle_landing_request(frame)
@@ -290,6 +340,10 @@ class NapletServer:
             _time.sleep(0.005)
         else:
             raise NapletError(f"freeze of {nid} did not complete within {timeout}s")
+        if self.journal.enabled:
+            # The stamp travels in the image so a later thaw — possibly at
+            # a server with a skewed clock — still lands after the freeze.
+            naplet._stamp_hlc(self.journal.clock.now())
         image = self.serializer.dumps(naplet)
         self.events.record("naplet-frozen", naplet=str(nid), bytes=len(image))
         return image

@@ -20,7 +20,21 @@ from repro.telemetry.exposition import (
     render_metrics_text,
     span_to_dict,
 )
-from repro.telemetry.export import chrome_trace, write_chrome_trace
+from repro.telemetry.export import (
+    INSTANT_EVENT_KINDS,
+    chrome_trace,
+    journal_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.journal import (
+    JournalRecord,
+    JournalService,
+    SpaceJournal,
+    causal_key,
+    format_record,
+    merge_journals,
+    span_from_record,
+)
 from repro.telemetry.journey import (
     CriticalPath,
     HopBreakdown,
@@ -61,6 +75,15 @@ __all__ = [
     "HopBreakdown",
     "chrome_trace",
     "write_chrome_trace",
+    "journal_chrome_trace",
+    "INSTANT_EVENT_KINDS",
+    "JournalRecord",
+    "JournalService",
+    "SpaceJournal",
+    "causal_key",
+    "format_record",
+    "merge_journals",
+    "span_from_record",
     "ServerTelemetry",
     "TelemetryService",
     "render_metrics_text",

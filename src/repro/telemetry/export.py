@@ -32,9 +32,23 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.health.profile import ResourceProfile
     from repro.telemetry.journey import Journey
 
-__all__ = ["chrome_trace", "write_chrome_trace"]
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "journal_chrome_trace",
+    "INSTANT_EVENT_KINDS",
+]
 
 _FAULT_PROCESS = "fault-injector"
+
+# EventLog kinds rendered as instant events: state transitions that have
+# no duration but explain why the surrounding spans stretched or vanished
+# (a message died, a backlog drained, an Alt mirror burned).
+INSTANT_EVENT_KINDS = (
+    "message-dead-lettered",
+    "dead-letters-requeued",
+    "alt-failover",
+)
 
 
 class _IdAllocator:
@@ -96,11 +110,25 @@ def _flatten_profiles(profiles: Iterable[Any]) -> "list[tuple[str, ResourceProfi
     return out
 
 
+def _flatten_events(events: Iterable[Any]) -> list[tuple[str, Any]]:
+    """Accept bare EventRecords or ``(hostname, record)`` pairs."""
+    out: list[tuple[str, Any]] = []
+    for entry in events:
+        if isinstance(entry, tuple) and len(entry) == 2:
+            host, record = entry
+            out.append((str(host), record))
+        else:
+            out.append(("space", entry))
+    return out
+
+
 def chrome_trace(
     spans: "Iterable[Span] | Journey" = (),
     *,
     profiles: Iterable[Any] = (),
     fault_records: Iterable[Any] = (),
+    events: Iterable[Any] = (),
+    instant_kinds: tuple[str, ...] = INSTANT_EVENT_KINDS,
 ) -> dict[str, Any]:
     """Render telemetry into a Chrome trace-event JSON object.
 
@@ -108,13 +136,22 @@ def chrome_trace(
     ``profiles`` takes :class:`ResourceProfile` objects or
     ``(hostname, profile)`` pairs (as :meth:`SpaceAdmin.top_naplets_by_cpu`
     returns); ``fault_records`` takes :class:`FaultRecord` objects (from
-    :meth:`FaultInjector.records` / :meth:`VirtualNetwork.fault_records`).
+    :meth:`FaultInjector.records` / :meth:`VirtualNetwork.fault_records`);
+    ``events`` takes :class:`~repro.util.eventlog.EventRecord` objects or
+    ``(hostname, record)`` pairs, of which the kinds listed in
+    ``instant_kinds`` (dead-letter transitions, Alt failovers) are drawn
+    as instant events on their server's row.
     """
     span_list: list[Span] = (
         list(spans.spans) if hasattr(spans, "spans") else list(spans)
     )
     profile_list = _flatten_profiles(profiles)
     record_list = list(fault_records)
+    event_list = [
+        (host, record)
+        for host, record in _flatten_events(events)
+        if record.kind in instant_kinds
+    ]
 
     # One shared monotonic origin so every event lands on the same axis.
     candidates: list[float] = [span.start_mono for span in span_list]
@@ -122,20 +159,21 @@ def chrome_trace(
         sample.mono for _host, profile in profile_list for sample in profile.samples
     )
     candidates.extend(record.mono for record in record_list)
+    candidates.extend(record.mono for _host, record in event_list)
     base = min(candidates) if candidates else 0.0
 
     def micros(mono: float) -> float:
         return (mono - base) * 1e6
 
     ids = _IdAllocator()
-    events: list[dict[str, Any]] = []
+    out_events: list[dict[str, Any]] = []
 
     for span in span_list:
         pid, tid = ids.tid(span.server, _thread_label(span))
         args: dict[str, Any] = dict(span.attributes)
         if span.status != "ok":
             args["status"] = span.status
-        events.append(
+        out_events.append(
             {
                 "ph": "X",
                 "name": span.name,
@@ -152,7 +190,7 @@ def chrome_trace(
         pid = ids.pid(host)
         name = f"resources {profile.naplet_id}"
         for sample in profile.samples:
-            events.append(
+            out_events.append(
                 {
                     "ph": "C",
                     "name": name,
@@ -165,9 +203,27 @@ def chrome_trace(
                 }
             )
 
+    for host, record in event_list:
+        pid, tid = ids.tid(host, record.kind)
+        args = {
+            key: value for key, value in record.detail.items() if value is not None
+        }
+        out_events.append(
+            {
+                "ph": "i",
+                "name": record.kind,
+                "cat": "event",
+                "ts": micros(record.mono),
+                "pid": pid,
+                "tid": tid,
+                "s": "t",  # thread scope: pin to the server row it happened on
+                "args": args,
+            }
+        )
+
     for record in record_list:
         pid, tid = ids.tid(_FAULT_PROCESS, f"{record.source} -> {record.dest}")
-        events.append(
+        out_events.append(
             {
                 "ph": "i",
                 "name": f"fault {'+'.join(record.labels)}",
@@ -180,9 +236,9 @@ def chrome_trace(
             }
         )
 
-    events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("tid", 0)))
+    out_events.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0), e.get("tid", 0)))
     return {
-        "traceEvents": ids.metadata + events,
+        "traceEvents": ids.metadata + out_events,
         "displayTimeUnit": "ms",
     }
 
@@ -193,9 +249,64 @@ def write_chrome_trace(
     *,
     profiles: Iterable[Any] = (),
     fault_records: Iterable[Any] = (),
+    events: Iterable[Any] = (),
+    instant_kinds: tuple[str, ...] = INSTANT_EVENT_KINDS,
 ) -> dict[str, Any]:
     """Write :func:`chrome_trace` output to *path*; returns the trace dict."""
-    trace = chrome_trace(spans, profiles=profiles, fault_records=fault_records)
+    trace = chrome_trace(
+        spans,
+        profiles=profiles,
+        fault_records=fault_records,
+        events=events,
+        instant_kinds=instant_kinds,
+    )
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh, indent=1)
     return trace
+
+
+def journal_chrome_trace(records: Iterable[Any]) -> dict[str, Any]:
+    """Render a harvested flight-recorder timeline as a Chrome trace.
+
+    Accepts the :class:`~repro.telemetry.journal.JournalRecord` list a
+    harvest produces (``SpaceAdmin.harvest_journal`` or the journal
+    probe): span records are rebuilt into spans, fault records into
+    injector instants, and the dead-letter / failover event kinds into
+    per-server instants — one timeline from one artifact, which is how
+    ``tools/napletlog.py --chrome`` renders an offline journal dump.
+    """
+    from repro.faults.engine import FaultRecord
+    from repro.telemetry.journal import span_from_record
+    from repro.util.eventlog import EventRecord
+
+    spans: list[Span] = []
+    faults: list[Any] = []
+    instants: list[tuple[str, Any]] = []
+    for record in records:
+        if record.category == "span":
+            spans.append(span_from_record(record))
+        elif record.category == "fault":
+            detail = record.detail
+            faults.append(
+                FaultRecord(
+                    labels=tuple(detail.get("labels") or ()),
+                    kind=str(detail.get("kind", "?")),
+                    source=str(detail.get("source", "?")),
+                    dest=str(detail.get("dest", "?")),
+                    wall=record.wall,
+                    mono=record.mono,
+                )
+            )
+        elif record.kind in INSTANT_EVENT_KINDS:
+            instants.append(
+                (
+                    record.server,
+                    EventRecord(
+                        kind=record.kind,
+                        detail=dict(record.detail),
+                        wall=record.wall,
+                        mono=record.mono,
+                    ),
+                )
+            )
+    return chrome_trace(spans, fault_records=faults, events=instants)

@@ -1,0 +1,398 @@
+"""The space-wide flight recorder (DESIGN.md §6.5).
+
+Every server keeps one bounded, append-only :class:`SpaceJournal`: a ring
+of typed :class:`JournalRecord` entries unifying what previously lived in
+scattered places — the server :class:`~repro.util.eventlog.EventLog`
+(shared by Navigator, Messenger, Locator, Monitor, code shipping and the
+transport), completed :class:`~repro.telemetry.trace.Span` records, health
+findings, dead-letter transitions, and injected
+:class:`~repro.faults.engine.FaultRecord`\\ s.  Each record carries a
+hybrid-logical-clock stamp (:mod:`repro.util.hlc`), so journals harvested
+from N servers merge into one causally consistent timeline even when the
+servers' wall clocks disagree.
+
+Feeding the journal costs the hot path one observer call per event/span;
+when the journal is disabled every observer returns immediately.  The
+clock is advanced by stamps piggybacked on transport frame headers (the
+``"hlc"`` header) and inside migrating naplet pickles, mirroring how the
+:class:`~repro.telemetry.trace.TraceContext` travels.
+
+Harvesting mirrors the health plane: :class:`JournalService` is the open
+``"journal"`` service a probe naplet (or ``SpaceAdmin.harvest_journal``)
+reads, and :func:`merge_journals` produces the single timeline that
+``tools/napletlog.py`` filters and renders.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.telemetry.trace import Span
+from repro.util.eventlog import EventRecord
+from repro.util.hlc import HLCStamp, HybridLogicalClock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.engine import FaultRecord
+    from repro.server.server import NapletServer
+    from repro.telemetry.metrics import Counter
+
+__all__ = [
+    "JournalRecord",
+    "SpaceJournal",
+    "JournalService",
+    "merge_journals",
+    "causal_key",
+    "span_from_record",
+    "format_record",
+]
+
+# EventLog kinds that deserve their own journal category so queries can
+# pull "everything the watchdog said" or "every dead-letter transition"
+# without enumerating kinds.
+_CATEGORY_BY_KIND = {
+    "health-finding": "finding",
+    "health-finding-resolved": "finding",
+    "message-dead-lettered": "deadletter",
+    "dead-letters-requeued": "deadletter",
+}
+
+# Detail keys that name the naplet a record is about, in precedence order.
+_NAPLET_KEYS = ("naplet", "target", "clone")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One flight-recorder entry: typed, stamped, JSON-describable."""
+
+    seq: int  # per-server append sequence (merge tie-break)
+    hlc: HLCStamp
+    kind: str
+    category: str  # "event" | "span" | "fault" | "finding" | "deadletter"
+    server: str
+    wall: float
+    mono: float
+    naplet: str | None = None
+    trace_id: str | None = None
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "hlc": self.hlc.describe(),
+            "kind": self.kind,
+            "category": self.category,
+            "server": self.server,
+            "wall": self.wall,
+            "mono": self.mono,
+            "naplet": self.naplet,
+            "trace_id": self.trace_id,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "JournalRecord":
+        return cls(
+            seq=int(data["seq"]),
+            hlc=HLCStamp.from_dict(data["hlc"]),
+            kind=str(data["kind"]),
+            category=str(data["category"]),
+            server=str(data["server"]),
+            wall=float(data["wall"]),
+            mono=float(data["mono"]),
+            naplet=data.get("naplet"),
+            trace_id=data.get("trace_id"),
+            detail=dict(data.get("detail") or {}),
+        )
+
+    def mentions(self, subject: str) -> bool:
+        """True when this record is about *subject* (naplet id or host)."""
+        if self.naplet == subject or self.server == subject:
+            return True
+        return any(str(v) == subject for v in self.detail.values())
+
+
+def causal_key(record: JournalRecord) -> tuple:
+    """Sort key realizing the HLC total order (seq breaks same-node ties)."""
+    return (record.hlc, record.seq)
+
+
+def merge_journals(
+    journals: Iterable[Iterable[JournalRecord]],
+) -> list[JournalRecord]:
+    """Merge per-server journals into one causally ordered timeline."""
+    timeline = [record for journal in journals for record in journal]
+    timeline.sort(key=causal_key)
+    return timeline
+
+
+class SpaceJournal:
+    """Bounded per-server ring of :class:`JournalRecord` (thread-safe).
+
+    Observers (:meth:`observe_event`, :meth:`observe_span`,
+    :meth:`observe_fault`) adapt the existing telemetry objects into
+    records; :meth:`receive` advances the clock from a piggybacked stamp.
+    A disabled journal appends nothing and costs one boolean check.
+    """
+
+    def __init__(
+        self,
+        server: str,
+        capacity: int = 4096,
+        enabled: bool = True,
+        time_source: Any | None = None,
+        records_counter: "Counter | None" = None,
+    ) -> None:
+        self.server = server
+        self.capacity = capacity
+        self.enabled = enabled
+        self.clock = HybridLogicalClock(server, time_source=time_source)
+        self._time = time_source or time.time
+        self._records: list[JournalRecord] = []
+        self._seq = 0
+        self._total = 0
+        self._lock = threading.Lock()
+        self._records_counter = records_counter
+
+    # -- recording -------------------------------------------------------- #
+
+    def append(
+        self,
+        kind: str,
+        category: str = "event",
+        naplet: str | None = None,
+        trace_id: str | None = None,
+        detail: dict[str, Any] | None = None,
+        wall: float | None = None,
+        mono: float | None = None,
+    ) -> JournalRecord | None:
+        if not self.enabled:
+            return None
+        stamp = self.clock.now()
+        if wall is None:
+            wall = self._time()
+        elif self._time is not time.time:
+            # A custom time source models this server's (skewed) local
+            # clock; shift component-provided walls into that domain so
+            # the journal reads as a machine with that clock would write
+            # it.  Real deployments take the fast path above.
+            wall = wall + (self._time() - time.time())
+        with self._lock:
+            self._seq += 1
+            record = JournalRecord(
+                seq=self._seq,
+                hlc=stamp,
+                kind=kind,
+                category=category,
+                server=self.server,
+                wall=wall,
+                mono=time.monotonic() if mono is None else mono,
+                naplet=naplet,
+                trace_id=trace_id,
+                detail=detail or {},
+            )
+            self._records.append(record)
+            self._total += 1
+            if len(self._records) > self.capacity:
+                del self._records[: len(self._records) - self.capacity]
+        if self._records_counter is not None:
+            self._records_counter.inc(kind=kind)
+        return record
+
+    def observe_event(self, record: EventRecord) -> None:
+        """EventLog observer: every structured event becomes a record."""
+        if not self.enabled:
+            return
+        naplet = None
+        for key in _NAPLET_KEYS:
+            value = record.detail.get(key)
+            if value is not None:
+                naplet = str(value)
+                break
+        self.append(
+            kind=record.kind,
+            category=_CATEGORY_BY_KIND.get(record.kind, "event"),
+            naplet=naplet,
+            detail=dict(record.detail),
+            wall=record.wall,
+            mono=record.mono,
+        )
+
+    def observe_span(self, span: Span) -> None:
+        """Tracer observer: completed spans enter the journal as records."""
+        if not self.enabled:
+            return
+        naplet = span.attributes.get("naplet")
+        self.append(
+            kind=span.name,
+            category="span",
+            naplet=str(naplet) if naplet is not None else None,
+            trace_id=span.trace_id,
+            detail={
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "duration": span.duration,
+                "status": span.status,
+                "attributes": dict(span.attributes),
+            },
+            wall=span.start_wall,
+            mono=span.start_mono,
+        )
+
+    def observe_fault(self, record: "FaultRecord") -> None:
+        """FaultInjector observer: injected faults pin onto the timeline."""
+        if not self.enabled:
+            return
+        self.append(
+            kind="fault-injected",
+            category="fault",
+            detail=record.describe(),
+            wall=record.wall,
+            mono=record.mono,
+        )
+
+    def receive(self, encoded: str | HLCStamp) -> None:
+        """Advance the clock from a stamp that rode a frame or a pickle."""
+        if not self.enabled:
+            return
+        try:
+            stamp = (
+                encoded
+                if isinstance(encoded, HLCStamp)
+                else HLCStamp.decode(encoded)
+            )
+        except (ValueError, AttributeError):
+            return  # a malformed header must never break frame dispatch
+        self.clock.update(stamp)
+
+    def header_stamp(self) -> str | None:
+        """Encoded stamp for piggybacking on an outbound frame header."""
+        if not self.enabled:
+            return None
+        return self.clock.now().encode()
+
+    # -- queries ----------------------------------------------------------- #
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def total_appended(self) -> int:
+        with self._lock:
+            return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded by the ring bound since construction."""
+        with self._lock:
+            return max(0, self._total - len(self._records))
+
+    def snapshot(self) -> list[JournalRecord]:
+        with self._lock:
+            return list(self._records)
+
+    def records(
+        self,
+        kind: str | None = None,
+        category: str | None = None,
+        naplet: str | None = None,
+        trace_id: str | None = None,
+        after_seq: int = 0,
+        limit: int | None = None,
+    ) -> list[JournalRecord]:
+        out = [
+            r
+            for r in self.snapshot()
+            if (kind is None or r.kind == kind)
+            and (category is None or r.category == category)
+            and (naplet is None or r.naplet == naplet)
+            and (trace_id is None or r.trace_id == trace_id)
+            and r.seq > after_seq
+        ]
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def slice_for(self, subject: str, limit: int = 32) -> list[JournalRecord]:
+        """The most recent records mentioning *subject* (watchdog evidence)."""
+        return [r for r in self.snapshot() if r.mentions(subject)][-limit:]
+
+    def __len__(self) -> int:
+        return self.depth
+
+
+class JournalService:
+    """Open-service handler exposing one server's journal in-space.
+
+    Registered under ``"journal"`` on every server, next to the
+    ``"telemetry"`` service; a probe naplet (or an in-process harvester)
+    reads the ring and carries it home for the causal merge.
+    """
+
+    SERVICE_NAME = "journal"
+
+    def __init__(self, server: "NapletServer") -> None:
+        self._server = server
+
+    @property
+    def hostname(self) -> str:
+        return self._server.hostname
+
+    def status(self) -> dict[str, Any]:
+        journal = self._server.journal
+        return {
+            "server": self._server.hostname,
+            "journal": "enabled" if journal.enabled else "disabled",
+            "depth": journal.depth,
+            "dropped": journal.dropped,
+            "capacity": journal.capacity,
+        }
+
+    def records(self, **filters: Any) -> list[JournalRecord]:
+        return self._server.journal.records(**filters)
+
+    def record_dicts(self, **filters: Any) -> list[dict[str, Any]]:
+        return [r.describe() for r in self.records(**filters)]
+
+
+# ---------------------------------------------------------------------- #
+# Reconstruction + rendering helpers (napletlog, chrome export)
+# ---------------------------------------------------------------------- #
+
+
+def span_from_record(record: JournalRecord) -> Span:
+    """Rebuild a :class:`Span` from a span-category journal record."""
+    if record.category != "span":
+        raise ValueError(f"record {record.seq} at {record.server} is not a span")
+    detail = record.detail
+    return Span(
+        trace_id=record.trace_id or "",
+        span_id=str(detail.get("span_id", "")),
+        parent_id=detail.get("parent_id"),
+        name=record.kind,
+        server=record.server,
+        start_wall=record.wall,
+        start_mono=record.mono,
+        duration=float(detail.get("duration", 0.0)),
+        attributes=dict(detail.get("attributes") or {}),
+        status=str(detail.get("status", "ok")),
+    )
+
+
+def format_record(record: JournalRecord) -> str:
+    """One text line per record, shared by napletlog and napletstat."""
+    hlc = record.hlc
+    naplet = record.naplet or "-"
+    summary = ", ".join(
+        f"{k}={v}"
+        for k, v in record.detail.items()
+        if k not in ("attributes",) and v is not None
+    )
+    return (
+        f"{hlc.wall:.6f}+{hlc.logical:<3d} {record.server:<8} "
+        f"{record.category:<10} {record.kind:<26} {naplet:<30} {summary}"
+    )

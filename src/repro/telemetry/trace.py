@@ -165,6 +165,9 @@ class Tracer:
         self._spans: list[Span] = []
         self._maxlen = maxlen
         self._lock = threading.Lock()
+        # Observer called with each completed span (outside the lock); the
+        # flight recorder hooks here to journal spans as they finish.
+        self.on_span: Any | None = None
 
     # -- recording -------------------------------------------------------- #
 
@@ -223,6 +226,12 @@ class Tracer:
             self._spans.append(span)
             if self._maxlen is not None and len(self._spans) > self._maxlen:
                 del self._spans[: len(self._spans) - self._maxlen]
+        observer = self.on_span
+        if observer is not None:
+            try:
+                observer(span)
+            except Exception:
+                pass  # an observer failure must never break tracing
 
     # -- inspection -------------------------------------------------------- #
 

@@ -13,6 +13,7 @@ from repro.util.concurrency import (
     wait_until,
 )
 from repro.util.eventlog import EventLog, EventRecord
+from repro.util.hlc import HLCStamp, HybridLogicalClock, merged
 from repro.util.timeutil import compact_timestamp, parse_compact_timestamp
 
 __all__ = [
@@ -22,6 +23,9 @@ __all__ = [
     "wait_until",
     "EventLog",
     "EventRecord",
+    "HLCStamp",
+    "HybridLogicalClock",
+    "merged",
     "compact_timestamp",
     "parse_compact_timestamp",
 ]

@@ -55,6 +55,10 @@ class EventLog:
         self._records: list[EventRecord] = []
         self._lock = threading.Lock()
         self._maxlen = maxlen
+        # Observer called with each appended record (outside the lock).
+        # The flight recorder hooks here so every component writing to a
+        # shared EventLog feeds the journal without knowing it exists.
+        self.on_record: Any | None = None
 
     def record(self, kind: str, **detail: Any) -> EventRecord:
         rec = EventRecord(kind=kind, detail=detail)
@@ -62,6 +66,12 @@ class EventLog:
             self._records.append(rec)
             if self._maxlen is not None and len(self._records) > self._maxlen:
                 del self._records[: len(self._records) - self._maxlen]
+        observer = self.on_record
+        if observer is not None:
+            try:
+                observer(rec)
+            except Exception:
+                pass  # an observer failure must never break event recording
         return rec
 
     def snapshot(self) -> list[EventRecord]:

@@ -1,0 +1,115 @@
+"""Hybrid logical clocks (Kulkarni et al., 2014) for cross-server causality.
+
+Wall-clock timestamps order events *within* one server well enough, but the
+flight recorder (DESIGN.md §6.5) must merge journals harvested from servers
+whose clocks disagree — exactly the regime the ROADMAP's multi-process
+spaces enter.  A hybrid logical clock stamps every record with
+
+    (wall, logical, node)
+
+where ``wall`` tracks the local physical clock but never runs backwards,
+and ``logical`` breaks ties among events sharing a wall reading.  Sending
+a stamp with every frame and updating the receiver's clock on arrival
+guarantees *happens-before implies stamp-before*: a naplet's departure at
+a fast server always sorts ahead of its landing at a slow one, no matter
+how skewed the two wall clocks are.  The comparison is the plain
+lexicographic order on the tuple, so merged timelines need nothing beyond
+``sorted()``.
+
+The stamp encodes to an exact, order-free string (``float.hex`` for the
+wall part) so it can ride transport frame headers and naplet pickles and
+round-trip without precision loss.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["HLCStamp", "HybridLogicalClock", "merged"]
+
+
+@dataclass(frozen=True, order=True)
+class HLCStamp:
+    """One hybrid-logical-clock reading; field order defines the total order."""
+
+    wall: float
+    logical: int
+    node: str
+
+    def encode(self) -> str:
+        """Exact string form (frame-header safe; ``float.hex`` round-trips)."""
+        return f"{self.wall.hex()}:{self.logical}:{self.node}"
+
+    @classmethod
+    def decode(cls, text: str) -> "HLCStamp":
+        wall_hex, logical, node = text.split(":", 2)
+        return cls(wall=float.fromhex(wall_hex), logical=int(logical), node=node)
+
+    def describe(self) -> dict:
+        return {"wall": self.wall, "logical": self.logical, "node": self.node}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HLCStamp":
+        return cls(
+            wall=float(data["wall"]),
+            logical=int(data["logical"]),
+            node=str(data["node"]),
+        )
+
+
+def merged(a: HLCStamp, b: HLCStamp) -> HLCStamp:
+    """The later of two stamps (associative + commutative merge)."""
+    return a if a >= b else b
+
+
+class HybridLogicalClock:
+    """Per-server HLC: ``now()`` stamps local events, ``update()`` receives.
+
+    ``time_source`` is injectable so tests (and the skew acceptance
+    scenario) can run several servers with deliberately disagreeing wall
+    clocks inside one process.
+    """
+
+    def __init__(
+        self, node: str, time_source: Callable[[], float] | None = None
+    ) -> None:
+        self.node = node
+        self._time = time_source or time.time
+        self._wall = 0.0
+        self._logical = 0
+        self._lock = threading.Lock()
+
+    def now(self) -> HLCStamp:
+        """Stamp a local event; strictly greater than every prior stamp."""
+        physical = self._time()
+        with self._lock:
+            if physical > self._wall:
+                self._wall = physical
+                self._logical = 0
+            else:
+                self._logical += 1
+            return HLCStamp(self._wall, self._logical, self.node)
+
+    def update(self, remote: HLCStamp) -> HLCStamp:
+        """Receive *remote*; the returned stamp dominates both clocks."""
+        physical = self._time()
+        with self._lock:
+            if physical > self._wall and physical > remote.wall:
+                self._wall = physical
+                self._logical = 0
+            elif remote.wall > self._wall:
+                self._wall = remote.wall
+                self._logical = remote.logical + 1
+            elif remote.wall == self._wall:
+                self._logical = max(self._logical, remote.logical) + 1
+            else:
+                self._logical += 1
+            return HLCStamp(self._wall, self._logical, self.node)
+
+    def peek(self) -> HLCStamp:
+        """Current reading without advancing the clock (diagnostics only)."""
+        with self._lock:
+            return HLCStamp(self._wall, self._logical, self.node)

@@ -1,0 +1,109 @@
+"""Hybrid logical clock unit tests: stamp algebra, the two advance rules.
+
+The property suite (tests/property/test_hlc_props.py) drives random
+traffic through skewed clocks; here the exact mechanics are pinned —
+encode/decode exactness, the three receive cases, and the depart-lands-
+after invariant the flight recorder leans on.
+"""
+
+from __future__ import annotations
+
+from repro.util.hlc import HLCStamp, HybridLogicalClock, merged
+
+
+class FakeTime:
+    """An injectable wall clock tests can hold still or step."""
+
+    def __init__(self, value: float = 100.0) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+
+class TestHLCStamp:
+    def test_order_is_lexicographic_on_wall_logical_node(self):
+        assert HLCStamp(1.0, 0, "b") < HLCStamp(2.0, 0, "a")
+        assert HLCStamp(1.0, 1, "a") < HLCStamp(1.0, 2, "a")
+        assert HLCStamp(1.0, 1, "a") < HLCStamp(1.0, 1, "b")
+
+    def test_encode_decode_round_trips_exactly(self):
+        stamp = HLCStamp(wall=1726312345.123456789, logical=7, node="s01")
+        assert HLCStamp.decode(stamp.encode()) == stamp
+
+    def test_decode_survives_colons_in_the_node_name(self):
+        stamp = HLCStamp(wall=2.5, logical=3, node="naplet://host:9000")
+        assert HLCStamp.decode(stamp.encode()) == stamp
+
+    def test_describe_from_dict_round_trips(self):
+        stamp = HLCStamp(wall=5.25, logical=2, node="n")
+        assert HLCStamp.from_dict(stamp.describe()) == stamp
+
+    def test_merged_returns_the_later_stamp_commutatively(self):
+        early = HLCStamp(1.0, 5, "a")
+        late = HLCStamp(2.0, 0, "b")
+        assert merged(early, late) == late
+        assert merged(late, early) == late
+        assert merged(early, early) == early
+
+
+class TestHybridLogicalClock:
+    def test_now_tracks_an_advancing_physical_clock(self):
+        time = FakeTime(10.0)
+        clock = HybridLogicalClock("a", time_source=time)
+        assert clock.now() == HLCStamp(10.0, 0, "a")
+        time.value = 11.0
+        assert clock.now() == HLCStamp(11.0, 0, "a")
+
+    def test_now_increments_logical_when_physical_stalls(self):
+        clock = HybridLogicalClock("a", time_source=FakeTime(10.0))
+        stamps = [clock.now() for _ in range(3)]
+        assert stamps == sorted(stamps)
+        assert [s.logical for s in stamps] == [0, 1, 2]
+        assert all(s.wall == 10.0 for s in stamps)
+
+    def test_update_adopts_a_remote_clock_from_the_future(self):
+        clock = HybridLogicalClock("slow", time_source=FakeTime(10.0))
+        landed = clock.update(HLCStamp(wall=15.0, logical=2, node="fast"))
+        assert landed == HLCStamp(15.0, 3, "slow")
+        # ...and stays adopted: the local physical clock is still behind.
+        assert clock.now().wall == 15.0
+
+    def test_update_ignores_a_remote_clock_from_the_past(self):
+        time = FakeTime(10.0)
+        clock = HybridLogicalClock("fast", time_source=time)
+        clock.now()
+        time.value = 20.0
+        landed = clock.update(HLCStamp(wall=5.0, logical=9, node="slow"))
+        assert landed == HLCStamp(20.0, 0, "fast")
+
+    def test_update_breaks_equal_wall_ties_with_logical(self):
+        clock = HybridLogicalClock("a", time_source=FakeTime(10.0))
+        clock.now()  # (10.0, 0)
+        landed = clock.update(HLCStamp(wall=10.0, logical=4, node="b"))
+        assert landed == HLCStamp(10.0, 5, "a")
+
+    def test_update_result_dominates_both_inputs(self):
+        clock = HybridLogicalClock("r", time_source=FakeTime(10.0))
+        before = clock.now()
+        remote = HLCStamp(wall=10.0, logical=0, node="s")
+        landed = clock.update(remote)
+        assert landed > before and landed > remote
+
+    def test_depart_sorts_before_landing_under_5s_skew(self):
+        # The flight-recorder invariant: the sender's clock runs 5s AHEAD
+        # of the receiver's, yet the landing stamp still sorts after the
+        # depart stamp because the depart stamp rides the frame.
+        sender = HybridLogicalClock("fast", time_source=FakeTime(1005.0))
+        receiver = HybridLogicalClock("slow", time_source=FakeTime(1000.0))
+        depart = sender.now()
+        landing = receiver.update(HLCStamp.decode(depart.encode()))
+        assert depart < landing
+        # Every subsequent local event at the receiver also sorts after.
+        assert landing < receiver.now()
+
+    def test_peek_does_not_advance(self):
+        clock = HybridLogicalClock("a", time_source=FakeTime(10.0))
+        stamp = clock.now()
+        assert clock.peek() == stamp
+        assert clock.peek() == stamp

@@ -9,6 +9,11 @@ both the simulated and the real wire.
 
 from __future__ import annotations
 
+import json
+import os
+import re
+from pathlib import Path
+
 import pytest
 
 from repro.codeshipping.codebase import CodeBaseRegistry
@@ -33,6 +38,77 @@ def resilient_config() -> ServerConfig:
     )
 
 
+# Spaces alive during the current chaos test, so a failure can harvest
+# their flight-recorder journals (see pytest_runtest_makereport below).
+_LIVE_SPACES: list[dict] = []
+
+
+def _spaces_in(funcargs) -> list[dict]:
+    """Duck-typed scan of a test's fixtures for server dicts."""
+    found = []
+    for value in funcargs.values():
+        parts = value if isinstance(value, tuple) else (value,)
+        for part in parts:
+            if (
+                isinstance(part, dict)
+                and part
+                and all(hasattr(s, "journal") for s in part.values())
+            ):
+                found.append(part)
+    return found
+
+
+def _dump_chaos_artifacts(nodeid: str, spaces, directory: str) -> list[str]:
+    """Harvest every live space's journal into *directory*; return paths.
+
+    Written by the failure hook so a CI run that trips a chaos test
+    uploads the space's black box: the causally merged journal as JSON
+    plus its Chrome-trace rendering.
+    """
+    from repro.server import SpaceAdmin
+    from repro.telemetry import journal_chrome_trace
+
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", nodeid).strip("_")
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    written = []
+    seen: set[int] = set()
+    for index, servers in enumerate(spaces):
+        if id(servers) in seen:
+            continue
+        seen.add(id(servers))
+        records = SpaceAdmin(servers).harvest_journal()
+        journal_path = out / f"{stem}.space{index}.journal.json"
+        journal_path.write_text(
+            json.dumps({"records": [r.describe() for r in records]}, indent=1),
+            encoding="utf-8",
+        )
+        trace_path = out / f"{stem}.space{index}.trace.json"
+        trace_path.write_text(
+            json.dumps(journal_chrome_trace(records)), encoding="utf-8"
+        )
+        written.extend([str(journal_path), str(trace_path)])
+    return written
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    directory = os.environ.get("NAPLET_CHAOS_ARTIFACTS")
+    if not directory or report.when != "call" or not report.failed:
+        return
+    try:  # best effort: never mask the real failure
+        spaces = _spaces_in(item.funcargs) + list(_LIVE_SPACES)
+        written = _dump_chaos_artifacts(item.nodeid, spaces, directory)
+        if written:
+            report.sections.append(
+                ("chaos artifacts", "\n".join(written))
+            )
+    except Exception:  # noqa: BLE001 - diagnostics must not fail the run
+        pass
+
+
 @pytest.fixture(params=["inmemory", "tcp"])
 def chaos_space(request):
     """Factory: ``(plan, config) -> (servers, faulty_transport)``.
@@ -51,6 +127,7 @@ def chaos_space(request):
             )
             servers = deploy(network, config=config)
             cleanups.append(network.shutdown)
+            _LIVE_SPACES.append(servers)
             return servers, network.transport
         transport = TcpTransport()
         injector = FaultInjector(transport, plan)
@@ -77,8 +154,10 @@ def chaos_space(request):
             transport.close()
 
         cleanups.append(_shutdown)
+        _LIVE_SPACES.append(servers)
         return servers, injector
 
     yield _build
+    _LIVE_SPACES.clear()
     for cleanup in reversed(cleanups):
         cleanup()

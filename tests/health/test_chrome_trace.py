@@ -142,3 +142,109 @@ class TestChromeTrace:
         trace = chrome_trace([])
         assert trace["traceEvents"] == []
         json.dumps(trace)
+
+
+class TestInstantEvents:
+    """Regression: dead-letter transitions and Alt failovers render as
+    instant (``"i"``) events pinned to their server's row."""
+
+    @staticmethod
+    def _event(kind: str, mono: float = 1.0, **detail):
+        from repro.util.eventlog import EventRecord
+
+        return EventRecord(kind=kind, detail=detail, wall=1000.0 + mono, mono=mono)
+
+    def test_instant_kinds_become_pinned_instants(self):
+        events = [
+            ("s00", self._event("message-dead-lettered", 1.0, target="n1")),
+            ("s00", self._event("dead-letters-requeued", 2.0, delivered=3)),
+            ("s01", self._event("alt-failover", 3.0, failed="s02", error="down")),
+            ("s01", self._event("naplet-launch", 4.0, naplet="n1")),  # not instant
+        ]
+        trace = chrome_trace(events=events)
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            "message-dead-lettered",
+            "dead-letters-requeued",
+            "alt-failover",
+        ]
+        assert all(e["cat"] == "event" and e["s"] == "t" for e in instants)
+        assert instants[0]["args"] == {"target": "n1"}
+        assert instants[2]["args"] == {"failed": "s02", "error": "down"}
+        # Each instant pins to its server's process row.
+        names_by_pid = {
+            e["pid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert names_by_pid[instants[0]["pid"]] == "s00"
+        assert names_by_pid[instants[2]["pid"]] == "s01"
+        json.dumps(trace)
+
+    def test_instants_share_the_monotonic_origin_with_spans(self):
+        span = Span(
+            trace_id="t", span_id="s", parent_id=None, name="hop", server="s00",
+            start_wall=1001.0, start_mono=1.0, duration=0.5,
+        )
+        trace = chrome_trace(
+            [span], events=[("s00", self._event("alt-failover", 1.25))]
+        )
+        by_ph = {e["ph"]: e for e in _non_meta(trace)}
+        assert by_ph["X"]["ts"] == 0.0
+        assert by_ph["i"]["ts"] == pytest.approx(0.25e6)
+
+    def test_journal_records_render_as_instants(self):
+        from repro.telemetry import journal_chrome_trace
+        from repro.telemetry.journal import SpaceJournal
+
+        journal = SpaceJournal("s00")
+        journal.observe_event(self._event("message-dead-lettered", 1.0, target="n1"))
+        journal.observe_event(self._event("dead-letters-requeued", 2.0, requeued=1))
+        journal.observe_event(self._event("naplet-arrive", 3.0, naplet="n1"))
+        trace = journal_chrome_trace(journal.snapshot())
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in instants] == [
+            "message-dead-lettered",
+            "dead-letters-requeued",
+        ]
+
+    def test_live_alt_failover_lands_in_journal_and_trace(self, space):
+        """A partitioned Alt primary burns over to its mirror; the burn is
+        journaled as an ``alt-failover`` event and rendered as an instant."""
+        import repro
+        from repro.faults import FaultPlan, RetryPolicy
+        from repro.itinerary import Itinerary
+        from repro.itinerary.pattern import alt, seq, singleton
+        from repro.simnet import full_mesh
+        from repro.telemetry import journal_chrome_trace
+
+        plan = FaultPlan(seed=11).partition("s02")
+        network, servers = space(
+            VirtualNetwork(full_mesh(4, prefix="s"), fault_plan=plan),
+            config=ServerConfig(
+                migration_retry=RetryPolicy(
+                    max_attempts=3, base_delay=0.005, multiplier=1.5,
+                    max_delay=0.02, jitter=0.0,
+                )
+            ),
+        )
+        listener = repro.NapletListener()
+        agent = CollectorNaplet("mirror-tour")
+        agent.set_itinerary(
+            Itinerary(
+                seq(
+                    alt("s02", "s01"),
+                    singleton("s03", post_action=ResultReport("visited")),
+                )
+            )
+        )
+        servers["s00"].launch(agent, owner="alice", listener=listener)
+        report = listener.next_report(timeout=15)
+        assert report.payload == ["s01", "s03"]
+        admin = SpaceAdmin(servers)
+        assert admin.wait_space_idle()
+        burns = admin.harvest_journal(kind="alt-failover")
+        assert burns and burns[0].detail["failed"] == "s02"
+        trace = journal_chrome_trace(admin.harvest_journal())
+        instants = [e for e in _non_meta(trace) if e["ph"] == "i"]
+        assert any(e["name"] == "alt-failover" for e in instants)

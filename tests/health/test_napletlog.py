@@ -1,0 +1,175 @@
+"""tools/napletlog.py: filters, ordering, rendering, dump round-trip, CLI.
+
+``tools/`` is not a package, so the module is loaded by file path.  The
+pure halves (filter/order/render) run on synthetic records; the CLI runs
+end to end against a dump file written by a live space.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.server import SpaceAdmin
+from repro.simnet import line
+from repro.telemetry.journal import SpaceJournal
+
+from tests.conftest import CollectorNaplet
+
+pytestmark = pytest.mark.health
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "napletlog.py"
+
+
+@pytest.fixture(scope="module")
+def napletlog():
+    spec = importlib.util.spec_from_file_location("napletlog", _TOOL)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("napletlog", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _synthetic_records():
+    journal = SpaceJournal("s00", time_source=lambda: 100.0)
+    journal.append(kind="naplet-launch", naplet="n1", detail={"owner": "alice"})
+    journal.append(kind="naplet-depart", naplet="n1", detail={"dest": "naplet://s01"})
+    journal.append(kind="message-dead-lettered", category="deadletter", naplet="n2")
+    other = SpaceJournal("s01", time_source=lambda: 200.0)
+    other.append(kind="naplet-arrive", naplet="n1", trace_id="t1")
+    return journal.snapshot() + other.snapshot()
+
+
+class TestFilters:
+    def test_filters_compose_with_and_semantics(self, napletlog):
+        records = _synthetic_records()
+        assert len(napletlog.filter_records(records)) == 4
+        assert [
+            r.kind for r in napletlog.filter_records(records, naplet="n1")
+        ] == ["naplet-launch", "naplet-depart", "naplet-arrive"]
+        assert [
+            r.kind
+            for r in napletlog.filter_records(records, naplet="n1", server="s01")
+        ] == ["naplet-arrive"]
+        assert [
+            r.kind for r in napletlog.filter_records(records, category="deadletter")
+        ] == ["message-dead-lettered"]
+        assert [
+            r.kind for r in napletlog.filter_records(records, since=150.0)
+        ] == ["naplet-arrive"]
+        assert len(napletlog.filter_records(records, until=150.0)) == 3
+
+    def test_journey_filter_resolves_naplet_to_its_trace(self, napletlog):
+        records = _synthetic_records()
+        journey = napletlog.journey_records(records, "n1")
+        assert [r.kind for r in journey] == [
+            "naplet-launch",
+            "naplet-depart",
+            "naplet-arrive",
+        ]
+        # ...and a trace id picks up records stamped with it.
+        assert [r.kind for r in napletlog.journey_records(records, "t1")] == [
+            "naplet-arrive"
+        ]
+
+    def test_order_records_causal_vs_wall(self, napletlog):
+        records = _synthetic_records()
+        causal = napletlog.order_records(records, causal=True)
+        wall = napletlog.order_records(records, causal=False)
+        assert [r.kind for r in causal] == [
+            "naplet-launch",
+            "naplet-depart",
+            "message-dead-lettered",
+            "naplet-arrive",
+        ]
+        assert causal == wall  # no skew here: the two orders agree
+
+    def test_render_lines_has_header_and_count(self, napletlog):
+        lines = napletlog.render_lines(_synthetic_records())
+        assert lines[0].startswith("hlc")
+        assert lines[-1] == "(4 records)"
+        assert len(lines) == 6
+
+
+class TestDumpRoundTrip:
+    def test_dump_then_load_preserves_records(self, napletlog, tmp_path):
+        records = _synthetic_records()
+        path = tmp_path / "journal.json"
+        napletlog.dump_records(str(path), records)
+        loaded = napletlog.load_records(str(path))
+        assert loaded == records
+
+    def test_load_accepts_a_bare_list(self, napletlog, tmp_path):
+        records = _synthetic_records()
+        path = tmp_path / "bare.json"
+        path.write_text(
+            json.dumps([r.describe() for r in records]), encoding="utf-8"
+        )
+        assert napletlog.load_records(str(path)) == records
+
+
+class TestCli:
+    @pytest.fixture()
+    def dumpfile(self, napletlog, space, tmp_path):
+        """A dump of a live 3-server journey, plus the tour's naplet id."""
+        _network, servers = space(line(3, prefix="s"))
+        listener = repro.NapletListener()
+        agent = CollectorNaplet("cli-tour")
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(
+                    ["s01", "s02"], post_action=ResultReport("visited")
+                )
+            )
+        )
+        nid = servers["s00"].launch(agent, owner="alice", listener=listener)
+        listener.next_report(timeout=15)
+        admin = SpaceAdmin(servers)
+        assert admin.wait_space_idle()
+        path = tmp_path / "space.json"
+        napletlog.dump_records(str(path), admin.harvest_journal())
+        return str(path), str(nid)
+
+    def test_journey_query_reconstructs_the_route(
+        self, napletlog, dumpfile, capsys
+    ):
+        path, nid = dumpfile
+        assert (
+            napletlog.main([path, "--journey", nid, "--kind", "naplet-arrive",
+                            "--causal"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "naplet-arrive" in l]
+        assert [l.split()[1] for l in lines] == ["s01", "s02"]
+
+    def test_limit_keeps_the_tail(self, napletlog, dumpfile, capsys):
+        path, _nid = dumpfile
+        assert napletlog.main([path, "--limit", "2", "--causal"]) == 0
+        out = capsys.readouterr().out
+        assert "(2 records)" in out
+
+    def test_chrome_output_is_a_valid_trace(
+        self, napletlog, dumpfile, tmp_path, capsys
+    ):
+        path, nid = dumpfile
+        trace_path = tmp_path / "trace.json"
+        assert (
+            napletlog.main([path, "--journey", nid, "--chrome", str(trace_path)])
+            == 0
+        )
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        names = {
+            e["name"] for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"hop", "landing"} <= names
+
+    def test_no_input_is_an_error(self, napletlog):
+        with pytest.raises(SystemExit):
+            napletlog.main([])

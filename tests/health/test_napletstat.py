@@ -161,3 +161,69 @@ class TestLiveDashboard:
         out = capsys.readouterr().out
         assert "napletstat" in out
         assert "top naplets by CPU" in out
+
+
+class TestJourneyAndFollow:
+    def _tour(self, servers):
+        import repro
+        from repro.itinerary import ResultReport, SeqPattern
+        from tests.conftest import CollectorNaplet
+
+        listener = repro.NapletListener()
+        agent = CollectorNaplet("stat-tour")
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(["s01"], post_action=ResultReport("visited"))
+            )
+        )
+        nid = servers["s00"].launch(agent, owner="alice", listener=listener)
+        listener.next_report(timeout=15)
+        return nid
+
+    def test_journal_tail_advances_watermarks(self, napletstat, space):
+        _network, servers = space(line(2, prefix="s"))
+        admin = SpaceAdmin(servers)
+        nid = self._tour(servers)
+        assert admin.wait_space_idle()
+        watermarks: dict[str, int] = {}
+        first = napletstat.journal_tail(admin, watermarks)
+        assert first and watermarks
+        # Nothing new: the same watermarks yield an empty tail...
+        assert napletstat.journal_tail(admin, watermarks) == []
+        # ...until fresh records are journaled.
+        servers["s00"].events.record("poke", naplet=str(nid))
+        fresh = napletstat.journal_tail(admin, watermarks)
+        assert [r.kind for r in fresh] == ["poke"]
+
+    def test_journal_tail_journey_filter(self, napletstat, space):
+        _network, servers = space(line(2, prefix="s"))
+        admin = SpaceAdmin(servers)
+        nid = self._tour(servers)
+        assert admin.wait_space_idle()
+        records = napletstat.journal_tail(admin, {}, journey=str(nid))
+        assert records
+        assert all(
+            r.naplet == str(nid) or r.mentions(str(nid)) for r in records
+        )
+        unrelated = napletstat.journal_tail(admin, {}, journey="no-such-journey")
+        assert unrelated == []
+
+    def test_render_journey_lists_records_or_a_hint(self, napletstat, space):
+        _network, servers = space(line(2, prefix="s"))
+        admin = SpaceAdmin(servers)
+        nid = self._tour(servers)
+        assert admin.wait_space_idle()
+        records = napletstat.journal_tail(admin, {}, journey=str(nid))
+        output = napletstat.render_journey(records, str(nid))
+        assert f"journey {nid}" in output
+        assert "naplet-depart" in output
+        empty = napletstat.render_journey([], "ghost")
+        assert "no records" in empty
+
+    @pytest.mark.slow
+    def test_demo_follow_tails_records(self, napletstat, capsys):
+        assert napletstat.main(["--demo", "--follow", "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "naplet-launch" in out
+        # Tail mode is append-only: no screen-clear escape codes.
+        assert "\x1b[2J" not in out

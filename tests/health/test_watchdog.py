@@ -232,3 +232,98 @@ class TestDormantPlane:
         assert plane.samples_taken == 0
         assert plane.findings() == []
         assert plane.describe()["enabled"] is False
+
+
+class TestCriticalEvidence:
+    """CRITICAL findings carry a flight-recorder slice as evidence
+    (DESIGN.md §6.5): the journal records mentioning the subject, frozen
+    at the moment of escalation."""
+
+    def _bury(self, server, n: int = 1) -> None:
+        for i in range(n):
+            server.messenger.dead_letters.put(
+                DeadLetter(message=f"msg-{i}", dest_urn="naplet://gone", reason="test")
+            )
+
+    def test_critical_finding_attaches_a_journal_slice(self, quiet_space):
+        from repro.telemetry.journal import JournalRecord
+
+        _network, servers = quiet_space
+        server = servers["s00"]
+        plane = server.health
+        for _ in range(3):
+            self._bury(server, 1)
+            plane.sample_now()
+        backlog = next(
+            f for f in plane.findings() if f.kind == FindingKind.DEAD_LETTER_BACKLOG
+        )
+        assert backlog.severity == Severity.CRITICAL
+        evidence = [
+            JournalRecord.from_dict(d) for d in backlog.data["journal_slice"]
+        ]
+        assert evidence
+        assert all(r.mentions("s00") for r in evidence)
+        # The WARNING raised two samples earlier was journaled, so the
+        # evidence shows the finding's own history leading to escalation.
+        assert any(r.kind == "health-finding" for r in evidence)
+
+    def test_warning_findings_carry_no_slice(self, quiet_space):
+        _network, servers = quiet_space
+        server = servers["s00"]
+        self._bury(server, 1)
+        server.health.sample_now()
+        backlog = next(
+            f
+            for f in server.health.findings()
+            if f.kind == FindingKind.DEAD_LETTER_BACKLOG
+        )
+        assert backlog.severity == Severity.WARNING
+        assert "journal_slice" not in backlog.data
+
+    def test_still_critical_refresh_keeps_the_escalation_slice(self, quiet_space):
+        _network, servers = quiet_space
+        server = servers["s00"]
+        plane = server.health
+        for _ in range(3):
+            self._bury(server, 1)
+            plane.sample_now()
+        backlog = next(
+            f for f in plane.findings() if f.kind == FindingKind.DEAD_LETTER_BACKLOG
+        )
+        frozen = backlog.data["journal_slice"]
+        assert frozen
+        # New journal traffic after escalation must not dilute the evidence.
+        server.events.record("poke", naplet="nap-after")
+        self._bury(server, 1)
+        plane.sample_now()  # still CRITICAL: a refresh, not a fresh raise
+        refreshed = next(
+            f for f in plane.findings() if f.kind == FindingKind.DEAD_LETTER_BACKLOG
+        )
+        assert refreshed.severity == Severity.CRITICAL
+        assert refreshed.data["journal_slice"] == frozen
+        assert not any(
+            d["kind"] == "poke" for d in refreshed.data["journal_slice"]
+        )
+
+    def test_disabled_journal_means_no_slice_key(self, space):
+        from repro.simnet import line
+
+        _network, servers = space(
+            line(2, prefix="s"),
+            config=ServerConfig(
+                health_cadence=60.0,
+                health_stuck_deadline=0.1,
+                journal_enabled=False,
+            ),
+        )
+        server = servers["s00"]
+        for _ in range(3):
+            self._bury(server, 1)
+            server.health.sample_now()
+        backlog = next(
+            f
+            for f in server.health.findings()
+            if f.kind == FindingKind.DEAD_LETTER_BACKLOG
+        )
+        assert backlog.severity == Severity.CRITICAL
+        assert "journal_slice" not in backlog.data

@@ -1,0 +1,140 @@
+"""Property tests: hybrid logical clocks under arbitrary skew and traffic.
+
+Three laws the flight recorder's causal merge rests on:
+
+- **per-node monotonicity** — whatever a node's wall clock does (stall,
+  jump, crawl), successive stamps it mints strictly increase;
+- **merge algebra** — ``merged`` is commutative, associative, idempotent;
+- **no causal inversions** — for every message between skewed nodes, the
+  send stamp sorts strictly before every stamp the receiver mints after
+  the receive, so a merged timeline can never show a landing ahead of
+  its departure.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.hlc import HLCStamp, HybridLogicalClock, merged
+
+# Stamps with floats that compare exactly (no NaN, no -0.0 subtleties).
+stamps = st.builds(
+    HLCStamp,
+    wall=st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    logical=st.integers(min_value=0, max_value=1000),
+    node=st.sampled_from(["a", "b", "c"]),
+)
+
+# A wall-clock trajectory: the per-call reading of one node's time source.
+# Values may stall or even step backwards — HLC must not care.
+trajectories = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+class _Replay:
+    """Feed a recorded trajectory to a clock, holding the last value."""
+
+    def __init__(self, values: list[float]) -> None:
+        self._values = list(values)
+
+    def __call__(self) -> float:
+        if len(self._values) > 1:
+            return self._values.pop(0)
+        return self._values[0]
+
+
+class TestMergeAlgebra:
+    @given(a=stamps, b=stamps)
+    def test_merged_is_commutative(self, a, b):
+        assert merged(a, b) == merged(b, a)
+
+    @given(a=stamps, b=stamps, c=stamps)
+    def test_merged_is_associative(self, a, b, c):
+        assert merged(merged(a, b), c) == merged(a, merged(b, c))
+
+    @given(a=stamps)
+    def test_merged_is_idempotent(self, a):
+        assert merged(a, a) == a
+
+    @given(a=stamps, b=stamps)
+    def test_merged_dominates_both_inputs(self, a, b):
+        result = merged(a, b)
+        assert result >= a and result >= b
+
+    @given(a=stamps)
+    def test_encode_decode_is_exact(self, a):
+        assert HLCStamp.decode(a.encode()) == a
+
+
+class TestPerNodeMonotonicity:
+    @given(trajectory=trajectories)
+    def test_now_stamps_strictly_increase(self, trajectory):
+        clock = HybridLogicalClock("n", time_source=_Replay(trajectory))
+        stamps_minted = [clock.now() for _ in range(len(trajectory) + 5)]
+        assert all(a < b for a, b in zip(stamps_minted, stamps_minted[1:]))
+
+    @given(trajectory=trajectories, remotes=st.lists(stamps, max_size=10))
+    def test_interleaved_updates_keep_stamps_increasing(self, trajectory, remotes):
+        clock = HybridLogicalClock("n", time_source=_Replay(trajectory))
+        minted = []
+        for remote in remotes:
+            minted.append(clock.now())
+            minted.append(clock.update(remote))
+        minted.append(clock.now())
+        assert all(a < b for a, b in zip(minted, minted[1:]))
+
+    @given(trajectory=trajectories, remote=stamps)
+    def test_update_dominates_the_received_stamp(self, trajectory, remote):
+        clock = HybridLogicalClock("n", time_source=_Replay(trajectory))
+        assert clock.update(remote) > remote
+
+
+class TestNoCausalInversions:
+    @settings(deadline=None)
+    @given(
+        skews=st.lists(
+            st.floats(min_value=-5.0, max_value=5.0, allow_nan=False),
+            min_size=2,
+            max_size=4,
+        ),
+        hops=st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3),
+                      st.integers(min_value=0, max_value=3)),
+            min_size=1,
+            max_size=25,
+        ),
+        step=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+    )
+    def test_every_send_sorts_before_its_receive(self, skews, hops, step):
+        """Random traffic between nodes skewed up to ±5s never inverts."""
+        base = 1000.0
+        elapsed = [0.0]
+
+        def wall_of(skew: float):
+            def read() -> float:
+                elapsed[0] += step  # time creeps forward between calls
+                return base + skew + elapsed[0]
+
+            return read
+
+        clocks = [
+            HybridLogicalClock(f"n{i}", time_source=wall_of(skew))
+            for i, skew in enumerate(skews)
+        ]
+        for src_i, dst_i in hops:
+            src = clocks[src_i % len(clocks)]
+            dst = clocks[dst_i % len(clocks)]
+            sent = src.now()
+            received = dst.update(HLCStamp.decode(sent.encode()))
+            assert sent < received
+            # Everything the receiver does afterwards also sorts after.
+            assert received < dst.now()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,288 @@
+#!/usr/bin/env python
+"""napletlog: query a naplet space's flight recorder.
+
+``grep`` for mobile agents.  Takes a harvested journal — a JSON dump
+written by :meth:`SpaceAdmin.harvest_journal` / the journal probe, or a
+live ``--demo`` space — and filters the merged timeline by journey,
+naplet, server, kind, category, or wall-clock window, rendering the
+result as text lines or as a Chrome trace (``chrome://tracing``).
+
+The ``--causal`` flag orders records by their hybrid-logical-clock
+stamps instead of raw wall time: with skewed server clocks the wall
+order can show a naplet landing before it departed, while the HLC order
+never can (the depart's stamp rides the migration frame and advances the
+destination's clock before the landing is journaled).
+
+Run:
+
+    python tools/napletlog.py --demo                      # merged demo timeline
+    python tools/napletlog.py --demo --journey <naplet>   # one journey only
+    python tools/napletlog.py --demo --dump space.json    # save for offline use
+    python tools/napletlog.py space.json --kind naplet-depart --causal
+    python tools/napletlog.py space.json --chrome trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402  (sys.path fixed above)
+from repro.telemetry.export import journal_chrome_trace  # noqa: E402
+from repro.telemetry.journal import (  # noqa: E402
+    JournalRecord,
+    causal_key,
+    format_record,
+    merge_journals,
+)
+
+_HEADER = (
+    f"{'hlc (wall+logical)':<21} {'server':<8} {'category':<10} "
+    f"{'kind':<26} {'naplet':<30} detail"
+)
+
+
+# --------------------------------------------------------------------- #
+# Loading
+# --------------------------------------------------------------------- #
+
+
+def load_records(path: str) -> list[JournalRecord]:
+    """Read a journal dump: a JSON list of record dicts (or {"records": [...]})."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict):
+        data = data.get("records") or []
+    return [JournalRecord.from_dict(entry) for entry in data]
+
+
+def dump_records(path: str, records: Iterable[JournalRecord]) -> None:
+    """Write records as a JSON dump :func:`load_records` reads back."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"records": [r.describe() for r in records]}, fh, indent=1)
+
+
+# --------------------------------------------------------------------- #
+# Filtering + ordering (pure, testable)
+# --------------------------------------------------------------------- #
+
+
+def journey_records(
+    records: Iterable[JournalRecord], subject: str
+) -> list[JournalRecord]:
+    """Every record of the journey *subject* names: a trace id or naplet id.
+
+    A naplet id resolves to the trace id(s) its records carry, then the
+    whole trace is included — hop and landing spans recorded at servers
+    under other naplets' names stay in the picture, exactly like
+    :meth:`SpaceAdmin.journey` stitches spans.
+    """
+    records = list(records)
+    trace_ids = {subject} | {
+        r.trace_id
+        for r in records
+        if r.trace_id is not None and (r.naplet == subject or r.mentions(subject))
+    }
+    return [
+        r
+        for r in records
+        if r.trace_id in trace_ids or r.naplet == subject or r.mentions(subject)
+    ]
+
+
+def filter_records(
+    records: Iterable[JournalRecord],
+    journey: str | None = None,
+    naplet: str | None = None,
+    server: str | None = None,
+    kind: str | None = None,
+    category: str | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> list[JournalRecord]:
+    """Apply the CLI's filters; every criterion must hold (AND)."""
+    out = list(records)
+    if journey is not None:
+        out = journey_records(out, journey)
+    return [
+        r
+        for r in out
+        if (naplet is None or r.naplet == naplet)
+        and (server is None or r.server == server)
+        and (kind is None or r.kind == kind)
+        and (category is None or r.category == category)
+        and (since is None or r.wall >= since)
+        and (until is None or r.wall <= until)
+    ]
+
+
+def order_records(
+    records: Iterable[JournalRecord], causal: bool = False
+) -> list[JournalRecord]:
+    """Wall-clock order by default; HLC total order under ``--causal``."""
+    if causal:
+        return sorted(records, key=causal_key)
+    return sorted(records, key=lambda r: (r.wall, r.seq))
+
+
+def render_lines(records: Iterable[JournalRecord]) -> list[str]:
+    """Text rendering: a header plus one :func:`format_record` line each."""
+    records = list(records)
+    lines = [_HEADER]
+    lines.extend(format_record(r) for r in records)
+    lines.append(f"({len(records)} records)")
+    return lines
+
+
+# --------------------------------------------------------------------- #
+# Demo space
+# --------------------------------------------------------------------- #
+
+
+class DemoTourist(repro.Naplet):
+    """Tours the demo line, noting each stop, so the journal has a journey."""
+
+    def on_start(self) -> None:
+        visited = self.state.get("visited") or []
+        visited.append(self.require_context().hostname)
+        self.state.set("visited", visited)
+        self.travel()
+
+
+def demo_harvest() -> list[JournalRecord]:
+    """A small space runs one journey; returns the merged journal."""
+    from repro.itinerary import Itinerary, ResultReport, SeqPattern
+    from repro.server import ServerConfig, SpaceAdmin, deploy
+    from repro.simnet import VirtualNetwork, line
+
+    network = VirtualNetwork(line(3, prefix="d"))
+    servers = deploy(network, config=ServerConfig(health_cadence=0.05))
+    try:
+        admin = SpaceAdmin(servers)
+        listener = repro.NapletListener()
+        tourist = DemoTourist("demo-tourist")
+        tourist.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(
+                    ["d01", "d02"], post_action=ResultReport("visited")
+                )
+            )
+        )
+        servers["d00"].launch(tourist, owner="demo", listener=listener)
+        listener.next_report(timeout=15)
+        admin.wait_space_idle()
+        return admin.harvest_journal()
+    finally:
+        network.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Query a naplet space's flight-recorder journal."
+    )
+    parser.add_argument(
+        "dumpfile",
+        nargs="?",
+        help="JSON journal dump (SpaceAdmin.harvest_journal / journal probe)",
+    )
+    parser.add_argument(
+        "--demo", action="store_true", help="run an in-process demo journey"
+    )
+    parser.add_argument(
+        "--journey",
+        metavar="ID",
+        help="only records of this journey (trace id or naplet id)",
+    )
+    parser.add_argument("--naplet", help="only records naming this naplet id")
+    parser.add_argument("--server", help="only records journaled at this server")
+    parser.add_argument("--kind", help="only records of this kind")
+    parser.add_argument(
+        "--category",
+        choices=["event", "span", "fault", "finding", "deadletter"],
+        help="only records of this category",
+    )
+    parser.add_argument(
+        "--since", type=float, help="only records with wall time >= SINCE"
+    )
+    parser.add_argument(
+        "--until", type=float, help="only records with wall time <= UNTIL"
+    )
+    parser.add_argument(
+        "--causal",
+        action="store_true",
+        help="order by hybrid-logical-clock stamps instead of wall time",
+    )
+    parser.add_argument(
+        "--limit", type=int, default=0, help="show only the last N records"
+    )
+    parser.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="write the selection as a Chrome trace instead of text",
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="PATH",
+        help="save the (unfiltered) harvest as a JSON dump and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        records = demo_harvest()
+    elif args.dumpfile:
+        records = merge_journals([load_records(args.dumpfile)])
+    else:
+        parser.error("give a journal dump file or --demo")
+
+    if args.dump:
+        dump_records(args.dump, records)
+        print(f"wrote {len(records)} records to {args.dump}")
+        return 0
+
+    selected = order_records(
+        filter_records(
+            records,
+            journey=args.journey,
+            naplet=args.naplet,
+            server=args.server,
+            kind=args.kind,
+            category=args.category,
+            since=args.since,
+            until=args.until,
+        ),
+        causal=args.causal,
+    )
+    if args.limit:
+        selected = selected[-args.limit :]
+
+    if args.chrome:
+        trace = journal_chrome_trace(selected)
+        with open(args.chrome, "w", encoding="utf-8") as fh:
+            json.dump(trace, fh, indent=1)
+        print(
+            f"wrote {len(trace['traceEvents'])} trace events "
+            f"({len(selected)} records) to {args.chrome}"
+        )
+        return 0
+
+    print("\n".join(render_lines(selected)))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head(1)
+        sys.exit(0)

@@ -75,6 +75,35 @@ def rows_from_admin(admin) -> list[dict[str, Any]]:
     return rows
 
 
+def journal_tail(
+    admin, watermarks: dict[str, int], journey: str | None = None
+) -> list[Any]:
+    """New journal records past per-server *watermarks*, causally merged.
+
+    ``watermarks`` maps hostname -> last seen per-server sequence number
+    and is advanced in place, so successive calls yield only fresh records
+    — the collection half of ``--follow``.  With *journey* set, only
+    records of that journey (trace id or naplet id) survive.
+    """
+    from repro.telemetry.journal import merge_journals
+
+    fresh = []
+    for hostname in admin.hostnames:
+        journal = admin._servers[hostname].journal
+        records = journal.records(after_seq=watermarks.get(hostname, 0))
+        if records:
+            watermarks[hostname] = records[-1].seq
+            fresh.append(records)
+    merged = merge_journals(fresh)
+    if journey is not None:
+        merged = [
+            r
+            for r in merged
+            if r.trace_id == journey or r.naplet == journey or r.mentions(journey)
+        ]
+    return merged
+
+
 # --------------------------------------------------------------------- #
 # Rendering
 # --------------------------------------------------------------------- #
@@ -166,6 +195,21 @@ def render(rows: list[dict[str, Any]], top: int = 5) -> str:
     return "\n".join(lines)
 
 
+def render_journey(records: list[Any], journey: str) -> str:
+    """Flight-recorder timeline of one journey (pure, testable).
+
+    *records* are already-filtered journal records in causal order, as
+    :func:`journal_tail` returns them with its ``journey`` argument.
+    """
+    from repro.telemetry.journal import format_record
+
+    lines = [f"  journey {journey}: {len(records)} journal records"]
+    lines.extend(f"  {format_record(record)}" for record in records)
+    if not records:
+        lines.append("  (no records — wrong id, or the journal is disabled)")
+    return "\n".join(lines)
+
+
 # --------------------------------------------------------------------- #
 # Demo space
 # --------------------------------------------------------------------- #
@@ -250,6 +294,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--frames", type=int, default=0, help="stop after N frames (0 = forever)"
     )
+    parser.add_argument(
+        "--journey",
+        metavar="ID",
+        help="show the flight-recorder timeline of one journey "
+        "(trace id or naplet id) under the dashboard",
+    )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail new journal records instead of redrawing the dashboard "
+        "(combines with --journey to follow one journey)",
+    )
     args = parser.parse_args(argv)
 
     if not args.demo:
@@ -269,9 +325,24 @@ def main(argv: list[str] | None = None) -> int:
             while time.monotonic() < deadline and not admin.space_findings():
                 time.sleep(0.05)
         frame = 0
+        if args.follow:
+            # Tail mode: append-only, CI-log friendly (no screen clears).
+            from repro.telemetry.journal import format_record
+
+            watermarks: dict[str, int] = {}
+            while True:
+                for record in journal_tail(admin, watermarks, journey=args.journey):
+                    print(format_record(record), flush=True)
+                frame += 1
+                if args.once or (args.frames and frame >= args.frames):
+                    return 0
+                time.sleep(args.interval)
         while True:
             rows = rows_from_admin(admin)
             output = render(rows, top=args.top)
+            if args.journey:
+                records = journal_tail(admin, {}, journey=args.journey)
+                output += "\n\n" + render_journey(records, args.journey)
             if args.once:
                 print(output)
                 return 0
@@ -287,4 +358,7 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into head(1)
+        sys.exit(0)
