@@ -122,6 +122,14 @@ class TestTelemetryOverhead:
             # journal-off really journals nothing (observers short-circuit)
             assert all(s.journal.depth == 0 for s in no_journal.values())
             assert sum(s.journal.depth for s in on.values()) > 0
+            # hop-cost attribution rode along for free: every tour hop left
+            # a perf record and fed the byte/serialize histograms, and the
+            # overhead bounds above were met with attribution enabled
+            assert sum(
+                len(s.journal.records(category="perf")) for s in on.values()
+            ) >= TOURS * len(ROUTE)
+            assert on["s00"].telemetry.hop_bytes.value(part="payload").count > 0
+            assert on["s00"].telemetry.serialize_seconds.value(op="dumps").count > 0
             # and its sampler is genuinely running (first tick lands at the
             # default cadence, which may be after the short bench window)
             from repro.util.concurrency import wait_until
@@ -138,4 +146,5 @@ class TestTelemetryOverhead:
         finally:
             net_on.shutdown()
             net_health.shutdown()
+            net_nj.shutdown()
             net_off.shutdown()

@@ -26,13 +26,14 @@ benchmark is stable; latencies and throughput are recorded in
 from __future__ import annotations
 
 import dataclasses
-import json
+import os
 import statistics
 import time
 from pathlib import Path
 
 import repro
 from repro.codeshipping.codebase import CodeBaseRegistry
+from repro.perf.bench import write_bench
 from repro.core.credential import SigningAuthority
 from repro.itinerary import Itinerary, ResultReport, SeqPattern
 from repro.server import DirectoryMode, NapletServer, ServerConfig
@@ -163,12 +164,20 @@ class TestTransportFastPath:
             rows,
         )
 
-        out = {
-            "experiment": "transport fast path vs two-phase baseline",
-            "baseline": baseline,
-            "fastpath": fastpath,
-            "speedup_messages_per_sec": fastpath["messages_per_sec"]
-            / baseline["messages_per_sec"],
-        }
+        # Schema-v2 snapshot: same metric keys as always, plus git SHA /
+        # timestamp / machine fingerprint so `napletperf diff` can attribute
+        # deltas to code vs hardware.  NAPLET_BENCH_HISTORY (set by
+        # `napletperf run --history`) appends a timestamped copy for trends.
         path = Path(__file__).resolve().parents[1] / "BENCH_transport.json"
-        path.write_text(json.dumps(out, indent=2) + "\n")
+        history = os.environ.get("NAPLET_BENCH_HISTORY")
+        write_bench(
+            path,
+            "transport fast path vs two-phase baseline",
+            {
+                "baseline": baseline,
+                "fastpath": fastpath,
+                "speedup_messages_per_sec": fastpath["messages_per_sec"]
+                / baseline["messages_per_sec"],
+            },
+            history_dir=history,
+        )

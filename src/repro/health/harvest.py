@@ -57,6 +57,10 @@ class HealthProbeNaplet(Naplet):
             row["metrics"] = {
                 name: snapshot.total(name) for name in _HEADLINE_METRICS
             }
+            # Transport-level ingress/egress (perf plane): these live on
+            # the transport's registry, not the server's, so they ride as
+            # their own harvest entry rather than a headline metric.
+            row["metrics"].update(service.wire_bytes())
         harvest.append(row)
         self.state.set("harvest", harvest)
         self.travel()

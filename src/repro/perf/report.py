@@ -1,0 +1,94 @@
+"""Per-hop cost tables from the flight recorder's ``perf`` records.
+
+The navigator journals a ``hop-cost`` record (category ``perf``) on
+every successful migration, carrying the serialize time and the
+payload/header/code byte split of that hop.  This module turns a
+harvested record stream — live :class:`~repro.telemetry.journal`
+records or the dicts a ``napletlog`` dump file holds — into the table
+``napletperf hops`` renders.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["hop_cost_rows", "render_hop_costs"]
+
+
+def _detail(record: Any) -> dict[str, Any]:
+    if isinstance(record, dict):
+        detail = record.get("detail")
+        return detail if isinstance(detail, dict) else {}
+    return dict(getattr(record, "detail", None) or {})
+
+
+def _field(record: Any, name: str, default: Any = None) -> Any:
+    if isinstance(record, dict):
+        return record.get(name, default)
+    return getattr(record, name, default)
+
+
+def hop_cost_rows(
+    records: list[Any], naplet: str | None = None
+) -> list[dict[str, Any]]:
+    """Extract hop-cost rows from journal *records* (objects or dicts).
+
+    Only ``kind == "hop-cost"`` records survive; with *naplet* set, only
+    that naplet's hops.  Rows keep the records' causal order.
+    """
+    rows: list[dict[str, Any]] = []
+    for record in records:
+        if _field(record, "kind") != "hop-cost":
+            continue
+        if naplet is not None and _field(record, "naplet") != naplet:
+            continue
+        detail = _detail(record)
+        rows.append(
+            {
+                "naplet": _field(record, "naplet"),
+                "source": detail.get("source", "?"),
+                "dest": detail.get("dest", "?"),
+                "serialize_s": float(detail.get("serialize_s", 0.0)),
+                "payload_bytes": int(detail.get("payload_bytes", 0)),
+                "header_bytes": int(detail.get("header_bytes", 0)),
+                "code_bytes": int(detail.get("code_bytes", 0)),
+                "total_bytes": int(detail.get("total_bytes", 0)),
+                "fast_path": bool(detail.get("fast_path", False)),
+            }
+        )
+    return rows
+
+
+def render_hop_costs(records: list[Any], naplet: str | None = None) -> str:
+    """Aligned per-hop cost table (one row per migration, plus totals)."""
+    rows = hop_cost_rows(records, naplet=naplet)
+    scope = f" for {naplet}" if naplet else ""
+    if not rows:
+        return (
+            f"  no hop-cost records{scope} — journal disabled, "
+            "or the naplet has not migrated yet"
+        )
+    lines = [
+        f"  {len(rows)} hop(s){scope}",
+        f"  {'route':<24} {'total-B':>9} {'payload':>9} {'header':>8} "
+        f"{'code':>7} {'ser-ms':>8} {'path':<5}",
+    ]
+    totals = {"total_bytes": 0, "payload_bytes": 0, "header_bytes": 0, "code_bytes": 0}
+    serialize = 0.0
+    for row in rows:
+        route = f"{row['source']} -> {row['dest']}"
+        lines.append(
+            f"  {route:<24} {row['total_bytes']:>9} {row['payload_bytes']:>9} "
+            f"{row['header_bytes']:>8} {row['code_bytes']:>7} "
+            f"{row['serialize_s'] * 1e3:>8.2f} "
+            f"{'fast' if row['fast_path'] else '2ph':<5}"
+        )
+        for key in totals:
+            totals[key] += row[key]
+        serialize += row["serialize_s"]
+    lines.append(
+        f"  {'(all hops)':<24} {totals['total_bytes']:>9} "
+        f"{totals['payload_bytes']:>9} {totals['header_bytes']:>8} "
+        f"{totals['code_bytes']:>7} {serialize * 1e3:>8.2f}"
+    )
+    return "\n".join(lines)

@@ -230,6 +230,7 @@ class Navigator:
     def _transfer_frame(
         self, naplet: "Naplet", nid: NapletID, dest_urn: str, hop, payload: bytes,
         transfer_id: str, extra_headers: dict[str, str] | None = None,
+        cost=None,
     ) -> Frame:
         hop.set("bytes", len(payload))
         self.server.telemetry.frame_bytes.inc(len(payload), kind="naplet-transfer")
@@ -248,12 +249,55 @@ class Navigator:
             if ctx is not None:
                 headers["trace-id"] = ctx.trace_id
                 headers["trace-parent"] = hop.span_id
-        return Frame(
+        frame = Frame(
             kind=FrameKind.NAPLET_TRANSFER,
             source=self.server.urn,
             dest=dest_urn,
             payload=payload,
             headers=headers,
+        )
+        # Hop-cost attribution (perf plane): split this hop's wire size
+        # into payload vs. header vs. shipped code, on the histogram and
+        # on the hop span (the journey's bytes column reads the span).
+        telemetry = self.server.telemetry
+        header_bytes = frame.size - len(payload)
+        telemetry.hop_bytes.observe(len(payload), part="payload")
+        telemetry.hop_bytes.observe(header_bytes, part="header")
+        hop.set("header_bytes", header_bytes)
+        if cost is not None and cost.code_bytes:
+            telemetry.hop_bytes.observe(cost.code_bytes, part="code")
+            hop.set("code_bytes", cost.code_bytes)
+        return frame
+
+    def _journal_hop_cost(
+        self, nid: NapletID, naplet: "Naplet", dest_urn: str, frame: Frame,
+        cost, fast_path: bool,
+    ) -> None:
+        """Flight-record this hop's cost split (category ``perf``).
+
+        Written only after the destination acked the transfer, so every
+        record describes a migration that actually happened; harvested
+        journals feed ``napletperf hops`` and the per-hop cost tables.
+        """
+        journal = self.server.journal
+        if not journal.enabled:
+            return
+        ctx = naplet.trace_context
+        journal.append(
+            kind="hop-cost",
+            category="perf",
+            naplet=str(nid),
+            trace_id=ctx.trace_id if ctx is not None else None,
+            detail={
+                "source": self.server.hostname,
+                "dest": dest_urn,
+                "serialize_s": round(cost.seconds, 9),
+                "payload_bytes": len(frame.payload),
+                "header_bytes": frame.size - len(frame.payload),
+                "code_bytes": cost.code_bytes,
+                "total_bytes": frame.size,
+                "fast_path": fast_path,
+            },
         )
 
     # -- fast path: landing check + transfer ack in one exchange ----------- #
@@ -265,11 +309,10 @@ class Navigator:
         """Single-round-trip migration; False when the destination lacks it."""
         nid = naplet.naplet_id
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=False)
-        serialize_started = time.monotonic()
         if self.server.journal.enabled:
             naplet._stamp_hlc(self.server.journal.clock.now())
-        image = self.server.serializer.dumps(naplet)
-        hop.set("serialize_s", time.monotonic() - serialize_started)
+        image, cost = self.server.serializer.dumps_with_cost(naplet)
+        hop.set("serialize_s", cost.seconds)
         # Journal the departure *before* the frame's HLC header is minted:
         # the merged timeline must show this record ahead of the landing.
         self.server.events.record(
@@ -281,6 +324,7 @@ class Navigator:
             payload=pickle.dumps((credential, image)),
             transfer_id=transfer_id,
             extra_headers={"fast-path": "1"},
+            cost=cost,
         )
 
         def _rollback() -> None:
@@ -294,6 +338,7 @@ class Navigator:
         if ack.get("ok") is True:
             self.server.telemetry.fast_path_hops.inc()
             hop.set("fast_path", True)
+            self._journal_hop_cost(nid, naplet, dest_urn, frame, cost, fast_path=True)
             # Messages that were parked here waiting for this naplet chase it.
             self.server.messenger.forward_parked(nid, dest_urn)
             return True
@@ -344,17 +389,18 @@ class Navigator:
             )
         # 3. Mark in transit, report DEPART, then ship.
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=True)
-        serialize_started = time.monotonic()
         if self.server.journal.enabled:
             naplet._stamp_hlc(self.server.journal.clock.now())
-        payload = self.server.serializer.dumps(naplet)
-        hop.set("serialize_s", time.monotonic() - serialize_started)
+        payload, cost = self.server.serializer.dumps_with_cost(naplet)
+        hop.set("serialize_s", cost.seconds)
         # Depart is journaled before the frame's HLC header is minted, so
         # the landing sorts after it in the merged timeline.
         self.server.events.record(
             "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)
         )
-        frame = self._transfer_frame(naplet, nid, dest_urn, hop, payload, transfer_id)
+        frame = self._transfer_frame(
+            naplet, nid, dest_urn, hop, payload, transfer_id, cost=cost
+        )
 
         def _rollback() -> None:
             self._rollback_departure(naplet, nid, was_resident, record, reported=True)
@@ -369,6 +415,7 @@ class Navigator:
             raise NapletMigrationError(
                 f"{dest_urn} rejected the transfer of {nid}: {ack.get('reason')}"
             )
+        self._journal_hop_cost(nid, naplet, dest_urn, frame, cost, fast_path=False)
         # Messages that were parked here waiting for this naplet chase it.
         self.server.messenger.forward_parked(nid, dest_urn)
 
@@ -446,6 +493,7 @@ class Navigator:
             return duplicate
         if frame.headers.get("fast-path") == "1":
             return self._handle_fast_transfer(frame)
+        deserialize_started = time.perf_counter()
         try:
             naplet: "Naplet" = self.server.serializer.loads(
                 frame.payload, self.server.code_cache
@@ -457,6 +505,7 @@ class Navigator:
             arrived_from=frame.source,
             payload_bytes=len(frame.payload),
             trace_parent=frame.headers.get("trace-parent"),
+            deserialize_s=time.perf_counter() - deserialize_started,
         )
         # Remember only after the landing succeeded: a failed landing must
         # NOT dedup the retry that follows it.
@@ -486,6 +535,7 @@ class Navigator:
             source=frame.source,
             fast_path=True,
         )
+        deserialize_started = time.perf_counter()
         try:
             naplet: "Naplet" = self.server.serializer.loads(image, self.server.code_cache)
         except Exception as exc:
@@ -496,6 +546,7 @@ class Navigator:
             payload_bytes=len(image),
             trace_parent=frame.headers.get("trace-parent"),
             departed_from=frame.source,
+            deserialize_s=time.perf_counter() - deserialize_started,
         )
         self._remember_transfer(frame, naplet.naplet_id)
         return _ACK_OK
@@ -507,6 +558,7 @@ class Navigator:
         payload_bytes: int = 0,
         trace_parent: str | None = None,
         departed_from: str | None = None,
+        deserialize_s: float | None = None,
     ) -> None:
         """Land *naplet* at this server: register, bind, and start it.
 
@@ -526,12 +578,14 @@ class Navigator:
         stamp = naplet.hlc_stamp
         if stamp is not None:
             self.server.journal.receive(stamp)
+        landing_attrs = {"arrived_from": arrived_from, "bytes": payload_bytes}
+        if deserialize_s is not None:
+            landing_attrs["deserialize_s"] = deserialize_s
         with telemetry.naplet_span(
             naplet,
             "landing",
             parent_id=trace_parent,
-            arrived_from=arrived_from,
-            bytes=payload_bytes,
+            **landing_attrs,
         ):
             # Postpone execution until the arrival registration is acknowledged.
             if departed_from is not None:

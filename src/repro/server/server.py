@@ -156,7 +156,9 @@ class NapletServer:
             raise NapletError("CENTRAL directory mode requires config.directory_urn")
 
         self.serializer = NapletSerializer(
-            registry=code_registry, eager_code=self.config.eager_code
+            registry=code_registry,
+            eager_code=self.config.eager_code,
+            observer=self.telemetry.serializer_observer(),
         )
         self.code_cache = CodeCache(
             code_registry, fetch_observer=self._on_code_fetch, event_log=self.events
@@ -380,6 +382,9 @@ class NapletServer:
         self.events.record(
             "codebase-fetch", codebase=codebase_name, module=module_key, bytes=nbytes
         )
+        # Lazy shipping moves code on the fetch, not in the hop payload;
+        # attribute it to the same histogram part eager bundles use.
+        self.telemetry.hop_bytes.observe(nbytes, part="code")
         if self.network is None or self.config.codebase_host is None:
             return
         src = self.config.codebase_host

@@ -13,7 +13,11 @@ a whole chaos experiment can be scrubbed on one timeline:
   area charts under the spans they explain;
 - every fired :class:`~repro.faults.engine.FaultRecord` becomes an
   instant (``"i"``) event, pinning "the injector dropped this frame
-  here" onto the exact moment the surrounding spans stretched.
+  here" onto the exact moment the surrounding spans stretched;
+- every hop span carrying byte attribution (the perf plane) additionally
+  emits counter (``"C"``) tracks — per-hop payload/header/code bytes and
+  serialize milliseconds — so migration cost renders as an area chart
+  alongside the hops that paid it.
 
 All timestamps derive from the *same* process-wide monotonic clock the
 tracers and the health plane sample (``time.monotonic()``), rebased to
@@ -185,6 +189,34 @@ def chrome_trace(
                 "args": args,
             }
         )
+        # Perf-plane counter tracks: a hop carrying byte attribution
+        # renders its cost as an area chart on the source server's row.
+        if span.name == "hop" and span.attributes.get("bytes"):
+            payload = int(span.attributes.get("bytes", 0) or 0)
+            out_events.append(
+                {
+                    "ph": "C",
+                    "name": "hop bytes",
+                    "ts": micros(span.start_mono),
+                    "pid": pid,
+                    "args": {
+                        "payload": payload,
+                        "header": int(span.attributes.get("header_bytes", 0) or 0),
+                        "code": int(span.attributes.get("code_bytes", 0) or 0),
+                    },
+                }
+            )
+            serialize_s = span.attributes.get("serialize_s")
+            if serialize_s is not None:
+                out_events.append(
+                    {
+                        "ph": "C",
+                        "name": "hop serialize ms",
+                        "ts": micros(span.start_mono),
+                        "pid": pid,
+                        "args": {"ms": float(serialize_s) * 1e3},
+                    }
+                )
 
     for host, profile in profile_list:
         pid = ids.pid(host)

@@ -28,6 +28,7 @@ from repro.telemetry.metrics import (
     HistogramValue,
     MetricsRegistry,
     MetricsSnapshot,
+    exponential_buckets,
 )
 from repro.telemetry.trace import Span, TraceContext, Tracer
 
@@ -94,6 +95,17 @@ class ServerTelemetry:
             "Servers visited so far, observed at each landing",
             buckets=(1, 2, 4, 8, 16, 32, 64, 128),
         )
+        # Perf plane (DESIGN.md §6.6): where the bytes and microseconds go
+        self.hop_bytes = reg.histogram(
+            "naplet_hop_bytes",
+            "Bytes shipped per migration hop, split by part "
+            "(payload | header | code)",
+            buckets=exponential_buckets(start=64.0, factor=4.0, count=10),
+        )
+        self.serialize_seconds = reg.histogram(
+            "naplet_serialize_seconds",
+            "Naplet image serialize/deserialize time, by op (dumps | loads)",
+        )
         # Messenger / Mailbox
         self.messages_delivered = reg.counter(
             "naplet_messages_delivered_total", "Messages deposited in a local mailbox"
@@ -145,6 +157,12 @@ class ServerTelemetry:
             "naplet_outcomes_total", "Visit outcomes, by terminal state"
         )
 
+    # -- perf plane -------------------------------------------------------- #
+
+    def serializer_observer(self) -> "_SerializerTelemetry":
+        """Adapter feeding ``NapletSerializer`` costs into the histograms."""
+        return _SerializerTelemetry(self)
+
     # -- span helpers ------------------------------------------------------ #
 
     def naplet_span(
@@ -162,6 +180,24 @@ class ServerTelemetry:
 
     def span(self, name: str, ctx: TraceContext, parent_id: str | None = None, **attributes: Any):
         return self.tracer.span(name, ctx, parent_id=parent_id, **attributes)
+
+
+class _SerializerTelemetry:
+    """`SerializerObserver` recording into a server's perf histograms.
+
+    When telemetry is disabled the registry hands out no-op instruments,
+    so this observer costs two dead calls per serialize — the E11 bound
+    already covers it.
+    """
+
+    def __init__(self, telemetry: ServerTelemetry) -> None:
+        self._telemetry = telemetry
+
+    def serialized(self, cost: Any) -> None:
+        self._telemetry.serialize_seconds.observe(cost.seconds, op="dumps")
+
+    def deserialized(self, seconds: float, nbytes: int) -> None:
+        self._telemetry.serialize_seconds.observe(seconds, op="loads")
 
 
 class TelemetryService:
@@ -210,6 +246,19 @@ class TelemetryService:
     def health(self) -> dict[str, Any]:
         """The health plane's findings + profiles (empty shell when dormant)."""
         return self._server.health.describe()
+
+    def wire_bytes(self) -> dict[str, int]:
+        """This server's transport-level byte totals (perf plane).
+
+        Read from the transport's per-endpoint ``bytes_sent_total`` /
+        ``bytes_received_total`` counters, which account real wire bytes
+        on TCP and mirror the TrafficMeter on simnet — the ingress/egress
+        columns ``napletstat`` renders.
+        """
+        egress, ingress = self._server.transport.endpoint_bytes(
+            self._server.hostname
+        )
+        return {"egress_bytes": egress, "ingress_bytes": ingress}
 
     def metrics_dict(self) -> dict[str, Any]:
         return metrics_to_dict(self.metrics())

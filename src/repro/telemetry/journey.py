@@ -41,6 +41,9 @@ class HopBreakdown:
     landing: float
     execute: float
     status: str = "ok"
+    # On-wire payload bytes of this hop (the hop span's "bytes" attribute,
+    # set by the navigator); 0 when the span predates the perf plane.
+    bytes: int = 0
 
     @property
     def dominant(self) -> str:
@@ -64,6 +67,7 @@ class HopBreakdown:
             "execute": self.execute,
             "dominant": self.dominant,
             "status": self.status,
+            "bytes": self.bytes,
         }
 
 
@@ -76,6 +80,11 @@ class CriticalPath:
     @property
     def total(self) -> float:
         return sum(hop.total + hop.execute for hop in self.hops)
+
+    @property
+    def total_bytes(self) -> int:
+        """Wire payload bytes shipped across the whole journey."""
+        return sum(hop.bytes for hop in self.hops)
 
     def segment_totals(self) -> dict[str, float]:
         """Journey-wide time per segment, for answering 'where did the
@@ -100,21 +109,22 @@ class CriticalPath:
             return "(no hops)"
         lines = [
             f"{'hop':<24} {'total':>9} {'serial':>9} {'wire':>9} "
-            f"{'landing':>9} {'execute':>9}  dominant"
+            f"{'landing':>9} {'execute':>9} {'bytes':>9}  dominant"
         ]
         for hop in self.hops:
             route = f"{hop.source} -> {hop.dest}"
             lines.append(
                 f"{route:<24} {hop.total * 1e3:>8.2f}m {hop.serialize * 1e3:>8.2f}m "
                 f"{hop.wire * 1e3:>8.2f}m {hop.landing * 1e3:>8.2f}m "
-                f"{hop.execute * 1e3:>8.2f}m  {hop.dominant}"
+                f"{hop.execute * 1e3:>8.2f}m {hop.bytes:>9}  {hop.dominant}"
                 + (f" [{hop.status}]" if hop.status != "ok" else "")
             )
         totals = self.segment_totals()
         lines.append(
             f"{'(journey)':<24} {self.total * 1e3:>8.2f}m {totals['serialize'] * 1e3:>8.2f}m "
             f"{totals['wire'] * 1e3:>8.2f}m {totals['landing'] * 1e3:>8.2f}m "
-            f"{totals['execute'] * 1e3:>8.2f}m  {self.dominant_segment()}"
+            f"{totals['execute'] * 1e3:>8.2f}m {self.total_bytes:>9}  "
+            f"{self.dominant_segment()}"
         )
         return "\n".join(lines)
 
@@ -209,6 +219,7 @@ class Journey:
                     landing=landing,
                     execute=execute,
                     status=span.status,
+                    bytes=int(span.attributes.get("bytes", 0) or 0),
                 )
             )
         return CriticalPath(hops=tuple(breakdowns))

@@ -131,12 +131,41 @@ class Transport(abc.ABC):
             "wire_dropped_connections_total",
             "Server-side connections dropped on error, by endpoint",
         )
+        # Per-endpoint byte accounting (perf plane): simnet's TrafficMeter
+        # already splits bytes per host; these counters give real TCP the
+        # same answer, on the same metric names for both transports.
+        self._bytes_sent = self.metrics.counter(
+            "bytes_sent_total", "Wire bytes sent, by endpoint host (egress)"
+        )
+        self._bytes_received = self.metrics.counter(
+            "bytes_received_total", "Wire bytes received, by endpoint host (ingress)"
+        )
 
     def _observe_wire(self, frame: Frame, duration: float) -> None:
         """Account one frame's trip (called by concrete send/request)."""
         self._wire_frames.inc(kind=frame.kind)
         self._wire_bytes.inc(frame.size, kind=frame.kind)
         self._wire_send_seconds.observe(duration)
+
+    # -- byte accounting --------------------------------------------------- #
+
+    def _account_sent(self, endpoint: str, nbytes: int) -> None:
+        """Attribute *nbytes* of egress to *endpoint* (URN or hostname)."""
+        if nbytes > 0:
+            self._bytes_sent.inc(nbytes, endpoint=host_of(endpoint))
+
+    def _account_received(self, endpoint: str, nbytes: int) -> None:
+        """Attribute *nbytes* of ingress to *endpoint* (URN or hostname)."""
+        if nbytes > 0:
+            self._bytes_received.inc(nbytes, endpoint=host_of(endpoint))
+
+    def endpoint_bytes(self, endpoint: str) -> tuple[int, int]:
+        """(egress, ingress) wire bytes accounted to *endpoint* so far."""
+        host = host_of(endpoint)
+        return (
+            int(self._bytes_sent.value(endpoint=host)),
+            int(self._bytes_received.value(endpoint=host)),
+        )
 
     # -- connection accounting -------------------------------------------- #
 

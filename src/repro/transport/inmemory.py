@@ -97,6 +97,8 @@ class InMemoryTransport(Transport):
                 self._note_connection_opened(frame.dest)
         delay = self.latency.delay(src, dst, frame.size)
         self.meter.record(src, dst, frame.kind, frame.size, delay)
+        self._account_sent(src, frame.size)
+        self._account_received(dst, frame.size)
         self.clock.advance(delay)
         self._observe_wire(frame, delay)
         return handler(frame)
@@ -114,5 +116,7 @@ class InMemoryTransport(Transport):
         src, dst = host_of(frame.source), host_of(frame.dest)
         delay = self.latency.delay(dst, src, len(reply))
         self.meter.record(dst, src, frame.kind + "-reply", len(reply), delay)
+        self._account_sent(dst, len(reply))
+        self._account_received(src, len(reply))
         self.clock.advance(delay)
         return reply

@@ -81,12 +81,13 @@ def recv_blob(sock: socket.socket, allow_eof: bool = False) -> bytes | None:
 class _Waiter:
     """Parking spot for one in-flight request's reply."""
 
-    __slots__ = ("event", "payload", "error")
+    __slots__ = ("event", "payload", "error", "nbytes")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.payload: bytes | None = None
         self.error: str | None = None
+        self.nbytes = 0  # wire size of the reply blob (byte accounting)
 
 
 class PooledConnection:
@@ -129,6 +130,7 @@ class PooledConnection:
                     waiter = self._pending.pop(cid, None)
                 if waiter is None:
                     continue  # request timed out and gave up; drop the reply
+                waiter.nbytes = len(blob)
                 if tag == ERR:
                     waiter.error = body
                 else:
@@ -153,16 +155,22 @@ class PooledConnection:
             raise ConnectionClosedError(
                 f"pooled connection to {self.dest} died: {exc}"
             ) from exc
-        return cid
+        return len(blob)
 
-    def send(self, frame: Frame) -> None:
-        """Fire-and-forget delivery over the shared socket."""
+    def send(self, frame: Frame) -> int:
+        """Fire-and-forget delivery; returns the wire bytes written."""
         if not self.alive:
             raise ConnectionClosedError(f"pooled connection to {self.dest} is closed")
-        self._post(frame, expects_reply=False)
+        return self._post(frame, expects_reply=False)
 
     def request(self, frame: Frame, timeout: float | None = None) -> bytes:
         """Send *frame* and block until its correlated reply arrives."""
+        return self.request_with_cost(frame, timeout)[0]
+
+    def request_with_cost(
+        self, frame: Frame, timeout: float | None = None
+    ) -> tuple[bytes, int, int]:
+        """Like :meth:`request`, also reporting (sent, received) wire bytes."""
         if not self.alive:
             raise ConnectionClosedError(f"pooled connection to {self.dest} is closed")
         waiter = _Waiter()
@@ -194,7 +202,7 @@ class PooledConnection:
                 f"request to {frame.dest} failed remotely: {waiter.error}"
             )
         assert waiter.payload is not None
-        return waiter.payload
+        return waiter.payload, len(blob), waiter.nbytes
 
     def close(self) -> None:
         self._dead.set()
@@ -218,10 +226,12 @@ class ConnectionPool:
         dialer: Callable[[str], socket.socket],
         on_open: Callable[[str], None] | None = None,
         on_reuse: Callable[[str], None] | None = None,
+        on_traffic: Callable[[Frame, int, int], None] | None = None,
     ) -> None:
         self._dialer = dialer
         self._on_open = on_open
         self._on_reuse = on_reuse
+        self._on_traffic = on_traffic
         self._conns: dict[str, PooledConnection] = {}
         self._lock = threading.Lock()
         self._dest_locks: dict[str, threading.Lock] = {}
@@ -269,10 +279,16 @@ class ConnectionPool:
             if self._conns.get(dest) is conn:
                 del self._conns[dest]
 
+    def _account(self, frame: Frame, sent: int, received: int) -> None:
+        if self._on_traffic is not None:
+            self._on_traffic(frame, sent, received)
+
     def request(self, frame: Frame, timeout: float | None = None) -> bytes:
         conn, fresh = self._acquire(frame.dest)
         try:
-            return conn.request(frame, timeout)
+            payload, sent, received = conn.request_with_cost(frame, timeout)
+            self._account(frame, sent, received)
+            return payload
         except ConnectionClosedError:
             self._invalidate(frame.dest, conn)
             if fresh:
@@ -281,7 +297,9 @@ class ConnectionPool:
             # once on a fresh connection; a second failure propagates.
             conn, _ = self._acquire(frame.dest)
             try:
-                return conn.request(frame, timeout)
+                payload, sent, received = conn.request_with_cost(frame, timeout)
+                self._account(frame, sent, received)
+                return payload
             except ConnectionClosedError:
                 self._invalidate(frame.dest, conn)
                 raise
@@ -289,14 +307,14 @@ class ConnectionPool:
     def send(self, frame: Frame) -> None:
         conn, fresh = self._acquire(frame.dest)
         try:
-            conn.send(frame)
+            self._account(frame, conn.send(frame), 0)
         except ConnectionClosedError:
             self._invalidate(frame.dest, conn)
             if fresh:
                 raise
             conn, _ = self._acquire(frame.dest)
             try:
-                conn.send(frame)
+                self._account(frame, conn.send(frame), 0)
             except ConnectionClosedError:
                 self._invalidate(frame.dest, conn)
                 raise

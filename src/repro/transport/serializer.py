@@ -18,7 +18,9 @@ from __future__ import annotations
 
 import io
 import pickle
-from typing import Any
+import time
+from dataclasses import dataclass
+from typing import Any, Protocol
 
 from repro.codeshipping.codebase import CodeBaseRegistry, CodeCache
 from repro.codeshipping.shipping import (
@@ -28,9 +30,31 @@ from repro.codeshipping.shipping import (
 )
 from repro.core.errors import SerializationError
 
-__all__ = ["NapletSerializer"]
+__all__ = ["NapletSerializer", "SerializeCost", "SerializerObserver"]
 
 _ENVELOPE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SerializeCost:
+    """What one ``dumps`` cost: time and the byte split of the envelope.
+
+    ``code_bytes`` counts eager code bundles riding in the envelope (zero
+    in lazy mode, where code travels on a later fetch instead).
+    """
+
+    seconds: float
+    total_bytes: int
+    payload_bytes: int
+    code_bytes: int
+
+
+class SerializerObserver(Protocol):
+    """Sink for per-call serialize/deserialize costs (the perf plane)."""
+
+    def serialized(self, cost: SerializeCost) -> None: ...
+
+    def deserialized(self, seconds: float, nbytes: int) -> None: ...
 
 
 class _ShippingPickler(pickle.Pickler):
@@ -60,12 +84,14 @@ class NapletSerializer:
         registry: CodeBaseRegistry | None = None,
         eager_code: bool = False,
         protocol: int = pickle.HIGHEST_PROTOCOL,
+        observer: SerializerObserver | None = None,
     ) -> None:
         if eager_code and registry is None:
             raise SerializationError("eager code shipping needs a codebase registry")
         self._registry = registry
         self._eager = eager_code
         self._protocol = protocol
+        self._observer = observer
 
     @property
     def eager_code(self) -> bool:
@@ -75,6 +101,16 @@ class NapletSerializer:
 
     def dumps(self, obj: Any) -> bytes:
         """Serialize *obj* into an envelope ready for a frame payload."""
+        return self.dumps_with_cost(obj)[0]
+
+    def dumps_with_cost(self, obj: Any) -> tuple[bytes, SerializeCost]:
+        """Serialize *obj* and report what the call cost.
+
+        The :class:`SerializeCost` carries elapsed seconds and the
+        payload/code byte decomposition of the envelope — the navigator
+        attributes these to the hop (DESIGN.md §6.6).
+        """
+        started = time.perf_counter()
         buffer = io.BytesIO()
         pickler = _ShippingPickler(buffer, self._protocol)
         try:
@@ -92,12 +128,28 @@ class NapletSerializer:
             "payload": buffer.getvalue(),
             "bundles": bundles,
         }
-        return pickle.dumps(envelope, self._protocol)
+        data = pickle.dumps(envelope, self._protocol)
+        cost = SerializeCost(
+            seconds=time.perf_counter() - started,
+            total_bytes=len(data),
+            payload_bytes=len(envelope["payload"]),
+            code_bytes=sum(len(source.encode("utf-8")) for source in bundles.values()),
+        )
+        if self._observer is not None:
+            self._observer.serialized(cost)
+        return data, cost
 
     # -- decode --------------------------------------------------------------- #
 
     def loads(self, data: bytes, cache: CodeCache | None = None) -> Any:
         """Deserialize an envelope; *cache* resolves shipped classes."""
+        started = time.perf_counter()
+        result = self._loads(data, cache)
+        if self._observer is not None:
+            self._observer.deserialized(time.perf_counter() - started, len(data))
+        return result
+
+    def _loads(self, data: bytes, cache: CodeCache | None) -> Any:
         try:
             envelope = pickle.loads(data)
         except Exception as exc:

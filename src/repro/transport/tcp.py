@@ -97,6 +97,7 @@ class _Endpoint:
                     blob = recv_blob(conn, allow_eof=True)
                     if blob is None:
                         break  # clean close at a frame boundary
+                    self._transport._account_received(self.urn, len(blob))
                     envelope = pickle.loads(blob)
                     if len(envelope) == 4 and envelope[0] == REQ:
                         _tag, cid, frame, expects_reply = envelope
@@ -107,9 +108,9 @@ class _Endpoint:
                         frame, expects_reply = envelope
                         reply = self.handler(frame)
                         if expects_reply:
-                            send_blob(
-                                conn, pickle.dumps(reply if reply is not None else b"")
-                            )
+                            out = pickle.dumps(reply if reply is not None else b"")
+                            send_blob(conn, out)
+                            self._transport._account_sent(self.urn, len(out))
                         break
         except Exception as exc:
             # Connection-scoped failure (bad frame, handler error, dead
@@ -144,6 +145,7 @@ class _Endpoint:
         try:
             with write_lock:
                 send_blob(conn, blob)
+            self._transport._account_sent(self.urn, len(blob))
         except OSError:
             pass  # requester already gone; it will time out on its side
 
@@ -194,10 +196,17 @@ class TcpTransport(Transport):
                 dialer=self._connect,
                 on_open=self._note_connection_opened,
                 on_reuse=self._note_connection_reused,
+                on_traffic=self._pool_traffic,
             )
             if pooled
             else None
         )
+
+    def _pool_traffic(self, frame: Frame, sent: int, received: int) -> None:
+        """Attribute a pooled exchange's wire bytes to the sending endpoint."""
+        self._account_sent(frame.source, sent)
+        if received:
+            self._account_received(frame.source, received)
 
     @property
     def pool(self) -> ConnectionPool | None:
@@ -263,7 +272,9 @@ class TcpTransport(Transport):
             self._note_connection_opened(frame.dest)
             try:
                 with sock:
-                    send_blob(sock, pickle.dumps((frame, False)))
+                    blob = pickle.dumps((frame, False))
+                    send_blob(sock, blob)
+                    self._account_sent(frame.source, len(blob))
             except OSError as exc:
                 raise NapletCommunicationError(f"send to {frame.dest} failed: {exc}") from exc
         self._observe_wire(frame, time.monotonic() - started)
@@ -279,8 +290,12 @@ class TcpTransport(Transport):
                 with sock:
                     if timeout is not None:
                         sock.settimeout(timeout)
-                    send_blob(sock, pickle.dumps((frame, True)))
-                    reply = pickle.loads(recv_blob(sock))
+                    blob = pickle.dumps((frame, True))
+                    send_blob(sock, blob)
+                    self._account_sent(frame.source, len(blob))
+                    raw = recv_blob(sock)
+                    self._account_received(frame.source, len(raw))
+                    reply = pickle.loads(raw)
             except socket.timeout as exc:
                 raise NapletCommunicationError(f"request to {frame.dest} timed out") from exc
             except OSError as exc:

@@ -88,6 +88,28 @@ class TrafficMeter:
         with self._lock:
             return self._total.virtual_seconds
 
+    def snapshot(self) -> dict:
+        """Internally consistent view taken under one lock acquisition.
+
+        Unlike calling ``total_bytes`` and ``links()`` back to back (a
+        recorder may land between the two), a snapshot's link sums always
+        equal its totals — the property the concurrency tests pin down.
+        """
+        with self._lock:
+            return {
+                "total_bytes": self._total.bytes,
+                "total_frames": self._total.frames,
+                "total_virtual_seconds": self._total.virtual_seconds,
+                "links": {
+                    key: LinkStats(v.frames, v.bytes, v.virtual_seconds)
+                    for key, v in self._links.items()
+                },
+                "by_kind": {
+                    kind: LinkStats(v.frames, v.bytes, v.virtual_seconds)
+                    for kind, v in self._by_kind.items()
+                },
+            }
+
     def links(self) -> dict[tuple[str, str], LinkStats]:
         with self._lock:
             return {

@@ -116,6 +116,27 @@ class TestSegmentMath:
         assert "(journey)" in text
         assert "dominant" in text
 
+    def test_bytes_column_reads_the_hop_span_attribute(self):
+        spans = [
+            _hop("h1", start=0.0, duration=1.0, source="a", dest="b"),
+            _hop("h2", start=2.0, duration=1.0, source="b", dest="c"),
+        ]
+        spans[0].attributes["bytes"] = 1500
+        spans[1].attributes["bytes"] = 2500
+        path = stitch(spans).critical_path()
+        assert [h.bytes for h in path.hops] == [1500, 2500]
+        assert path.total_bytes == 4000
+        text = path.render()
+        assert "bytes" in text
+        assert "4000" in text
+
+    def test_bytes_default_to_zero_for_legacy_spans(self):
+        path = stitch(
+            [_hop("h1", start=0.0, duration=1.0, source="a", dest="b")]
+        ).critical_path()
+        assert path.hops[0].bytes == 0
+        assert path.total_bytes == 0
+
 
 class TestLiveJourney:
     def test_three_hop_tour_attributes_every_segment(self, small_line):

@@ -137,6 +137,39 @@ class TestLiveDashboard:
         assert "no CPU/message progress" in output
         assert "findings: 1" in output
 
+    def test_rows_carry_wire_bytes_and_render_shows_them(self, napletstat, space):
+        """Perf plane: the dashboard's in-B/out-B columns read the
+        transport's per-endpoint byte counters."""
+        import repro
+        from repro.itinerary import ResultReport, SeqPattern
+        from tests.conftest import CollectorNaplet
+
+        _network, servers = space(line(2, prefix="s"))
+        listener = repro.NapletListener()
+        agent = CollectorNaplet("bytes-tour")
+        agent.set_itinerary(
+            Itinerary(
+                SeqPattern.of_servers(["s01"], post_action=ResultReport("visited"))
+            )
+        )
+        servers["s00"].launch(agent, owner="ops", listener=listener)
+        listener.next_report(timeout=15)
+        admin = SpaceAdmin(servers)
+        assert admin.wait_space_idle()
+
+        rows = napletstat.rows_from_admin(admin)
+        by_server = {row["server"]: row["metrics"] for row in rows}
+        assert by_server["s00"]["egress_bytes"] > 0  # shipped the naplet out
+        assert by_server["s01"]["ingress_bytes"] > 0  # and s01 took it in
+        output = napletstat.render(rows)
+        assert "in-B" in output and "out-B" in output
+
+    def test_render_tolerates_rows_without_wire_metrics(self, napletstat):
+        # Probe harvests from older servers may lack the byte counters.
+        rows = [{"server": "s00", "status": {}, "health": {"profiles": []}}]
+        output = napletstat.render(rows)
+        assert "s00" in output and "0.0" in output
+
     def test_rows_match_the_probe_harvest_shape(self, napletstat, space):
         """The renderer must accept harvest_via_probe rows unchanged."""
         import repro
@@ -148,6 +181,10 @@ class TestLiveDashboard:
             servers["s00"], ["s00", "s01"], listener, timeout=15.0
         )
         assert len(rows) == 2
+        # The probe carries the perf plane's wire-byte counters home too.
+        for row in rows:
+            assert "ingress_bytes" in row["metrics"]
+            assert "egress_bytes" in row["metrics"]
         output = napletstat.render(rows)
         assert "servers=2" in output
 

@@ -1,0 +1,165 @@
+"""Per-hop cost attribution, end to end on a live space.
+
+Every successful migration must leave (a) a ``perf`` hop-cost record in
+the flight recorder, (b) observations in the ``naplet_hop_bytes`` /
+``naplet_serialize_seconds`` histograms, (c) a bytes column in the
+journey's critical path, and (d) counter tracks in the Chrome export —
+the four surfaces DESIGN.md §6.6 promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.itinerary import Itinerary, ResultReport, SeqPattern
+from repro.perf import hop_cost_rows, render_hop_costs
+from repro.server import ServerConfig, SpaceAdmin
+from repro.simnet import line
+from repro.telemetry import chrome_trace
+from tests.conftest import CollectorNaplet
+
+pytestmark = pytest.mark.perf
+
+ROUTE = ["s01", "s02", "s03"]
+
+
+def _tour(servers):
+    listener = repro.NapletListener()
+    agent = CollectorNaplet("hop-cost-tour")
+    agent.set_itinerary(
+        Itinerary(SeqPattern.of_servers(ROUTE, post_action=ResultReport("visited")))
+    )
+    nid = servers["s00"].launch(agent, owner="perf", listener=listener)
+    assert listener.next_report(timeout=15).payload == ROUTE
+    return nid
+
+
+@pytest.fixture
+def toured(small_line):
+    _network, servers = small_line
+    admin = SpaceAdmin(servers)
+    nid = _tour(servers)
+    assert admin.wait_space_idle()
+    return servers, admin, nid
+
+
+class TestJournalRecords:
+    def test_every_hop_leaves_one_perf_record(self, toured):
+        servers, admin, nid = toured
+        records = admin.harvest_journal(category="perf", naplet=str(nid))
+        assert len(records) == len(ROUTE)
+        assert [r.kind for r in records] == ["hop-cost"] * len(ROUTE)
+        # Causal order follows the route.
+        assert [r.detail["source"] for r in records] == ["s00", "s01", "s02"]
+
+    def test_record_detail_decomposes_the_frame(self, toured):
+        _servers, admin, nid = toured
+        record = admin.harvest_journal(category="perf", naplet=str(nid))[0]
+        detail = record.detail
+        assert detail["serialize_s"] > 0
+        assert detail["payload_bytes"] > 0
+        assert detail["header_bytes"] > 0
+        assert detail["code_bytes"] == 0  # lazy shipping, local codebase
+        assert (
+            detail["payload_bytes"] + detail["header_bytes"] + detail["code_bytes"]
+            == detail["total_bytes"]
+        )
+        assert detail["fast_path"] is True
+        assert record.trace_id  # joinable against the journey's spans
+
+    def test_two_phase_hops_are_marked_as_such(self, space):
+        _network, servers = space(
+            line(4, prefix="s"), config=ServerConfig(migration_fast_path=False)
+        )
+        admin = SpaceAdmin(servers)
+        nid = _tour(servers)
+        assert admin.wait_space_idle()
+        records = admin.harvest_journal(category="perf", naplet=str(nid))
+        assert len(records) == len(ROUTE)
+        assert all(r.detail["fast_path"] is False for r in records)
+
+    def test_disabled_journal_records_nothing_and_nothing_breaks(self, space):
+        _network, servers = space(
+            line(4, prefix="s"), config=ServerConfig(journal_enabled=False)
+        )
+        admin = SpaceAdmin(servers)
+        _tour(servers)
+        assert admin.wait_space_idle()
+        assert admin.harvest_journal(category="perf") == []
+
+
+class TestHopCostTable:
+    def test_rows_and_render_from_a_live_harvest(self, toured):
+        _servers, admin, nid = toured
+        records = admin.harvest_journal(category="perf")
+        rows = hop_cost_rows(records, naplet=str(nid))
+        assert len(rows) == len(ROUTE)
+        assert rows[0]["source"] == "s00"
+        text = render_hop_costs(records, naplet=str(nid))
+        assert f"{len(ROUTE)} hop(s)" in text
+        assert "(all hops)" in text
+        # The totals row really sums the hops.
+        total = sum(row["total_bytes"] for row in rows)
+        assert str(total) in text
+
+
+class TestHistograms:
+    def test_hop_bytes_split_by_part(self, toured):
+        servers, _admin, _nid = toured
+        merged = SpaceAdmin(servers).space_metrics()
+        payload = merged.value("naplet_hop_bytes", part="payload")
+        header = merged.value("naplet_hop_bytes", part="header")
+        assert payload.count == len(ROUTE)
+        assert header.count == len(ROUTE)
+        assert payload.total > header.total  # the naplet outweighs the header
+
+    def test_serialize_seconds_split_by_op(self, toured):
+        servers, _admin, _nid = toured
+        merged = SpaceAdmin(servers).space_metrics()
+        dumps = merged.value("naplet_serialize_seconds", op="dumps")
+        loads = merged.value("naplet_serialize_seconds", op="loads")
+        # One dumps per departure; loads covers arrivals plus message bodies.
+        assert dumps.count >= len(ROUTE)
+        assert loads.count >= len(ROUTE)
+        assert dumps.total > 0 and loads.total > 0
+
+
+class TestCriticalPathBytes:
+    def test_journey_renders_a_bytes_column(self, toured):
+        _servers, admin, nid = toured
+        path = admin.journey(nid).critical_path()
+        assert len(path) == len(ROUTE)
+        for hop in path.hops:
+            assert hop.bytes > 0
+        assert path.total_bytes == sum(h.bytes for h in path.hops)
+        text = path.render()
+        assert "bytes" in text
+        assert str(path.total_bytes) in text
+
+
+class TestChromeCounterTracks:
+    def test_hop_spans_emit_byte_and_serialize_counters(self, toured):
+        _servers, admin, nid = toured
+        trace = chrome_trace(admin.journey(nid))
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        byte_tracks = [e for e in counters if e["name"] == "hop bytes"]
+        ser_tracks = [e for e in counters if e["name"] == "hop serialize ms"]
+        assert len(byte_tracks) == len(ROUTE)
+        assert len(ser_tracks) == len(ROUTE)
+        for event in byte_tracks:
+            assert event["args"]["payload"] > 0
+            assert event["args"]["header"] > 0
+            assert event["args"]["code"] == 0
+        for event in ser_tracks:
+            assert event["args"]["ms"] > 0
+
+
+class TestWireBytes:
+    def test_endpoint_bytes_visible_through_the_telemetry_service(self, toured):
+        servers, _admin, _nid = toured
+        from repro.telemetry.exposition import TelemetryService
+
+        wire = TelemetryService(servers["s00"]).wire_bytes()
+        assert wire["egress_bytes"] > 0  # launched three departures
+        assert wire["ingress_bytes"] > 0  # acks came back

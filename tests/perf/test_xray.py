@@ -1,0 +1,95 @@
+"""explain_pickle: per-attribute byte attribution of a serialized naplet."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.codeshipping.codebase import CodeBaseRegistry
+from repro.perf import explain_pickle
+from repro.transport.serializer import NapletSerializer
+from tests.conftest import CollectorNaplet
+from tests.transport.shipped_fixture import StampedPayload
+
+pytestmark = pytest.mark.perf
+
+
+class Bag:
+    """Plain object (no custom __getstate__) for the generic-object path."""
+
+    def __init__(self):
+        self.small = 1
+        self.big = b"y" * 2048
+
+
+def _heavy_naplet() -> CollectorNaplet:
+    """A naplet whose state carries a few KB — the X-ray's usual patient."""
+    agent = CollectorNaplet("xray-patient")
+    agent.state.set("blob", "x" * 4096)
+    agent.state.set("table", {f"key-{i}": i for i in range(200)})
+    return agent
+
+
+class TestAttribution:
+    def test_attribute_sizes_sum_within_5pct_of_payload(self):
+        """ISSUE acceptance: the shared-memo trick keeps the decomposition
+        honest — attributed bytes land within 5% of the true pickle size."""
+        xray = explain_pickle(_heavy_naplet())
+        assert xray.payload > 4096  # the state really is in there
+        assert 0.95 <= xray.accounted_fraction <= 1.05
+        # What the X-ray cannot pin on an attribute it reports as
+        # structure, so the full decomposition covers the payload.
+        assert xray.accounted + xray.structure >= xray.payload
+
+    def test_heaviest_attribute_is_the_heavy_state(self):
+        xray = explain_pickle(_heavy_naplet())
+        name, nbytes = xray.top(1)[0]
+        assert name == "state"
+        assert nbytes > 4096
+        # top() ranks strictly by size
+        sizes = [n for _name, n in xray.top(len(xray.attributes))]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_envelope_decomposition_adds_up(self):
+        xray = explain_pickle(_heavy_naplet())
+        assert xray.total == xray.payload + xray.code + xray.envelope
+        assert xray.code == 0  # lazy default: no bundles in the envelope
+
+    def test_friendly_names_replace_private_slots(self):
+        xray = explain_pickle(CollectorNaplet("plain"))
+        assert "itinerary" in xray.attributes
+        assert "trace_context" in xray.attributes
+        assert "_itinerary" not in xray.attributes
+
+    def test_eager_serializer_accounts_code_bundles(self):
+        registry = CodeBaseRegistry()
+        codebase = registry.create("codebase://test/payload")
+        codebase.add_class(StampedPayload)
+        eager = NapletSerializer(registry, eager_code=True)
+        xray = explain_pickle(StampedPayload(7), serializer=eager)
+        assert xray.code > 0
+        assert xray.total == xray.payload + xray.code + xray.envelope
+
+    def test_unpicklable_naplet_fails_like_the_real_transfer(self):
+        from repro.core.errors import SerializationError
+
+        agent = CollectorNaplet("broken")
+        agent.state.set("socket", lambda: None)  # lambdas don't pickle
+        with pytest.raises(SerializationError):
+            explain_pickle(agent)
+
+    def test_object_without_getstate_uses_its_dict(self):
+        xray = explain_pickle(Bag())
+        assert xray.attributes["big"] > xray.attributes["small"]
+        assert 0.95 <= xray.accounted_fraction <= 1.05
+
+    def test_describe_is_json_and_render_lists_rows(self):
+        xray = explain_pickle(_heavy_naplet())
+        described = json.loads(json.dumps(xray.describe()))
+        assert described["payload_bytes"] == xray.payload
+        assert described["attributes"]["state"] == xray.attributes["state"]
+        text = xray.render()
+        assert "state" in text
+        assert "(structure)" in text
+        assert "(total)" in text

@@ -74,6 +74,47 @@ class TestTelemetryService:
         assert encoded["naplet_launches_total"]["samples"][0]["value"] == 1
 
 
+class TestPerfHistograms:
+    """The perf plane's hop-cost instruments on the exposition surface."""
+
+    def test_hop_bytes_exposed_with_part_labels_and_inf_bucket(self, small_line):
+        _network, servers = small_line
+        _run_tour(servers)
+        text = TelemetryService(servers["s00"]).metrics_text()
+        assert "# TYPE naplet_hop_bytes histogram" in text
+        assert 'naplet_hop_bytes_bucket{part="payload",le="+Inf"} 1' in text
+        assert 'naplet_hop_bytes_bucket{part="header",le="+Inf"} 1' in text
+        assert 'naplet_hop_bytes_count{part="payload"} 1' in text
+        # Buckets are cumulative: every finite-bound count <= the +Inf count.
+        finite = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith('naplet_hop_bytes_bucket{part="payload"')
+        ]
+        assert finite == sorted(finite)
+
+    def test_serialize_seconds_split_by_op(self, small_line):
+        _network, servers = small_line
+        _run_tour(servers)
+        # s01 both received (loads) and forwarded (dumps) the naplet.
+        text = TelemetryService(servers["s01"]).metrics_text()
+        assert "# TYPE naplet_serialize_seconds histogram" in text
+        assert 'naplet_serialize_seconds_count{op="dumps"}' in text
+        assert 'naplet_serialize_seconds_count{op="loads"}' in text
+
+    def test_disabled_telemetry_keeps_hop_instruments_silent(self, space):
+        from repro.server import ServerConfig
+        from tests.conftest import line
+
+        _network, servers = space(
+            line(4, prefix="s"), config=ServerConfig(telemetry_enabled=False)
+        )
+        _run_tour(servers)
+        server = servers["s00"]
+        assert server.telemetry.hop_bytes.value(part="payload").count == 0
+        assert server.telemetry.serialize_seconds.value(op="dumps").count == 0
+
+
 class TestRenderers:
     def test_counter_text_format(self):
         reg = MetricsRegistry()

@@ -56,6 +56,7 @@ def rows_from_admin(admin) -> list[dict[str, Any]]:
     for summary in admin.space_summary():
         server = admin._servers[summary.hostname]
         snapshot = server.telemetry.registry.snapshot()
+        egress, ingress = server.transport.endpoint_bytes(summary.hostname)
         rows.append(
             {
                 "server": summary.hostname,
@@ -68,6 +69,9 @@ def rows_from_admin(admin) -> list[dict[str, Any]]:
                 "metrics": {
                     "naplet_hops_total": snapshot.total("naplet_hops_total"),
                     "naplet_landings_total": snapshot.total("naplet_landings_total"),
+                    # Perf plane: the transport's per-endpoint byte counters
+                    "egress_bytes": egress,
+                    "ingress_bytes": ingress,
                 },
                 "residents": summary.residents,
             }
@@ -127,7 +131,7 @@ def render(rows: list[dict[str, Any]], top: int = 5) -> str:
     # -- per-server table ---------------------------------------------- #
     lines.append(
         f"  {'server':<10} {'health':<9} {'residents':>9} {'profiles':>9} "
-        f"{'samples':>8} {'dead-ltr':>9} {'findings':>9}"
+        f"{'samples':>8} {'in-B':>8} {'out-B':>8} {'dead-ltr':>9} {'findings':>9}"
     )
     total_dead = 0
     findings: list[dict[str, Any]] = []
@@ -147,10 +151,14 @@ def render(rows: list[dict[str, Any]], top: int = 5) -> str:
         residents = row.get(
             "residents", sum(1 for p in health.get("profiles") or [] if p.get("resident"))
         )
+        metrics = row.get("metrics") or {}
         lines.append(
             f"  {server:<10} {state:<9} {residents:>9} "
             f"{len(health.get('profiles') or []):>9} "
-            f"{int(health.get('samples_taken', 0)):>8} {dead:>9} {len(active):>9}"
+            f"{int(health.get('samples_taken', 0)):>8} "
+            f"{_fmt_rate(float(metrics.get('ingress_bytes', 0))):>8} "
+            f"{_fmt_rate(float(metrics.get('egress_bytes', 0))):>8} "
+            f"{dead:>9} {len(active):>9}"
         )
     lines.append("")
 
