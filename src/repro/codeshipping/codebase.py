@@ -17,6 +17,7 @@ even inside a single test process.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
 import sys
 import threading
@@ -27,9 +28,26 @@ from repro.codeshipping.loader import RestrictedLoader
 from repro.core.errors import CodeShippingError
 from repro.util.eventlog import EventLog
 
-__all__ = ["CodeBase", "CodeBaseRegistry", "CodeCache", "SHIPPING_STAMP"]
+__all__ = [
+    "CodeBase",
+    "CodeBaseRegistry",
+    "CodeCache",
+    "SHIPPING_STAMP",
+    "source_hash",
+]
 
 SHIPPING_STAMP = "__naplet_codebase__"
+
+
+def source_hash(source: str) -> str:
+    """Content address of one module source (code-hash negotiation).
+
+    Both ends of a transfer compute this independently — the sender over
+    its bundled source, the receiver over what it installed — so a hash
+    match in the transfer exchange proves the destination already holds
+    the exact module and the bundle need not ship again (DESIGN.md §6.7).
+    """
+    return hashlib.blake2b(source.encode("utf-8"), digest_size=16).hexdigest()
 
 
 class CodeBase:
@@ -40,6 +58,7 @@ class CodeBase:
             raise CodeShippingError("codebase needs a non-empty name")
         self.name = name
         self._modules: dict[str, str] = {}
+        self._hashes: dict[str, str] = {}  # module_key -> source_hash, lazy
         self._lock = threading.RLock()
 
     # -- authoring ---------------------------------------------------------- #
@@ -89,6 +108,24 @@ class CodeBase:
                 raise CodeShippingError(
                     f"codebase {self.name!r} has no module {module_key!r}"
                 ) from None
+
+    def hash_of(self, module_key: str) -> str:
+        """Content hash of one bundled module source, memoized.
+
+        Sources are add-only (``add_source`` refuses overwrites), so the
+        memo never goes stale.
+        """
+        with self._lock:
+            digest = self._hashes.get(module_key)
+            if digest is None:
+                try:
+                    source = self._modules[module_key]
+                except KeyError:
+                    raise CodeShippingError(
+                        f"codebase {self.name!r} has no module {module_key!r}"
+                    ) from None
+                digest = self._hashes[module_key] = source_hash(source)
+            return digest
 
     @property
     def total_bytes(self) -> int:
@@ -171,6 +208,7 @@ class CodeCache:
         self._registry = registry
         self._loader = loader or RestrictedLoader()
         self._modules: dict[tuple[str, str], Any] = {}
+        self._hashes: dict[tuple[str, str], str] = {}  # hash of each installed source
         self._lock = threading.RLock()
         self._fetch_observer = fetch_observer
         self.events = event_log if event_log is not None else EventLog()
@@ -185,6 +223,7 @@ class CodeCache:
                 return
             module = self._loader.execute(source, f"napletship.{codebase_name}.{module_key}")
             self._modules[key] = module
+            self._hashes[key] = source_hash(source)
 
     def resolve(self, codebase_name: str, module_key: str, qualname: str) -> type:
         key = (codebase_name, module_key)
@@ -212,6 +251,7 @@ class CodeCache:
                     source, f"napletship.{codebase_name}.{module_key}"
                 )
                 self._modules[key] = module
+                self._hashes[key] = source_hash(source)
         target: Any = module
         for part in qualname.split("."):
             try:
@@ -231,3 +271,19 @@ class CodeCache:
     def cached_modules(self) -> list[tuple[str, str]]:
         with self._lock:
             return sorted(self._modules)
+
+    # -- code-hash negotiation (DESIGN.md §6.7) -------------------------- #
+
+    def holds(self, codebase_name: str, module_key: str, digest: str) -> bool:
+        """True when this cache holds *exactly* the announced module source.
+
+        The receiving side of a transfer verifies each ``code_refs`` entry
+        with this before trusting that a skipped bundle is resolvable.
+        """
+        with self._lock:
+            return self._hashes.get((codebase_name, module_key)) == digest
+
+    def known_hashes(self) -> list[str]:
+        """Content hashes of every installed module (for transfer acks)."""
+        with self._lock:
+            return sorted(self._hashes.values())

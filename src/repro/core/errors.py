@@ -29,7 +29,9 @@ __all__ = [
     "NapletTerminated",
     "NapletFrozen",
     "SerializationError",
+    "DeltaBaseMissingError",
     "CodeShippingError",
+    "ShippedCodeMissingError",
     "NapletDeparted",
     "NapletCompleted",
 ]
@@ -138,6 +140,14 @@ class SerializationError(NapletError):
     """Naplet (de)serialization failed during migration."""
 
 
+class DeltaBaseMissingError(SerializationError):
+    """A delta envelope arrived but its base image is not cached here.
+
+    Recoverable by protocol: the receiver acks ``need_full`` and the
+    sender transparently re-ships the full image (DESIGN.md §6.7).
+    """
+
+
 class NapletDeparted(BaseException):
     """Control-flow signal: the naplet was dispatched to another server.
 
@@ -158,3 +168,13 @@ class NapletCompleted(BaseException):
 
 class CodeShippingError(NapletError):
     """Codebase fetch / class reconstruction failed during lazy loading."""
+
+
+class ShippedCodeMissingError(CodeShippingError):
+    """An envelope referenced code by content hash this server lacks.
+
+    Raised when a sender skipped re-shipping a bundle it believed the
+    destination held (code-hash negotiation) but the destination's
+    CodeCache has no matching module.  Recoverable by protocol: the
+    receiver acks ``need_full`` and the sender re-ships with bundles.
+    """

@@ -30,6 +30,7 @@ from repro.core.listener import ListenerRef
 from repro.core.naplet_id import NapletID
 from repro.core.navigation_log import NavigationLog
 from repro.core.state import NapletState
+from repro.core.tracking import TrackedState
 from repro.telemetry.trace import TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -38,13 +39,20 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Naplet"]
 
 
-class Naplet(abc.ABC):
+class Naplet(TrackedState, abc.ABC):
     """Abstract mobile agent. Extend and implement :meth:`on_start`.
 
     Subclasses perform their server-specific business logic in
     :meth:`on_start`, and usually end it with ``self.travel()`` to continue
     along the itinerary.  All attributes except ``context`` serialize and
     travel with the agent.
+
+    Naplets are :class:`~repro.core.tracking.TrackedState`: attribute
+    rebinds are recorded so repeat hops can ship only changed fields
+    (DESIGN.md §6.7).  Mutate nested structures through ``self.state`` (it
+    fingerprints itself) or call ``self.mark_dirty("attr")`` after in-place
+    mutation of a plain attribute — untracked mutable fields are simply
+    re-pickled every hop, which is always correct but never saves work.
     """
 
     def __init__(
@@ -263,7 +271,7 @@ class Naplet(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def __getstate__(self) -> dict[str, Any]:
-        state = dict(self.__dict__)
+        state = TrackedState.strip_tracking(dict(self.__dict__))
         state["_context"] = None
         return state
 

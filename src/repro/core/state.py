@@ -58,6 +58,10 @@ class NapletState:
         self._entries: dict[str, _Entry] = {}
         self._default_mode = default_mode
         self._lock = threading.RLock()
+        # Mutation counter backing ``__delta_fingerprint__``: delta
+        # shipping skips re-pickling this container only while the
+        # counter is unchanged, so every write path below must bump it.
+        self._mutations = 0
 
     # -- naplet-side access (always permitted) -------------------------- #
 
@@ -79,6 +83,7 @@ class NapletState:
         if mode is not AccessMode.PROTECTED and allowed_servers:
             raise ValueError("allowed_servers only applies to PROTECTED entries")
         with self._lock:
+            self._mutations += 1
             self._entries[key] = _Entry(
                 value=value,
                 mode=mode,
@@ -95,10 +100,12 @@ class NapletState:
         with self._lock:
             if key not in self._entries:
                 raise KeyError(key)
+            self._mutations += 1
             self._entries[key].value = value
 
     def delete(self, key: str) -> None:
         with self._lock:
+            self._mutations += 1
             del self._entries[key]
 
     def mode_of(self, key: str) -> AccessMode:
@@ -142,7 +149,9 @@ class NapletState:
     def server_set(self, key: str, value: Any, server: str) -> None:
         """Update *key* on behalf of *server* (e.g. refreshing a returning naplet)."""
         with self._lock:
-            self._check(key, server).value = value
+            entry = self._check(key, server)
+            self._mutations += 1
+            entry.value = value
 
     def visible_to(self, server: str) -> dict[str, Any]:
         """All entries the given server is allowed to see."""
@@ -155,6 +164,18 @@ class NapletState:
                     out[key] = entry.value
         return out
 
+    # -- delta shipping -------------------------------------------------- #
+
+    def __delta_fingerprint__(self) -> int:
+        """Mutation counter: unchanged counter ⇒ unchanged serialized form.
+
+        The caveat is entry *values* mutated in place (``state.get("xs")
+        .append(...)``): those bypass the counter exactly as they bypass
+        everything else — use :meth:`update` to write them back.
+        """
+        with self._lock:
+            return self._mutations
+
     # -- pickling -------------------------------------------------------- #
 
     def __getstate__(self) -> dict[str, Any]:
@@ -165,6 +186,7 @@ class NapletState:
         self._entries = dict(state["entries"])
         self._default_mode = state["default_mode"]
         self._lock = threading.RLock()
+        self._mutations = 0
 
 
 class ProtectedNapletState(NapletState):

@@ -54,6 +54,11 @@ _LOWER_BETTER = ("_ms", "_s", "_seconds", "_us")
 _LOWER_BETTER_SUBSTR = ("latency", "overhead", "per_hop", "connections", "dials")
 _HIGHER_BETTER_SUBSTR = ("per_sec", "speedup", "throughput")
 _TIMING_MARKERS = ("_ms", "_s", "_seconds", "_us", "latency", "per_sec", "speedup", "throughput")
+# Byte-count metrics that read like rates but are pure protocol facts:
+# wire bytes per migration hop do not depend on machine speed, so CI's
+# structural gate must compare them (lower is better — the delta-shipping
+# benchmark regresses through exactly this key).
+_STRUCTURAL_BYTES_SUBSTR = ("bytes_per_hop",)
 
 
 # --------------------------------------------------------------------- #
@@ -214,6 +219,8 @@ def flatten_metrics(snapshot: dict[str, Any]) -> dict[str, float]:
 def metric_direction(key: str) -> str:
     """'lower', 'higher', or 'neutral' — which way is better for *key*."""
     leaf = key.rsplit(".", 1)[-1].lower()
+    if any(marker in leaf for marker in _STRUCTURAL_BYTES_SUBSTR):
+        return "lower"
     if any(marker in leaf for marker in _HIGHER_BETTER_SUBSTR):
         return "higher"
     if leaf.endswith(_LOWER_BETTER):
@@ -226,6 +233,8 @@ def metric_direction(key: str) -> str:
 def is_timing_metric(key: str) -> bool:
     """True for wall-clock-dependent metrics (excluded by ``structural_only``)."""
     leaf = key.rsplit(".", 1)[-1].lower()
+    if any(marker in leaf for marker in _STRUCTURAL_BYTES_SUBSTR):
+        return False
     return leaf.endswith(_LOWER_BETTER) or any(
         marker in leaf for marker in ("latency", "per_sec", "speedup", "throughput")
     )

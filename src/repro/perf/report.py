@@ -54,6 +54,8 @@ def hop_cost_rows(
                 "code_bytes": int(detail.get("code_bytes", 0)),
                 "total_bytes": int(detail.get("total_bytes", 0)),
                 "fast_path": bool(detail.get("fast_path", False)),
+                "delta": bool(detail.get("delta", False)),
+                "saved_bytes": int(detail.get("saved_bytes", 0)),
             }
         )
     return rows
@@ -71,17 +73,27 @@ def render_hop_costs(records: list[Any], naplet: str | None = None) -> str:
     lines = [
         f"  {len(rows)} hop(s){scope}",
         f"  {'route':<24} {'total-B':>9} {'payload':>9} {'header':>8} "
-        f"{'code':>7} {'ser-ms':>8} {'path':<5}",
+        f"{'code':>7} {'saved':>8} {'ser-ms':>8} {'path':<5}",
     ]
-    totals = {"total_bytes": 0, "payload_bytes": 0, "header_bytes": 0, "code_bytes": 0}
+    totals = {
+        "total_bytes": 0,
+        "payload_bytes": 0,
+        "header_bytes": 0,
+        "code_bytes": 0,
+        "saved_bytes": 0,
+    }
     serialize = 0.0
     for row in rows:
         route = f"{row['source']} -> {row['dest']}"
+        path = "fast" if row["fast_path"] else "2ph"
+        if row["delta"]:
+            path += "+d"
         lines.append(
             f"  {route:<24} {row['total_bytes']:>9} {row['payload_bytes']:>9} "
             f"{row['header_bytes']:>8} {row['code_bytes']:>7} "
+            f"{row['saved_bytes']:>8} "
             f"{row['serialize_s'] * 1e3:>8.2f} "
-            f"{'fast' if row['fast_path'] else '2ph':<5}"
+            f"{path:<5}"
         )
         for key in totals:
             totals[key] += row[key]
@@ -89,6 +101,7 @@ def render_hop_costs(records: list[Any], naplet: str | None = None) -> str:
     lines.append(
         f"  {'(all hops)':<24} {totals['total_bytes']:>9} "
         f"{totals['payload_bytes']:>9} {totals['header_bytes']:>8} "
-        f"{totals['code_bytes']:>7} {serialize * 1e3:>8.2f}"
+        f"{totals['code_bytes']:>7} {totals['saved_bytes']:>8} "
+        f"{serialize * 1e3:>8.2f}"
     )
     return "\n".join(lines)

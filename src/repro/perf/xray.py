@@ -23,9 +23,10 @@ import pickle
 from dataclasses import dataclass
 from typing import Any
 
+from repro.transport.delta import content_hash, image_hash
 from repro.transport.serializer import NapletSerializer, _ShippingPickler
 
-__all__ = ["PickleXray", "explain_pickle"]
+__all__ = ["DeltaXray", "PickleXray", "explain_delta", "explain_pickle"]
 
 # Private attribute slots mapped to the names operators know them by.
 _FRIENDLY = {
@@ -162,4 +163,107 @@ def explain_pickle(
         envelope=envelope_overhead,
         attributes=attributes,
         structure=structure,
+    )
+
+
+@dataclass(frozen=True)
+class DeltaXray:
+    """What the delta fast path would ship on this naplet's next hop.
+
+    Compares the naplet's *current* per-field pickle against the base
+    image in *serializer*'s delta cache (the last image dumped or landed
+    here).  ``shipped`` maps changed fields to the bytes they would put
+    on the wire; ``skipped`` maps unchanged fields to the bytes the delta
+    keeps off it.  Without a cached base every field ships
+    (``base_hash`` is None — the first hop is always a full image).
+    """
+
+    base_hash: str | None
+    image_hash: str
+    shipped: dict[str, int]
+    skipped: dict[str, int]
+
+    @property
+    def shipped_bytes(self) -> int:
+        return sum(self.shipped.values())
+
+    @property
+    def saved_bytes(self) -> int:
+        return sum(self.skipped.values())
+
+    @property
+    def saved_fraction(self) -> float:
+        total = self.shipped_bytes + self.saved_bytes
+        return self.saved_bytes / total if total else 0.0
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "base_hash": self.base_hash,
+            "image_hash": self.image_hash,
+            "shipped_bytes": self.shipped_bytes,
+            "saved_bytes": self.saved_bytes,
+            "shipped": dict(self.shipped),
+            "skipped": dict(self.skipped),
+        }
+
+    def render(self) -> str:
+        """Aligned text table: what ships, what the base cache saves."""
+        names = list(self.shipped) + list(self.skipped) + ["(total)"]
+        width = max(len(name) for name in names)
+        lines = [
+            "  next hop ships a "
+            + ("delta against base " + self.base_hash[:12] if self.base_hash else "full image (no cached base)"),
+            f"  {'attribute':<{width}} {'bytes':>10}  {'fate'}",
+        ]
+        for name, nbytes in sorted(self.shipped.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<{width}} {nbytes:>10}  ships")
+        for name, nbytes in sorted(self.skipped.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<{width}} {nbytes:>10}  cached (saved)")
+        lines.append(
+            f"  {'(total)':<{width}} {self.shipped_bytes:>10}  "
+            f"on the wire, {self.saved_bytes} saved "
+            f"({100.0 * self.saved_fraction:.1f}%)"
+        )
+        return "\n".join(lines)
+
+
+def explain_delta(naplet: Any, serializer: NapletSerializer) -> DeltaXray:
+    """Preview *naplet*'s next hop under delta shipping — a pure probe.
+
+    Pickles each ``__getstate__`` field independently (same technique as
+    :func:`explain_pickle`, but per-field picklers to mirror the v2
+    envelope exactly) and splits them into shipped-vs-skipped against the
+    base image ``serializer.delta_cache`` holds.  Nothing is mutated: the
+    cache is peeked, not promoted, and dirty flags stay as they are.
+    """
+    getstate = getattr(naplet, "__getstate__", None)
+    state = getstate() if callable(getstate) else dict(naplet.__dict__)
+    if not isinstance(state, dict):
+        state = {"(state)": state}
+    nid = str(naplet.naplet_id) if getattr(naplet, "has_id", False) else ""
+    prev = serializer.delta_cache.peek(nid) if nid else None
+    prev_hashes = prev.field_hashes() if prev is not None else {}
+
+    shipped: dict[str, int] = {}
+    skipped: dict[str, int] = {}
+    field_hashes: dict[str, str] = {}
+    for attr, value in state.items():
+        buf = io.BytesIO()
+        try:
+            _ShippingPickler(buf, serializer._protocol, root=naplet).dump(value)
+        except Exception:
+            shipped[_friendly(attr)] = 0  # v2 would bail to v1 here anyway
+            continue
+        data = buf.getvalue()
+        digest = content_hash(data)
+        field_hashes[attr] = digest
+        if prev_hashes.get(attr) == digest:
+            skipped[_friendly(attr)] = len(data)
+        else:
+            shipped[_friendly(attr)] = len(data)
+    return DeltaXray(
+        base_hash=prev.hash if prev is not None else None,
+        image_hash=image_hash(field_hashes),
+        shipped=shipped,
+        skipped=skipped,
     )

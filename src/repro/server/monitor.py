@@ -182,6 +182,11 @@ class NapletMonitor:
         self.events = event_log if event_log is not None else EventLog()
         self.telemetry = telemetry
         self._runs: dict["NapletID", _ControlBlock] = {}
+        # Runs displaced from the table by a re-landing of the same naplet
+        # (its previous thread is still unwinding post-departure
+        # bookkeeping).  Kept so active_count/wait_idle never lose sight
+        # of a live thread.
+        self._draining: list[_ControlBlock] = []
         self._lock = threading.RLock()
         self.admitted = 0
         self.outcomes: dict[str, int] = {}
@@ -207,6 +212,14 @@ class NapletMonitor:
         block = _ControlBlock(naplet, quota or self.default_quota)
         nid = naplet.naplet_id
         with self._lock:
+            # A fast ping-pong itinerary can land the naplet back here
+            # while the thread of its *previous* residency is still inside
+            # the navigator finishing the departure (ack bookkeeping,
+            # hop-cost journaling).  Park that block in the drain list so
+            # it stays visible to active_count until its thread exits.
+            previous = self._runs.get(nid)
+            if previous is not None:
+                self._draining.append(previous)
             self._runs[nid] = block
             self.admitted += 1
         if self.telemetry is not None:
@@ -241,7 +254,7 @@ class NapletMonitor:
                     trace=traceback.format_exc(limit=8),
                 )
             finally:
-                self._finish(naplet, outcome, error, on_retire)
+                self._finish(block, naplet, outcome, error, on_retire)
 
         thread = threading.Thread(
             target=_thread_main, name=f"naplet-{nid}@{self.hostname}", daemon=True
@@ -253,6 +266,7 @@ class NapletMonitor:
 
     def _finish(
         self,
+        block: _ControlBlock,
         naplet: "Naplet",
         outcome: str,
         error: BaseException | None,
@@ -260,13 +274,20 @@ class NapletMonitor:
     ) -> None:
         nid = naplet.naplet_id
         with self._lock:
-            block = self._runs.pop(nid, None)
+            # Pop only our own block: a re-landing may have replaced the
+            # table entry with a fresh run that must stay visible.
+            if self._runs.get(nid) is block:
+                self._runs.pop(nid)
+            else:
+                try:
+                    self._draining.remove(block)
+                except ValueError:
+                    pass
             self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.events.record("naplet-finished", naplet=str(nid), outcome=outcome)
         if self.telemetry is not None:
             self.telemetry.outcomes.inc(outcome=outcome)
-            if block is not None:
-                self.telemetry.cpu_seconds.inc(block.usage.cpu_seconds)
+            self.telemetry.cpu_seconds.inc(block.usage.cpu_seconds)
             if outcome == NapletOutcome.QUOTA:
                 resource = getattr(error, "resource", "unknown")
                 self.telemetry.quota_trips.inc(resource=resource)
@@ -334,14 +355,15 @@ class NapletMonitor:
     @property
     def active_count(self) -> int:
         with self._lock:
-            return len(self._runs)
+            return len(self._runs) + len(self._draining)
 
     def wait_idle(self, timeout: float = 10.0) -> bool:
         """Block until no naplet threads remain (tests/benchmarks helper)."""
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self._lock:
-                threads = [b.thread for b in self._runs.values() if b.thread is not None]
+                blocks = list(self._runs.values()) + list(self._draining)
+                threads = [b.thread for b in blocks if b.thread is not None]
             if not threads:
                 return True
             try:

@@ -39,17 +39,19 @@ from __future__ import annotations
 import itertools
 import pickle
 import time
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from typing import TYPE_CHECKING
 
 from repro.core.context import NapletContext
 from repro.core.credential import Credential
 from repro.core.errors import (
+    DeltaBaseMissingError,
     LandingDeniedError,
     LaunchDeniedError,
     NapletCommunicationError,
     NapletDeparted,
     NapletMigrationError,
+    ShippedCodeMissingError,
 )
 from repro.core.naplet_id import NapletID
 from repro.server.messenger import NapletMessengerProxy
@@ -74,6 +76,19 @@ _FAST_PATH_UNSUPPORTED = pickle.dumps(
 # realistic retry window, small enough to never matter for memory.
 _TRANSFER_DEDUP_CAPACITY = 4096
 
+# Remembered (naplet, destination) base-image hashes — what each peer last
+# acked holding.  Bounded like the dedup table; a dropped entry only costs
+# one full-image hop.
+_PEER_BASE_CAPACITY = 4096
+
+
+def _image_nbytes(payload: bytes, buffers: tuple | list = ()) -> int:
+    """Wire size of a naplet image: envelope plus out-of-band segments."""
+    total = len(payload)
+    for buf in buffers:
+        total += buf.nbytes if isinstance(buf, memoryview) else len(buf)
+    return total
+
 
 class Navigator:
     """Per-server migration endpoint."""
@@ -87,6 +102,15 @@ class Navigator:
         # without landing a second copy of the naplet.
         self._landed_transfers: OrderedDict[str, NapletID] = OrderedDict()
         self._transfer_seq = itertools.count(1)
+        # Delta-shipping negotiation state (DESIGN.md §6.7), all advisory:
+        # which base image hash each peer last acked holding per naplet,
+        # which module content hashes each peer's code cache holds, and
+        # which peers rejected v2 envelopes outright (v1-only).  Stale or
+        # lost entries never break a transfer — they only cost a full
+        # image or one extra in-attempt resend.
+        self._peer_bases: OrderedDict[tuple[str, str], str] = OrderedDict()
+        self._peer_code: dict[str, set[str]] = {}
+        self._v1_peers: set[str] = set()
 
     # ------------------------------------------------------------------ #
     # Outbound
@@ -230,10 +254,11 @@ class Navigator:
     def _transfer_frame(
         self, naplet: "Naplet", nid: NapletID, dest_urn: str, hop, payload: bytes,
         transfer_id: str, extra_headers: dict[str, str] | None = None,
-        cost=None,
+        cost=None, buffers: tuple = (),
     ) -> Frame:
-        hop.set("bytes", len(payload))
-        self.server.telemetry.frame_bytes.inc(len(payload), kind="naplet-transfer")
+        image_bytes = _image_nbytes(payload, buffers)
+        hop.set("bytes", image_bytes)
+        self.server.telemetry.frame_bytes.inc(image_bytes, kind="naplet-transfer")
         headers = {"naplet": str(nid), "transfer-id": transfer_id}
         # The HLC stamp is minted *after* the depart event was journaled
         # (callers record it before building the frame), so the receiver's
@@ -255,18 +280,25 @@ class Navigator:
             dest=dest_urn,
             payload=payload,
             headers=headers,
+            buffers=tuple(buffers),
         )
         # Hop-cost attribution (perf plane): split this hop's wire size
         # into payload vs. header vs. shipped code, on the histogram and
         # on the hop span (the journey's bytes column reads the span).
+        # Delta hops also record what stayed *off* the wire (part "saved").
         telemetry = self.server.telemetry
-        header_bytes = frame.size - len(payload)
-        telemetry.hop_bytes.observe(len(payload), part="payload")
+        header_bytes = frame.size - image_bytes
+        telemetry.hop_bytes.observe(image_bytes, part="payload")
         telemetry.hop_bytes.observe(header_bytes, part="header")
         hop.set("header_bytes", header_bytes)
         if cost is not None and cost.code_bytes:
             telemetry.hop_bytes.observe(cost.code_bytes, part="code")
             hop.set("code_bytes", cost.code_bytes)
+        if cost is not None and cost.delta:
+            hop.set("delta", True)
+            if cost.saved_bytes:
+                telemetry.hop_bytes.observe(cost.saved_bytes, part="saved")
+                hop.set("saved_bytes", cost.saved_bytes)
         return frame
 
     def _journal_hop_cost(
@@ -283,6 +315,7 @@ class Navigator:
         if not journal.enabled:
             return
         ctx = naplet.trace_context
+        image_bytes = _image_nbytes(frame.payload, frame.buffers)
         journal.append(
             kind="hop-cost",
             category="perf",
@@ -292,15 +325,147 @@ class Navigator:
                 "source": self.server.hostname,
                 "dest": dest_urn,
                 "serialize_s": round(cost.seconds, 9),
-                "payload_bytes": len(frame.payload),
-                "header_bytes": frame.size - len(frame.payload),
+                "payload_bytes": image_bytes,
+                "header_bytes": frame.size - image_bytes,
                 "code_bytes": cost.code_bytes,
                 "total_bytes": frame.size,
                 "fast_path": fast_path,
+                "delta": bool(cost.delta),
+                "saved_bytes": cost.saved_bytes,
             },
         )
 
+    # -- delta-shipping negotiation (DESIGN.md §6.7) ----------------------- #
+
+    def _dump_plans(self, nid: str, dest_urn: str) -> deque:
+        """Escalation ladder of serialization plans toward *dest_urn*.
+
+        Most-optimistic first: a delta against the base the peer was last
+        seen holding, then a full v2 image (bundling all code), then the
+        legacy v1 envelope.  Every negative image ack moves down the
+        ladder *within* the same transfer attempt — the migration retry
+        policy never sees a delta refusal.
+        """
+        plans: deque = deque()
+        serializer = self.server.serializer
+        if serializer.delta_shipping and dest_urn not in self._v1_peers:
+            base = self._peer_bases.get((nid, dest_urn))
+            code = self._peer_code.get(dest_urn)
+            if base is not None:
+                plans.append({"base": base, "code": code})
+            elif code:
+                plans.append({"code": code})
+            plans.append({})
+        plans.append({"force_v1": True})
+        return plans
+
+    def _dump_image(self, naplet: "Naplet", plan: dict):
+        """Serialize *naplet* under one plan: ``(data, buffers, cost)``."""
+        if plan.get("force_v1"):
+            return self.server.serializer.dumps_with_cost(naplet, force_v1=True)
+        return self.server.serializer.dumps_with_cost(
+            naplet, base_hint=plan.get("base"), known_code=plan.get("code")
+        )
+
+    def _note_peer_image(self, nid: str, peer_urn: str, img_hash: str) -> None:
+        """Remember that *peer_urn* holds base *img_hash* for this naplet."""
+        key = (nid, peer_urn)
+        self._peer_bases[key] = img_hash
+        self._peer_bases.move_to_end(key)
+        while len(self._peer_bases) > _PEER_BASE_CAPACITY:
+            self._peer_bases.popitem(last=False)
+
+    def _forget_peer_base(self, nid: str, dest_urn: str) -> None:
+        self._peer_bases.pop((nid, dest_urn), None)
+
+    def _record_peer_ack(
+        self, nid: NapletID, dest_urn: str, ack: dict, observed: str | None,
+    ) -> None:
+        """Fold a positive transfer ack into the per-peer delta state.
+
+        *observed* is the base entry read when the transfer was planned.
+        The naplet can land back here (writing a fresher base for this
+        very peer) before this — older — ack is processed, so the base is
+        only written if the entry still reads as observed (or is gone):
+        a lost compare-and-swap means fresher information won the race.
+        """
+        base = ack.get("base")
+        if isinstance(base, str):
+            key = (str(nid), dest_urn)
+            current = self._peer_bases.get(key)
+            if current is None or current == observed:
+                self._note_peer_image(str(nid), dest_urn, base)
+        code = ack.get("code")
+        if isinstance(code, list):
+            self._peer_code[dest_urn] = set(code)
+
+    def _escalate_plan(
+        self, plans: deque, plan: dict, ack: dict, nid: NapletID, dest_urn: str,
+    ) -> dict | None:
+        """Pick the next plan after a negative *image* ack, or None.
+
+        ``need_full`` (base evicted / referenced code missing at the
+        destination) drops one rung; any other rejection of a v2 envelope
+        jumps straight to the v1 rung and pins the peer as v1-only for
+        this process.  Returns None when the ladder is exhausted (or the
+        failing envelope was already v1, where resending the same bytes
+        cannot help).
+        """
+        if plan.get("force_v1"):
+            return None
+        if ack.get("need_full"):
+            self._forget_peer_base(str(nid), dest_urn)
+            self.server.telemetry.delta_full_reships.inc()
+            self.server.events.record(
+                "delta-full-reship",
+                naplet=str(nid),
+                dest=dest_urn,
+                reason=ack.get("reason"),
+            )
+        else:
+            # Generic rejection of a v2 envelope: assume a v1-only peer.
+            self._v1_peers.add(dest_urn)
+            self.server.events.record(
+                "delta-v1-downgrade",
+                naplet=str(nid),
+                dest=dest_urn,
+                reason=ack.get("reason"),
+            )
+            while plans and not plans[0].get("force_v1"):
+                plans.popleft()
+        return plans.popleft() if plans else None
+
     # -- fast path: landing check + transfer ack in one exchange ----------- #
+
+    def _fast_frame(
+        self, naplet: "Naplet", nid: NapletID, dest_urn: str, hop,
+        credential: Credential, transfer_id: str, plan: dict, dumped: tuple,
+    ) -> Frame:
+        """Build one fast-path transfer frame around a *dumped* image.
+
+        v1 keeps the legacy layout — ``(credential, image)`` pickled as
+        the payload — so pre-delta peers interoperate.  v2 rides the
+        credential alone in the payload and the image as out-of-band
+        frame segments (``xfer: 2``): envelope first, then the raw field
+        buffers, none of them re-copied by a protocol-5 transport.
+        """
+        data, buffers, cost = dumped
+        if plan.get("force_v1"):
+            return self._transfer_frame(
+                naplet, nid, dest_urn, hop,
+                payload=pickle.dumps((credential, data)),
+                transfer_id=transfer_id,
+                extra_headers={"fast-path": "1"},
+                cost=cost,
+            )
+        return self._transfer_frame(
+            naplet, nid, dest_urn, hop,
+            payload=pickle.dumps(credential),
+            transfer_id=transfer_id,
+            extra_headers={"fast-path": "1", "xfer": "2"},
+            cost=cost,
+            buffers=(data, *buffers),
+        )
 
     def _transfer_fast(
         self, naplet: "Naplet", dest_urn: str, hop, credential: Credential,
@@ -311,51 +476,72 @@ class Navigator:
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=False)
         if self.server.journal.enabled:
             naplet._stamp_hlc(self.server.journal.clock.now())
-        image, cost = self.server.serializer.dumps_with_cost(naplet)
+        observed_base = self._peer_bases.get((str(nid), dest_urn))
+        plans = self._dump_plans(str(nid), dest_urn)
+        plan = plans.popleft()
+        data, buffers, cost = self._dump_image(naplet, plan)
         hop.set("serialize_s", cost.seconds)
         # Journal the departure *before* the frame's HLC header is minted:
         # the merged timeline must show this record ahead of the landing.
+        # (Escalation resends mint fresh headers, still after this record.)
         self.server.events.record(
-            "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(image),
-            fast_path=True,
+            "naplet-depart", naplet=str(nid), dest=dest_urn,
+            bytes=_image_nbytes(data, buffers),
+            fast_path=True, delta=bool(cost.delta),
         )
-        frame = self._transfer_frame(
-            naplet, nid, dest_urn, hop,
-            payload=pickle.dumps((credential, image)),
-            transfer_id=transfer_id,
-            extra_headers={"fast-path": "1"},
-            cost=cost,
+        frame = self._fast_frame(
+            naplet, nid, dest_urn, hop, credential, transfer_id, plan,
+            (data, buffers, cost),
         )
 
         def _rollback() -> None:
             self._rollback_departure(naplet, nid, was_resident, record, reported=False)
 
-        try:
-            ack = pickle.loads(self.server.transport.request(frame))
-        except NapletCommunicationError as exc:
-            _rollback()
-            raise NapletMigrationError(f"transfer to {dest_urn} failed: {exc}") from exc
-        if ack.get("ok") is True:
-            self.server.telemetry.fast_path_hops.inc()
-            hop.set("fast_path", True)
-            self._journal_hop_cost(nid, naplet, dest_urn, frame, cost, fast_path=True)
-            # Messages that were parked here waiting for this naplet chase it.
-            self.server.messenger.forward_parked(nid, dest_urn)
-            return True
-        _rollback()
-        if ack.get("unsupported"):
-            return False
-        if ack.get("denied"):
-            self.server.events.record(
-                "landing-denied", naplet=str(nid), dest=dest_urn,
-                reason=ack.get("reason"), fast_path=True,
+        while True:
+            try:
+                ack = pickle.loads(self.server.transport.request(frame))
+            except NapletCommunicationError as exc:
+                _rollback()
+                raise NapletMigrationError(
+                    f"transfer to {dest_urn} failed: {exc}"
+                ) from exc
+            if ack.get("ok") is True:
+                telemetry = self.server.telemetry
+                telemetry.fast_path_hops.inc()
+                if cost.delta:
+                    telemetry.delta_hops.inc()
+                    if cost.saved_bytes:
+                        telemetry.delta_saved_bytes.inc(cost.saved_bytes)
+                self._record_peer_ack(nid, dest_urn, ack, observed_base)
+                hop.set("fast_path", True)
+                self._journal_hop_cost(nid, naplet, dest_urn, frame, cost, fast_path=True)
+                # Messages that were parked here waiting for this naplet chase it.
+                self.server.messenger.forward_parked(nid, dest_urn)
+                return True
+            if ack.get("unsupported"):
+                _rollback()
+                return False
+            if ack.get("denied"):
+                _rollback()
+                self.server.events.record(
+                    "landing-denied", naplet=str(nid), dest=dest_urn,
+                    reason=ack.get("reason"), fast_path=True,
+                )
+                raise LandingDeniedError(
+                    f"{dest_urn} denied landing for {nid}: {ack.get('reason', 'unknown')}"
+                )
+            plan = self._escalate_plan(plans, plan, ack, nid, dest_urn)
+            if plan is None:
+                _rollback()
+                raise NapletMigrationError(
+                    f"{dest_urn} rejected the transfer of {nid}: {ack.get('reason')}"
+                )
+            data, buffers, cost = self._dump_image(naplet, plan)
+            hop.set("serialize_s", cost.seconds)
+            frame = self._fast_frame(
+                naplet, nid, dest_urn, hop, credential, transfer_id, plan,
+                (data, buffers, cost),
             )
-            raise LandingDeniedError(
-                f"{dest_urn} denied landing for {nid}: {ack.get('reason', 'unknown')}"
-            )
-        raise NapletMigrationError(
-            f"{dest_urn} rejected the transfer of {nid}: {ack.get('reason')}"
-        )
 
     # -- two-phase path: LANDING_REQUEST then NAPLET_TRANSFER -------------- #
 
@@ -391,30 +577,53 @@ class Navigator:
         was_resident, record = self._mark_departure(naplet, nid, dest_urn, report=True)
         if self.server.journal.enabled:
             naplet._stamp_hlc(self.server.journal.clock.now())
-        payload, cost = self.server.serializer.dumps_with_cost(naplet)
+        observed_base = self._peer_bases.get((str(nid), dest_urn))
+        plans = self._dump_plans(str(nid), dest_urn)
+        plan = plans.popleft()
+        data, buffers, cost = self._dump_image(naplet, plan)
         hop.set("serialize_s", cost.seconds)
         # Depart is journaled before the frame's HLC header is minted, so
         # the landing sorts after it in the merged timeline.
         self.server.events.record(
-            "naplet-depart", naplet=str(nid), dest=dest_urn, bytes=len(payload)
+            "naplet-depart", naplet=str(nid), dest=dest_urn,
+            bytes=_image_nbytes(data, buffers), delta=bool(cost.delta),
         )
         frame = self._transfer_frame(
-            naplet, nid, dest_urn, hop, payload, transfer_id, cost=cost
+            naplet, nid, dest_urn, hop, data, transfer_id, cost=cost,
+            buffers=tuple(buffers),
         )
 
         def _rollback() -> None:
             self._rollback_departure(naplet, nid, was_resident, record, reported=True)
 
-        try:
-            ack = pickle.loads(self.server.transport.request(frame))
-        except NapletCommunicationError as exc:
-            _rollback()
-            raise NapletMigrationError(f"transfer to {dest_urn} failed: {exc}") from exc
-        if ack.get("ok") is not True:
-            _rollback()
-            raise NapletMigrationError(
-                f"{dest_urn} rejected the transfer of {nid}: {ack.get('reason')}"
+        while True:
+            try:
+                ack = pickle.loads(self.server.transport.request(frame))
+            except NapletCommunicationError as exc:
+                _rollback()
+                raise NapletMigrationError(
+                    f"transfer to {dest_urn} failed: {exc}"
+                ) from exc
+            if ack.get("ok") is True:
+                break
+            plan = self._escalate_plan(plans, plan, ack, nid, dest_urn)
+            if plan is None:
+                _rollback()
+                raise NapletMigrationError(
+                    f"{dest_urn} rejected the transfer of {nid}: {ack.get('reason')}"
+                )
+            data, buffers, cost = self._dump_image(naplet, plan)
+            hop.set("serialize_s", cost.seconds)
+            frame = self._transfer_frame(
+                naplet, nid, dest_urn, hop, data, transfer_id, cost=cost,
+                buffers=tuple(buffers),
             )
+        telemetry = self.server.telemetry
+        if cost.delta:
+            telemetry.delta_hops.inc()
+            if cost.saved_bytes:
+                telemetry.delta_saved_bytes.inc(cost.saved_bytes)
+        self._record_peer_ack(nid, dest_urn, ack, observed_base)
         self._journal_hop_cost(nid, naplet, dest_urn, frame, cost, fast_path=False)
         # Messages that were parked here waiting for this naplet chase it.
         self.server.messenger.forward_parked(nid, dest_urn)
@@ -487,6 +696,53 @@ class Navigator:
         while len(self._landed_transfers) > _TRANSFER_DEDUP_CAPACITY:
             self._landed_transfers.popitem(last=False)
 
+    def _need_full_ack(self, frame: Frame, exc: Exception) -> bytes:
+        """Refuse a delta whose base (or referenced code) is missing here.
+
+        Recoverable by protocol: the sender forgets this peer's base and
+        transparently re-ships the full image within the same attempt.
+        """
+        self.server.events.record(
+            "delta-need-full",
+            naplet=frame.headers.get("naplet"),
+            source=frame.source,
+            reason=str(exc),
+        )
+        return pickle.dumps({"ok": False, "need_full": True, "reason": str(exc)})
+
+    def _note_arrived_image(self, frame: Frame, info: dict) -> None:
+        """Note that the *sender* of a landed v2 image holds it as a base.
+
+        Its own delta cache retains what it just shipped, so a later hop
+        straight back toward it (the ping-pong itinerary) can go delta
+        without waiting for an ack from that side.  Must run *before*
+        :meth:`receive` hands the naplet to the monitor — the naplet may
+        dump for its return hop on another thread immediately.
+        """
+        nid, img_hash = info.get("nid"), info.get("hash")
+        if (
+            info.get("v") == 2
+            and isinstance(nid, str)
+            and isinstance(img_hash, str)
+        ):
+            self._note_peer_image(nid, frame.source, img_hash)
+
+    def _landing_ack(self, info: dict) -> bytes:
+        """Ack a landed transfer, advertising delta state for next time.
+
+        A v2 landing acks the image hash now cached here (the sender
+        deltas against it on its next hop this way) plus the content
+        hashes of every module in the local code cache (so eager senders
+        skip re-shipping bundles).
+        """
+        if not self.server.serializer.delta_shipping or info.get("v") != 2:
+            return _ACK_OK
+        ack: dict = {"ok": True, "code": self.server.code_cache.known_hashes()}
+        img_hash = info.get("hash")
+        if isinstance(img_hash, str):
+            ack["base"] = img_hash
+        return pickle.dumps(ack)
+
     def handle_transfer(self, frame: Frame) -> bytes:
         duplicate = self._duplicate_transfer_ack(frame)
         if duplicate is not None:
@@ -495,36 +751,59 @@ class Navigator:
             return self._handle_fast_transfer(frame)
         deserialize_started = time.perf_counter()
         try:
-            naplet: "Naplet" = self.server.serializer.loads(
-                frame.payload, self.server.code_cache
+            naplet, info = self.server.serializer.loads_with_info(
+                frame.payload, self.server.code_cache,
+                buffers=frame.buffers or None,
             )
+        except (DeltaBaseMissingError, ShippedCodeMissingError) as exc:
+            return self._need_full_ack(frame, exc)
         except Exception as exc:
             return pickle.dumps({"ok": False, "reason": f"deserialization failed: {exc}"})
+        self._note_arrived_image(frame, info)
         self.receive(
             naplet,
             arrived_from=frame.source,
-            payload_bytes=len(frame.payload),
+            payload_bytes=_image_nbytes(frame.payload, frame.buffers),
             trace_parent=frame.headers.get("trace-parent"),
             deserialize_s=time.perf_counter() - deserialize_started,
         )
         # Remember only after the landing succeeded: a failed landing must
         # NOT dedup the retry that follows it.
         self._remember_transfer(frame, naplet.naplet_id)
-        return _ACK_OK
+        return self._landing_ack(info)
 
     def _handle_fast_transfer(self, frame: Frame) -> bytes:
         """Landing check + land + ack, all in one exchange.
 
         The credential rides ahead of the naplet image, so admission is
         decided *before* the image is deserialized — same security posture
-        as the two-phase protocol, one round trip instead of two.
+        as the two-phase protocol, one round trip instead of two.  Layouts:
+        legacy (v1) packs ``(credential, image)`` into the payload; v2
+        (``xfer: 2`` header) packs only the credential there, with the
+        envelope and its out-of-band field buffers as frame segments.
         """
         if not self.server.config.migration_fast_path:
             return _FAST_PATH_UNSUPPORTED
-        try:
-            credential, image = pickle.loads(frame.payload)
-        except Exception as exc:
-            return pickle.dumps({"ok": False, "reason": f"bad fast-path payload: {exc}"})
+        oob: tuple = ()
+        if frame.headers.get("xfer") == "2":
+            if not frame.buffers:
+                return pickle.dumps(
+                    {"ok": False, "reason": "bad fast-path payload: no image segment"}
+                )
+            try:
+                credential = pickle.loads(frame.payload)
+            except Exception as exc:
+                return pickle.dumps(
+                    {"ok": False, "reason": f"bad fast-path payload: {exc}"}
+                )
+            image, oob = frame.buffers[0], tuple(frame.buffers[1:])
+        else:
+            try:
+                credential, image = pickle.loads(frame.payload)
+            except Exception as exc:
+                return pickle.dumps(
+                    {"ok": False, "reason": f"bad fast-path payload: {exc}"}
+                )
         reason = self._landing_denial(credential)
         if reason is not None:
             self.server.telemetry.landings_denied.inc()
@@ -537,19 +816,24 @@ class Navigator:
         )
         deserialize_started = time.perf_counter()
         try:
-            naplet: "Naplet" = self.server.serializer.loads(image, self.server.code_cache)
+            naplet, info = self.server.serializer.loads_with_info(
+                image, self.server.code_cache, buffers=oob or None
+            )
+        except (DeltaBaseMissingError, ShippedCodeMissingError) as exc:
+            return self._need_full_ack(frame, exc)
         except Exception as exc:
             return pickle.dumps({"ok": False, "reason": f"deserialization failed: {exc}"})
+        self._note_arrived_image(frame, info)
         self.receive(
             naplet,
             arrived_from=frame.source,
-            payload_bytes=len(image),
+            payload_bytes=_image_nbytes(image, oob),
             trace_parent=frame.headers.get("trace-parent"),
             departed_from=frame.source,
             deserialize_s=time.perf_counter() - deserialize_started,
         )
         self._remember_transfer(frame, naplet.naplet_id)
-        return _ACK_OK
+        return self._landing_ack(info)
 
     def receive(
         self,

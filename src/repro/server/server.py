@@ -77,6 +77,12 @@ class ServerConfig:
     # with this off answers fast-path transfers with an "unsupported" ack
     # and the source falls back to the two-phase protocol.
     migration_fast_path: bool = True
+    # Delta state shipping (DESIGN.md §6.7): repeat hops ship only changed
+    # fields as a v2 envelope against a base image the destination acked.
+    # Off, the server emits and accepts only v1 full images — the v1-only
+    # peer posture; senders that see its rejection downgrade transparently.
+    delta_shipping: bool = True
+    delta_cache_capacity: int = 64  # base images kept per server (LRU)
     # Resilience policies (DESIGN.md §6.3).  The defaults are the
     # single-attempt policies — exactly the historical give-up behavior —
     # so existing spaces are unaffected until a config opts in.
@@ -159,6 +165,8 @@ class NapletServer:
             registry=code_registry,
             eager_code=self.config.eager_code,
             observer=self.telemetry.serializer_observer(),
+            delta_shipping=self.config.delta_shipping,
+            delta_cache_capacity=self.config.delta_cache_capacity,
         )
         self.code_cache = CodeCache(
             code_registry, fetch_observer=self._on_code_fetch, event_log=self.events

@@ -83,6 +83,19 @@ class ServerTelemetry:
             "naplet_duplicate_transfers_total",
             "Retransmitted transfers re-acked without landing a second copy",
         )
+        self.delta_hops = reg.counter(
+            "naplet_delta_hops_total",
+            "Hops that shipped a delta image instead of a full one",
+        )
+        self.delta_saved_bytes = reg.counter(
+            "naplet_delta_saved_bytes_total",
+            "Bytes delta shipping kept off the wire (unchanged cached fields)",
+        )
+        self.delta_full_reships = reg.counter(
+            "naplet_delta_full_reships_total",
+            "Deltas refused by the destination (base evicted / code missing) "
+            "that were transparently re-shipped as full images",
+        )
         self.hop_latency = reg.histogram(
             "naplet_hop_latency_seconds",
             "End-to-end migration latency (LAUNCH grant to transfer ack)",

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.core.errors import NapletCommunicationError
@@ -85,12 +85,35 @@ class Frame:
     # request/reply exchanges can share one connection.  ``None`` means the
     # frame travelled on a dedicated (or synchronous in-memory) channel.
     correlation_id: int | None = None
+    # Out-of-band segments (pickle protocol 5): bytes-like blocks shipped
+    # beside the payload.  The pooled TCP wire writes them as separate
+    # frame segments with no re-copy; the in-memory transport hands them
+    # over by reference.  Items may be memoryviews — transports that must
+    # pickle the whole frame call :meth:`picklable` first.
+    buffers: tuple = ()
 
     @property
     def size(self) -> int:
-        """Approximate on-wire size in bytes (payload + header text)."""
+        """Approximate on-wire size in bytes (payload + buffers + header text)."""
         header_bytes = sum(len(k) + len(v) for k, v in self.headers.items())
-        return len(self.payload) + header_bytes + len(self.kind) + len(self.source) + len(self.dest)
+        buffer_bytes = sum(
+            b.nbytes if isinstance(b, memoryview) else len(b) for b in self.buffers
+        )
+        return (
+            len(self.payload) + buffer_bytes + header_bytes
+            + len(self.kind) + len(self.source) + len(self.dest)
+        )
+
+    def picklable(self) -> "Frame":
+        """This frame with every buffer materialized to ``bytes``.
+
+        Memoryviews do not pickle; the legacy (unpooled) wire paths that
+        serialize the whole frame flatten them first — a copy, which is
+        exactly the baseline those paths represent.
+        """
+        if all(isinstance(b, bytes) for b in self.buffers):
+            return self
+        return replace(self, buffers=tuple(bytes(b) for b in self.buffers))
 
 
 FrameHandler = Callable[[Frame], bytes | None]

@@ -10,6 +10,11 @@ request/reply exchanges over it:
   ``("req", correlation_id, frame, expects_reply)``; replies come back as
   ``("rep", correlation_id, payload)`` or ``("err", correlation_id, text)``
   when the remote handler raised;
+- a frame carrying out-of-band buffers (pickle protocol 5, DESIGN.md §6.7)
+  travels as ``("reqb", correlation_id, frame_sans_buffers, expects_reply,
+  sizes)`` followed by one raw segment per buffer, written straight from
+  the buffer memory with no intermediate concatenation; the server reads
+  the announced sizes back into fresh memoryviews;
 - a :class:`PooledConnection` owns the socket: senders serialize on a write
   lock, a single reader thread demultiplexes replies to per-request waiters
   by correlation id, so N threads can have N requests in flight at once;
@@ -29,6 +34,7 @@ import itertools
 import pickle
 import socket
 import threading
+from dataclasses import replace
 from typing import Callable
 
 from repro.core.errors import NapletCommunicationError
@@ -40,6 +46,7 @@ _LEN_SIZE = 4
 MAX_FRAME = 64 * 1024 * 1024
 
 REQ = "req"
+REQB = "reqb"  # request with out-of-band buffer segments
 REP = "rep"
 ERR = "err"
 
@@ -76,6 +83,38 @@ def recv_blob(sock: socket.socket, allow_eof: bool = False) -> bytes | None:
     if length > MAX_FRAME:
         raise NapletCommunicationError(f"frame too large: {length} bytes")
     return _recv_exact(sock, length)
+
+
+def send_blob_segments(
+    sock: socket.socket, blob: bytes, segments: tuple
+) -> int:
+    """Write ``blob`` (length-prefixed) then each raw segment, in order.
+
+    The segments go to the socket straight from their backing memory —
+    memoryviews from ``PickleBuffer.raw()`` are never concatenated into a
+    userspace copy.  Returns the total bytes written past the prefix.
+    """
+    if len(blob) > MAX_FRAME:
+        raise NapletCommunicationError(f"frame too large: {len(blob)} bytes")
+    total = len(blob)
+    sock.sendall(len(blob).to_bytes(_LEN_SIZE, "big") + blob)
+    for segment in segments:
+        nbytes = segment.nbytes if isinstance(segment, memoryview) else len(segment)
+        if nbytes > MAX_FRAME:
+            raise NapletCommunicationError(f"frame segment too large: {nbytes} bytes")
+        sock.sendall(segment)
+        total += nbytes
+    return total
+
+
+def recv_segments(sock: socket.socket, sizes: list[int]) -> tuple:
+    """Read the announced out-of-band segments into fresh memoryviews."""
+    segments = []
+    for size in sizes:
+        if size > MAX_FRAME:
+            raise NapletCommunicationError(f"frame segment too large: {size} bytes")
+        segments.append(memoryview(_recv_exact(sock, size)))
+    return tuple(segments)
 
 
 class _Waiter:
@@ -143,19 +182,37 @@ class PooledConnection:
 
     # -- wire operations ---------------------------------------------------- #
 
+    def _write_request(self, frame: Frame, expects_reply: bool, cid: int) -> int:
+        """Serialize and write one request; returns its wire size in bytes.
+
+        Frames with out-of-band buffers use the segmented ``REQB`` layout:
+        only the buffer-less frame core is pickled, the buffers follow as
+        raw segments written from their own memory (zero-copy).
+        """
+        frame.correlation_id = cid
+        if frame.buffers:
+            sizes = [
+                b.nbytes if isinstance(b, memoryview) else len(b)
+                for b in frame.buffers
+            ]
+            core = replace(frame, buffers=())
+            blob = pickle.dumps((REQB, cid, core, expects_reply, sizes))
+            with self._send_lock:
+                return send_blob_segments(self.sock, blob, frame.buffers)
+        blob = pickle.dumps((REQ, cid, frame, expects_reply))
+        with self._send_lock:
+            send_blob(self.sock, blob)
+        return len(blob)
+
     def _post(self, frame: Frame, expects_reply: bool) -> int:
         cid = next(self._ids)
-        frame.correlation_id = cid
-        blob = pickle.dumps((REQ, cid, frame, expects_reply))
         try:
-            with self._send_lock:
-                send_blob(self.sock, blob)
+            return self._write_request(frame, expects_reply, cid)
         except OSError as exc:
             self.close()
             raise ConnectionClosedError(
                 f"pooled connection to {self.dest} died: {exc}"
             ) from exc
-        return len(blob)
 
     def send(self, frame: Frame) -> int:
         """Fire-and-forget delivery; returns the wire bytes written."""
@@ -175,13 +232,10 @@ class PooledConnection:
             raise ConnectionClosedError(f"pooled connection to {self.dest} is closed")
         waiter = _Waiter()
         cid = next(self._ids)
-        frame.correlation_id = cid
         with self._pending_lock:
             self._pending[cid] = waiter
-        blob = pickle.dumps((REQ, cid, frame, True))
         try:
-            with self._send_lock:
-                send_blob(self.sock, blob)
+            sent = self._write_request(frame, True, cid)
         except OSError as exc:
             with self._pending_lock:
                 self._pending.pop(cid, None)
@@ -202,7 +256,7 @@ class PooledConnection:
                 f"request to {frame.dest} failed remotely: {waiter.error}"
             )
         assert waiter.payload is not None
-        return waiter.payload, len(blob), waiter.nbytes
+        return waiter.payload, sent, waiter.nbytes
 
     def close(self) -> None:
         self._dead.set()

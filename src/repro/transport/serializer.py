@@ -12,6 +12,26 @@ the paper's model) only the tuple travels and the destination's
 :class:`~repro.codeshipping.codebase.CodeCache` fetches code on a miss; in
 **eager** mode the referenced module sources are attached to the envelope so
 no fetch is ever needed — the E8 benchmark compares the two.
+
+Two envelope versions exist (DESIGN.md §6.7):
+
+- **v1** — one opaque pickle plus eager code bundles.  Always
+  self-contained; produced by :meth:`NapletSerializer.dumps` and used for
+  messages, freeze/thaw images, and peers that predate v2.
+- **v2** — a *per-field* image of a tracked naplet: each ``__getstate__``
+  entry pickled separately, content-hashed, and shipped either whole
+  (``mode: full``) or as only the fields changed since a base image the
+  destination acked (``mode: delta``).  Field bytes are wrapped in
+  :class:`pickle.PickleBuffer` so protocol-5 transports move them as
+  out-of-band frame segments without re-copying; eager code bundles are
+  replaced by ``code_refs`` content hashes when the destination already
+  holds the module.  Produced only by :meth:`dumps_with_cost`, the
+  migration path.
+
+The v2 machinery is conservative by construction: a field is re-used from
+the cache (no re-pickle) only when it provably cannot have changed; a
+delta is emitted only when the destination acked the exact base hash; and
+every composed image is hash-verified on the receiving side.
 """
 
 from __future__ import annotations
@@ -20,7 +40,7 @@ import io
 import pickle
 import time
 from dataclasses import dataclass
-from typing import Any, Protocol
+from typing import Any, Iterable, Protocol
 
 from repro.codeshipping.codebase import CodeBaseRegistry, CodeCache
 from repro.codeshipping.shipping import (
@@ -28,25 +48,45 @@ from repro.codeshipping.shipping import (
     resolver_installed,
     shipping_stamp_of,
 )
-from repro.core.errors import SerializationError
+from repro.core.errors import (
+    DeltaBaseMissingError,
+    SerializationError,
+    ShippedCodeMissingError,
+)
+from repro.core.tracking import TrackedState, delta_fingerprint, is_delta_stable
+from repro.transport.delta import (
+    DeltaCache,
+    FieldEntry,
+    ImageRecord,
+    content_hash,
+    image_hash,
+)
 
 __all__ = ["NapletSerializer", "SerializeCost", "SerializerObserver"]
 
-_ENVELOPE_VERSION = 1
+_V1 = 1
+_V2 = 2
 
 
 @dataclass(frozen=True)
 class SerializeCost:
     """What one ``dumps`` cost: time and the byte split of the envelope.
 
-    ``code_bytes`` counts eager code bundles riding in the envelope (zero
-    in lazy mode, where code travels on a later fetch instead).
+    ``total_bytes`` is the full wire size including out-of-band buffers;
+    ``payload_bytes`` the pickled object bytes actually shipped (for a
+    delta, only the changed fields); ``code_bytes`` counts eager code
+    bundles riding in the envelope (zero in lazy mode, where code travels
+    on a later fetch instead).  ``delta``/``saved_bytes`` report the delta
+    fast path: bytes of unchanged fields the destination's base cache made
+    unnecessary to ship.
     """
 
     seconds: float
     total_bytes: int
     payload_bytes: int
     code_bytes: int
+    delta: bool = False
+    saved_bytes: int = 0
 
 
 class SerializerObserver(Protocol):
@@ -57,14 +97,27 @@ class SerializerObserver(Protocol):
     def deserialized(self, seconds: float, nbytes: int) -> None: ...
 
 
-class _ShippingPickler(pickle.Pickler):
-    """Pickler that reduces stamped instances by codebase reference."""
+class _SelfReferential(Exception):
+    """Internal: a field's object graph reaches back to the naplet itself."""
 
-    def __init__(self, file: io.BytesIO, protocol: int) -> None:
+
+class _ShippingPickler(pickle.Pickler):
+    """Pickler that reduces stamped instances by codebase reference.
+
+    ``root`` guards per-field pickling: a field whose object graph reaches
+    back to the naplet being decomposed would unpickle as a detached copy,
+    so such naplets bail out of the v2 path entirely (v1 pickles the whole
+    graph with one shared memo and keeps the cycle intact).
+    """
+
+    def __init__(self, file: io.BytesIO, protocol: int, root: Any = None) -> None:
         super().__init__(file, protocol)
         self.stamps_seen: set[tuple[str, str, str]] = set()
+        self._root = root
 
     def reducer_override(self, obj: Any) -> Any:
+        if self._root is not None and obj is self._root:
+            raise _SelfReferential
         if isinstance(obj, type):
             return NotImplemented
         stamp = shipping_stamp_of(obj)
@@ -76,8 +129,19 @@ class _ShippingPickler(pickle.Pickler):
         return (_reconstruct_shipped, stamp, state)
 
 
+def _buf_bytes(buffers: Iterable[Any]) -> int:
+    return sum(b.nbytes if isinstance(b, memoryview) else len(b) for b in buffers)
+
+
 class NapletSerializer:
-    """Envelope-based serializer with optional eager code bundling."""
+    """Envelope-based serializer with optional eager code bundling.
+
+    With ``delta_shipping`` on (the default), migrating naplets go out as
+    v2 per-field images and repeat hops toward a destination that acked a
+    base hash ship deltas; off, every image is a v1 pickle and incoming v2
+    envelopes are rejected — the "v1-only peer" posture the negotiation
+    tests exercise.
+    """
 
     def __init__(
         self,
@@ -85,6 +149,8 @@ class NapletSerializer:
         eager_code: bool = False,
         protocol: int = pickle.HIGHEST_PROTOCOL,
         observer: SerializerObserver | None = None,
+        delta_shipping: bool = True,
+        delta_cache_capacity: int = 64,
     ) -> None:
         if eager_code and registry is None:
             raise SerializationError("eager code shipping needs a codebase registry")
@@ -92,24 +158,81 @@ class NapletSerializer:
         self._eager = eager_code
         self._protocol = protocol
         self._observer = observer
+        self._delta = delta_shipping
+        self._delta_cache = DeltaCache(delta_cache_capacity)
 
     @property
     def eager_code(self) -> bool:
         return self._eager
 
+    @property
+    def delta_shipping(self) -> bool:
+        return self._delta
+
+    @property
+    def delta_cache(self) -> DeltaCache:
+        """Per-naplet base-image cache (sender and receiver roles share it)."""
+        return self._delta_cache
+
     # -- encode --------------------------------------------------------------- #
 
     def dumps(self, obj: Any) -> bytes:
-        """Serialize *obj* into an envelope ready for a frame payload."""
-        return self.dumps_with_cost(obj)[0]
+        """Serialize *obj* into a self-contained v1 envelope.
 
-    def dumps_with_cost(self, obj: Any) -> tuple[bytes, SerializeCost]:
-        """Serialize *obj* and report what the call cost.
-
-        The :class:`SerializeCost` carries elapsed seconds and the
-        payload/code byte decomposition of the envelope — the navigator
-        attributes these to the hop (DESIGN.md §6.6).
+        Always v1 and always in-band: the result round-trips through any
+        reader and any storage (freeze/thaw images, message bodies) with
+        no delta cache or buffer plumbing involved.
         """
+        data, cost = self._encode_v1(obj)
+        if self._observer is not None:
+            self._observer.serialized(cost)
+        return data
+
+    def dumps_with_cost(
+        self,
+        obj: Any,
+        *,
+        base_hint: str | None = None,
+        known_code: set[str] | None = None,
+        force_v1: bool = False,
+    ) -> tuple[bytes, list[Any], SerializeCost]:
+        """Serialize *obj* for migration: ``(data, buffers, cost)``.
+
+        ``buffers`` are protocol-5 out-of-band segments (memoryviews over
+        the field pickles) a capable transport ships without re-copying;
+        pass them back to :meth:`loads` unchanged.  ``base_hint`` is the
+        image hash the destination acked holding for this naplet — when it
+        matches the sender's cache, only changed fields ship (``mode:
+        delta``).  ``known_code`` holds content hashes of modules the
+        destination's code cache was seen holding; matching eager bundles
+        are replaced by hash references.  ``force_v1`` drops to the legacy
+        envelope for peers that rejected v2.
+        """
+        nid = self._trackable_id(obj) if self._delta and not force_v1 else None
+        if nid is not None:
+            state = obj.__getstate__()
+            if isinstance(state, dict):
+                encoded = self._encode_v2(obj, nid, state, base_hint, known_code)
+                if encoded is not None:
+                    data, buffers, cost = encoded
+                    if self._observer is not None:
+                        self._observer.serialized(cost)
+                    return data, buffers, cost
+        data, cost = self._encode_v1(obj)
+        if self._observer is not None:
+            self._observer.serialized(cost)
+        return data, [], cost
+
+    @staticmethod
+    def _trackable_id(obj: Any) -> str | None:
+        """The naplet-id cache key, or None when *obj* can't travel as v2."""
+        if not isinstance(obj, TrackedState):
+            return None
+        if not getattr(obj, "has_id", False):
+            return None
+        return str(obj.naplet_id)
+
+    def _encode_v1(self, obj: Any) -> tuple[bytes, SerializeCost]:
         started = time.perf_counter()
         buffer = io.BytesIO()
         pickler = _ShippingPickler(buffer, self._protocol)
@@ -124,7 +247,7 @@ class NapletSerializer:
                 codebase = self._registry.get(codebase_name)
                 bundles[(codebase_name, module_key)] = codebase.source_of(module_key)
         envelope = {
-            "v": _ENVELOPE_VERSION,
+            "v": _V1,
             "payload": buffer.getvalue(),
             "bundles": bundles,
         }
@@ -135,28 +258,209 @@ class NapletSerializer:
             payload_bytes=len(envelope["payload"]),
             code_bytes=sum(len(source.encode("utf-8")) for source in bundles.values()),
         )
-        if self._observer is not None:
-            self._observer.serialized(cost)
         return data, cost
+
+    def _pickle_field(self, root: Any, name: str, value: Any) -> tuple[bytes, frozenset]:
+        buffer = io.BytesIO()
+        pickler = _ShippingPickler(buffer, self._protocol, root=root)
+        try:
+            pickler.dump(value)
+        except _SelfReferential:
+            raise
+        except (TypeError, AttributeError, pickle.PicklingError) as exc:
+            raise SerializationError(
+                f"cannot serialize field {name!r} of {type(root).__name__}: {exc}"
+            ) from exc
+        return buffer.getvalue(), frozenset(pickler.stamps_seen)
+
+    def _encode_v2(
+        self,
+        obj: Any,
+        nid: str,
+        state: dict[str, Any],
+        base_hint: str | None,
+        known_code: set[str] | None,
+    ) -> tuple[bytes, list[Any], SerializeCost] | None:
+        started = time.perf_counter()
+        dirty = obj.dirty_fields()
+        prev = self._delta_cache.get(nid)
+        new_fields: dict[str, FieldEntry] = {}
+        try:
+            for name, value in state.items():
+                entry = prev.fields.get(name) if prev is not None else None
+                if (
+                    entry is not None
+                    and name not in dirty
+                    and entry.value is value
+                    and (
+                        is_delta_stable(value)
+                        or (
+                            entry.fingerprint is not None
+                            and entry.fingerprint == delta_fingerprint(value)
+                        )
+                    )
+                ):
+                    # Provably unchanged: reuse bytes and hash, skip the pickle.
+                    new_fields[name] = entry
+                    continue
+                data, stamps = self._pickle_field(obj, name, value)
+                digest = content_hash(data)
+                if entry is not None and entry.hash == digest:
+                    # Re-pickled to the same content (e.g. rebound to an
+                    # equal value): keep the old bytes object, refresh the
+                    # identity and fingerprint for the next hop's skip.
+                    data = entry.data
+                new_fields[name] = FieldEntry(
+                    data=data,
+                    hash=digest,
+                    value=value,
+                    fingerprint=delta_fingerprint(value),
+                    stamps=stamps,
+                )
+        except _SelfReferential:
+            return None  # field graph reaches the naplet itself: v1 keeps the cycle
+        img_hash = image_hash({n: e.hash for n, e in new_fields.items()})
+        prev_hashes = prev.field_hashes() if prev is not None else {}
+        delta_mode = (
+            base_hint is not None and prev is not None and prev.hash == base_hint
+        )
+        if delta_mode:
+            shipped = {
+                n: e for n, e in new_fields.items() if prev_hashes.get(n) != e.hash
+            }
+            removed = [n for n in prev_hashes if n not in new_fields]
+        else:
+            shipped = new_fields
+            removed = []
+
+        stamp = shipping_stamp_of(obj)
+        if stamp is not None:
+            cls_ref: tuple[str, Any] = ("stamp", stamp)
+        else:
+            try:
+                cls_ref = ("pickle", pickle.dumps(type(obj), self._protocol))
+            except Exception as exc:
+                raise SerializationError(
+                    f"cannot serialize {type(obj).__name__}: {exc}"
+                ) from exc
+
+        stamps: set[tuple[str, str, str]] = set() if stamp is None else {stamp}
+        for entry in shipped.values():
+            stamps.update(entry.stamps)
+        bundles: dict[tuple[str, str], str] = {}
+        code_refs: dict[tuple[str, str], str] = {}
+        if self._eager and stamps:
+            assert self._registry is not None
+            for codebase_name, module_key, _qualname in stamps:
+                key = (codebase_name, module_key)
+                if key in bundles or key in code_refs:
+                    continue
+                codebase = self._registry.get(codebase_name)
+                module_hash = codebase.hash_of(module_key)
+                if known_code and module_hash in known_code:
+                    code_refs[key] = module_hash
+                else:
+                    bundles[key] = codebase.source_of(module_key)
+
+        envelope: dict[str, Any] = {
+            "v": _V2,
+            "mode": "delta" if delta_mode else "full",
+            "nid": nid,
+            "cls": cls_ref,
+            "hash": img_hash,
+            "fields": {n: self._wrap(e.data) for n, e in shipped.items()},
+            "bundles": bundles,
+            "code_refs": code_refs,
+        }
+        if delta_mode:
+            envelope["base"] = base_hint
+            envelope["removed"] = removed
+        data, buffers = self._pack(envelope)
+        payload_bytes = sum(len(e.data) for e in shipped.values())
+        image_bytes = sum(len(e.data) for e in new_fields.values())
+        cost = SerializeCost(
+            seconds=time.perf_counter() - started,
+            total_bytes=len(data) + _buf_bytes(buffers),
+            payload_bytes=payload_bytes,
+            code_bytes=sum(len(s.encode("utf-8")) for s in bundles.values()),
+            delta=delta_mode,
+            saved_bytes=image_bytes - payload_bytes if delta_mode else 0,
+        )
+        self._delta_cache.put(
+            nid, ImageRecord(hash=img_hash, cls_ref=cls_ref, fields=new_fields)
+        )
+        obj.clear_dirty()
+        return data, buffers, cost
+
+    def _wrap(self, data: bytes) -> Any:
+        """Field bytes as they sit in the envelope: protocol-5 readers get
+        a :class:`pickle.PickleBuffer`, so packing with a buffer callback
+        moves them out-of-band with zero copies (and in-band otherwise)."""
+        if self._protocol >= 5:
+            return pickle.PickleBuffer(data)
+        return data
+
+    def _pack(self, envelope: dict[str, Any]) -> tuple[bytes, list[Any]]:
+        if self._protocol >= 5:
+            raw: list[pickle.PickleBuffer] = []
+            data = pickle.dumps(envelope, self._protocol, buffer_callback=raw.append)
+            return data, [pb.raw() for pb in raw]
+        return pickle.dumps(envelope, self._protocol), []
 
     # -- decode --------------------------------------------------------------- #
 
-    def loads(self, data: bytes, cache: CodeCache | None = None) -> Any:
-        """Deserialize an envelope; *cache* resolves shipped classes."""
-        started = time.perf_counter()
-        result = self._loads(data, cache)
-        if self._observer is not None:
-            self._observer.deserialized(time.perf_counter() - started, len(data))
-        return result
+    def loads(
+        self, data: bytes, cache: CodeCache | None = None, *, buffers: Any = None
+    ) -> Any:
+        """Deserialize an envelope; *cache* resolves shipped classes.
 
-    def _loads(self, data: bytes, cache: CodeCache | None) -> Any:
+        ``buffers`` are the out-of-band segments that travelled beside the
+        envelope (``Frame.buffers``); v1 envelopes and in-band v2
+        envelopes need none.
+        """
+        return self.loads_with_info(data, cache, buffers=buffers)[0]
+
+    def loads_with_info(
+        self, data: bytes, cache: CodeCache | None = None, *, buffers: Any = None
+    ) -> tuple[Any, dict[str, Any]]:
+        """Like :meth:`loads`, also reporting ``{v, mode, nid, hash}``.
+
+        The navigator's landing handler uses the info to ack the base hash
+        it now caches, closing the delta negotiation loop.
+        """
+        started = time.perf_counter()
+        result, info = self._loads(data, cache, buffers)
+        if self._observer is not None:
+            nbytes = len(data) + _buf_bytes(buffers or ())
+            self._observer.deserialized(time.perf_counter() - started, nbytes)
+        return result, info
+
+    def _loads(
+        self, data: bytes, cache: CodeCache | None, buffers: Any
+    ) -> tuple[Any, dict[str, Any]]:
         try:
-            envelope = pickle.loads(data)
+            envelope = pickle.loads(data, buffers=buffers)
         except Exception as exc:
             raise SerializationError(f"corrupt envelope: {exc}") from exc
-        if not isinstance(envelope, dict) or envelope.get("v") != _ENVELOPE_VERSION:
+        if not isinstance(envelope, dict):
             raise SerializationError("unrecognised envelope format")
-        bundles: dict[tuple[str, str], str] = envelope["bundles"]
+        version = envelope.get("v")
+        if version == _V1:
+            obj = self._loads_v1(envelope, cache)
+            return obj, {"v": _V1, "mode": "full", "nid": None, "hash": None}
+        if version == _V2:
+            if not self._delta:
+                raise SerializationError(
+                    "v2 (delta-shipping) envelope, but this reader only "
+                    "accepts v1 — the sender must fall back to a full v1 image"
+                )
+            return self._loads_v2(envelope, cache)
+        raise SerializationError("unrecognised envelope format")
+
+    def _install_bundles(
+        self, envelope: dict[str, Any], cache: CodeCache | None
+    ) -> None:
+        bundles: dict[tuple[str, str], str] = envelope.get("bundles") or {}
         if bundles:
             if cache is None:
                 raise SerializationError(
@@ -164,6 +468,9 @@ class NapletSerializer:
                 )
             for (codebase_name, module_key), source in bundles.items():
                 cache.install_source(codebase_name, module_key, source)
+
+    def _loads_v1(self, envelope: dict[str, Any], cache: CodeCache | None) -> Any:
+        self._install_bundles(envelope, cache)
         payload: bytes = envelope["payload"]
         try:
             if cache is not None:
@@ -175,8 +482,128 @@ class NapletSerializer:
         except Exception as exc:
             raise SerializationError(f"cannot deserialize payload: {exc}") from exc
 
+    def _loads_v2(
+        self, envelope: dict[str, Any], cache: CodeCache | None
+    ) -> tuple[Any, dict[str, Any]]:
+        mode = envelope.get("mode")
+        nid = envelope.get("nid")
+        img_hash = envelope.get("hash")
+        shipped = envelope.get("fields")
+        cls_ref = envelope.get("cls")
+        if (
+            mode not in ("full", "delta")
+            or not isinstance(nid, str)
+            or not isinstance(img_hash, str)
+            or not isinstance(shipped, dict)
+            or not isinstance(cls_ref, tuple)
+        ):
+            raise SerializationError("malformed v2 envelope")
+        self._install_bundles(envelope, cache)
+        for (codebase_name, module_key), module_hash in (
+            envelope.get("code_refs") or {}
+        ).items():
+            if cache is None or not cache.holds(codebase_name, module_key, module_hash):
+                raise ShippedCodeMissingError(
+                    f"envelope references module {module_key!r} of codebase "
+                    f"{codebase_name!r} by hash {module_hash[:12]}, which this "
+                    "server does not hold — sender must re-ship the bundle"
+                )
+
+        # Compose the per-field byte image: delta patches onto the base.
+        field_bytes: dict[str, Any] = {}
+        field_hashes: dict[str, str] = {}
+        if mode == "delta":
+            base_hash = envelope.get("base")
+            base = (
+                self._delta_cache.get(nid, base_hash)
+                if isinstance(base_hash, str)
+                else None
+            )
+            if base is None:
+                raise DeltaBaseMissingError(
+                    f"delta for naplet {nid} needs base image "
+                    f"{str(base_hash)[:12]} which is not cached here — "
+                    "sender must re-ship the full image"
+                )
+            removed = set(envelope.get("removed") or ())
+            for name, entry in base.fields.items():
+                if name in removed:
+                    continue
+                field_bytes[name] = entry.data
+                field_hashes[name] = entry.hash
+        for name, blob in shipped.items():
+            field_bytes[name] = blob
+            field_hashes[name] = content_hash(blob)
+        if image_hash(field_hashes) != img_hash:
+            raise SerializationError(
+                f"composed image for naplet {nid} does not match the "
+                "announced content hash (base drift or corrupt delta)"
+            )
+
+        kind, ref = cls_ref
+        if kind == "stamp":
+            if cache is None:
+                raise SerializationError(
+                    "v2 envelope ships a stamped class but no code cache was provided"
+                )
+            cls = cache.resolve(*ref)
+        elif kind == "pickle":
+            try:
+                cls = pickle.loads(ref)
+            except Exception as exc:
+                raise SerializationError(f"cannot resolve naplet class: {exc}") from exc
+        else:
+            raise SerializationError(f"unknown class reference kind {kind!r}")
+
+        state: dict[str, Any] = {}
+        new_fields: dict[str, FieldEntry] = {}
+
+        def _unpickle_all() -> None:
+            for name, blob in field_bytes.items():
+                try:
+                    value = pickle.loads(blob)
+                except SerializationError:
+                    raise
+                except Exception as exc:
+                    raise SerializationError(
+                        f"cannot deserialize field {name!r}: {exc}"
+                    ) from exc
+                state[name] = value
+                new_fields[name] = FieldEntry(
+                    data=blob if isinstance(blob, bytes) else bytes(blob),
+                    hash=field_hashes[name],
+                    value=value,
+                    fingerprint=delta_fingerprint(value),
+                )
+
+        if cache is not None:
+            with resolver_installed(cache):
+                _unpickle_all()
+        else:
+            _unpickle_all()
+
+        obj = cls.__new__(cls)
+        setstate = getattr(obj, "__setstate__", None)
+        if callable(setstate):
+            setstate(state)
+        else:
+            obj.__dict__.update(state)
+        # Seed the base cache with the composed image: the field values in
+        # the entries ARE the objects now installed on the naplet, so a
+        # return hop from this server gets the identity-based pickle skip.
+        self._delta_cache.put(
+            nid, ImageRecord(hash=img_hash, cls_ref=cls_ref, fields=new_fields)
+        )
+        return obj, {"v": _V2, "mode": mode, "nid": nid, "hash": img_hash}
+
     # -- sizing ----------------------------------------------------------------- #
 
     def payload_size(self, obj: Any) -> int:
-        """On-wire size of *obj* under this serializer's settings."""
-        return len(self.dumps(obj))
+        """On-wire size of *obj* under this serializer's settings.
+
+        A pure probe: bypasses the perf observer (a sizing call is not a
+        hop — see the telemetry-pollution regression test) and never
+        touches the delta caches, so probing a naplet mid-flight cannot
+        perturb the delta negotiation.
+        """
+        return len(self._encode_v1(obj)[0])

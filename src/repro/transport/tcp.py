@@ -35,7 +35,9 @@ from repro.transport.pool import (
     ERR,
     REP,
     REQ,
+    REQB,
     recv_blob,
+    recv_segments,
     send_blob,
 )
 
@@ -99,7 +101,19 @@ class _Endpoint:
                         break  # clean close at a frame boundary
                     self._transport._account_received(self.urn, len(blob))
                     envelope = pickle.loads(blob)
-                    if len(envelope) == 4 and envelope[0] == REQ:
+                    if len(envelope) == 5 and envelope[0] == REQB:
+                        # Segmented request: raw out-of-band buffers follow
+                        # the header blob on the same connection (the sender
+                        # holds its write lock across the whole message).
+                        _tag, cid, frame, expects_reply, sizes = envelope
+                        frame.buffers = recv_segments(conn, sizes)
+                        self._transport._account_received(
+                            self.urn, sum(b.nbytes for b in frame.buffers)
+                        )
+                        self._workers.submit(
+                            self._handle_one, conn, write_lock, cid, frame, expects_reply
+                        )
+                    elif len(envelope) == 4 and envelope[0] == REQ:
                         _tag, cid, frame, expects_reply = envelope
                         self._workers.submit(
                             self._handle_one, conn, write_lock, cid, frame, expects_reply
@@ -272,7 +286,7 @@ class TcpTransport(Transport):
             self._note_connection_opened(frame.dest)
             try:
                 with sock:
-                    blob = pickle.dumps((frame, False))
+                    blob = pickle.dumps((frame.picklable(), False))
                     send_blob(sock, blob)
                     self._account_sent(frame.source, len(blob))
             except OSError as exc:
@@ -290,7 +304,7 @@ class TcpTransport(Transport):
                 with sock:
                     if timeout is not None:
                         sock.settimeout(timeout)
-                    blob = pickle.dumps((frame, True))
+                    blob = pickle.dumps((frame.picklable(), True))
                     send_blob(sock, blob)
                     self._account_sent(frame.source, len(blob))
                     raw = recv_blob(sock)

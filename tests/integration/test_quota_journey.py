@@ -48,8 +48,13 @@ class TestQuotaEnforcement:
             lambda: servers["s01"].monitor.outcomes.get(NapletOutcome.QUOTA, 0) == 1,
             timeout=20,
         )
-        footprint = servers["s01"].manager.footprint(nid)
-        assert footprint.outcome == NapletOutcome.QUOTA
+        # The outcome counter ticks before on_retire writes the footprint:
+        # poll the footprint itself rather than racing that window.
+        assert wait_until(
+            lambda: getattr(servers["s01"].manager.footprint(nid), "outcome", None)
+            == NapletOutcome.QUOTA,
+            timeout=5,
+        )
 
     def test_quota_policy_targets_specific_owners(self, space):
         def policy(credential):

@@ -90,6 +90,8 @@ class TestFlattenAndDirections:
             ("messages_per_sec", "higher"),
             ("hops", "neutral"),
             ("rt_frames_per_hop", "lower"),
+            ("delta_on.bytes_per_hop", "lower"),
+            ("delta_on.hops_per_sec", "higher"),
         ],
     )
     def test_metric_direction(self, key, direction):
@@ -98,8 +100,15 @@ class TestFlattenAndDirections:
     def test_timing_metrics_identified_for_structural_mode(self):
         assert is_timing_metric("hop_latency_p50_ms")
         assert is_timing_metric("messages_per_sec")
+        assert is_timing_metric("hops_per_sec")
         assert not is_timing_metric("rt_frames_per_hop")
         assert not is_timing_metric("connections_opened_for_hops")
+
+    def test_bytes_per_hop_is_structural_despite_reading_like_a_rate(self):
+        # Wire bytes per migration hop are a protocol fact, not machine
+        # speed: CI's structural gate must compare them (lower is better).
+        assert not is_timing_metric("bytes_per_hop")
+        assert metric_direction("delta_full.bytes_per_hop") == "lower"
 
 
 class TestDiff:
@@ -161,6 +170,17 @@ class TestDiff:
         }
         structural = diff_bench(old, new, tolerance=0.2, structural_only=True)
         assert [e.key for e in structural.regressions] == ["rt_frames_per_hop"]
+
+    def test_structural_gate_catches_bytes_per_hop_growth(self):
+        old = bench_snapshot(
+            "e8", {"delta_on": {"bytes_per_hop": 100_000.0, "hops_per_sec": 50.0}}
+        )
+        new = bench_snapshot(
+            "e8", {"delta_on": {"bytes_per_hop": 180_000.0, "hops_per_sec": 12.0}}
+        )
+        structural = diff_bench(old, new, tolerance=0.2, structural_only=True)
+        # hops_per_sec noise is excluded; the byte growth is not.
+        assert [e.key for e in structural.regressions] == ["delta_on.bytes_per_hop"]
 
     def test_zero_baseline_does_not_divide(self):
         old = bench_snapshot("e8", {"dials": 0.0})

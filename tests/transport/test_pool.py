@@ -174,3 +174,58 @@ class TestFrameSizeBoundary:
         assert transport.events.count("transport-connection-dropped") == 1
         # Valid traffic still flows.
         assert pickle.loads(transport.request(_frame("naplet://sturdy"), timeout=5)) == b"ok"
+
+
+class TestOutOfBandSegments:
+    """REQB frames: protocol-5 buffers travel as raw segments, uncopied."""
+
+    def test_request_with_buffers_round_trips_segments(self, transport):
+        seen = {}
+
+        def handler(frame):
+            seen["buffers"] = [bytes(b) for b in frame.buffers]
+            seen["payload"] = frame.payload
+            return pickle.dumps(len(frame.buffers))
+
+        transport.register("naplet://segmented", handler)
+        buffers = (b"\xaa" * 70_000, b"tail-segment")
+        frame = Frame(
+            kind=FrameKind.NAPLET_TRANSFER,
+            source="naplet://a",
+            dest="naplet://segmented",
+            payload=pickle.dumps("envelope-core"),
+            buffers=buffers,
+        )
+        assert pickle.loads(transport.request(frame, timeout=10)) == 2
+        assert seen["payload"] == pickle.dumps("envelope-core")
+        assert seen["buffers"] == [bytes(b) for b in buffers]
+
+    def test_buffer_bytes_are_accounted_on_the_wire(self, transport):
+        transport.register("naplet://meter", lambda f: pickle.dumps(f.size))
+        wire = transport.metrics.counter("wire_bytes_total")
+        before = int(wire.value(kind="naplet-transfer"))
+        frame = Frame(
+            kind=FrameKind.NAPLET_TRANSFER,
+            source="naplet://a",
+            dest="naplet://meter",
+            payload=b"p",
+            buffers=(b"\xbb" * 10_000,),
+        )
+        reported = pickle.loads(transport.request(frame, timeout=10))
+        # Frame.size counts the out-of-band segments on both ends ...
+        assert reported >= 10_000
+        assert frame.size >= 10_000
+        # ... and so does the byte meter for the transfer kind.
+        assert int(wire.value(kind="naplet-transfer")) - before >= 10_000
+
+    def test_bufferless_frames_still_use_plain_req(self, transport):
+        # A frame without buffers must not regress to the segmented layout
+        # (interop: v1-era peers only speak "req").
+        transport.register("naplet://plain", lambda f: pickle.dumps(f.buffers == ()))
+        frame = Frame(
+            kind=FrameKind.MESSAGE,
+            source="naplet://a",
+            dest="naplet://plain",
+            payload=b"p",
+        )
+        assert pickle.loads(transport.request(frame, timeout=10)) is True

@@ -68,6 +68,36 @@ class TestPlainRoundtrip:
         big = serializer.payload_size("x" * 10_000)
         assert 0 < small < big
 
+    def test_payload_size_bypasses_perf_observer(self):
+        # Regression: sizing probes used to flow through the observer and
+        # pollute naplet_serialize_seconds / hop-byte telemetry with
+        # phantom "hops".  payload_size must stay invisible.
+        class RecordingObserver:
+            def __init__(self):
+                self.serialized_calls = []
+                self.deserialized_calls = []
+
+            def serialized(self, cost):
+                self.serialized_calls.append(cost)
+
+            def deserialized(self, seconds, nbytes):
+                self.deserialized_calls.append(nbytes)
+
+        observer = RecordingObserver()
+        serializer = NapletSerializer(observer=observer)
+        serializer.payload_size({"k": "v" * 1000})
+        assert observer.serialized_calls == []
+        # ... while a real dumps is still observed exactly once.
+        serializer.dumps({"k": 1})
+        assert len(observer.serialized_calls) == 1
+
+    def test_payload_size_never_touches_the_delta_cache(self):
+        from tests.core.test_naplet import _identified
+
+        serializer = NapletSerializer()
+        serializer.payload_size(_identified("probe-sized"))
+        assert len(serializer.delta_cache) == 0
+
 
 class TestShippedClasses:
     def test_lazy_roundtrip_through_cache(self, registry, cache):
