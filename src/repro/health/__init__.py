@@ -8,7 +8,9 @@ observability (§6.4):
 - :mod:`repro.health.findings` — typed, severity-ranked watchdog findings;
 - :mod:`repro.health.plane`    — the per-server sampler + watchdog;
 - :mod:`repro.health.harvest`  — an itinerant probe that harvests health
-  over any transport, the paper's MAN pattern applied to the platform.
+  over any transport, the paper's MAN pattern applied to the platform;
+- :mod:`repro.health.observatory` — heartbeat load digests, the merged
+  per-server space view, and load-aware Alt/Par ordering (§6.8).
 """
 
 from repro.health.findings import FindingKind, HealthFinding, Severity
@@ -17,6 +19,12 @@ from repro.health.harvest import (
     JournalProbeNaplet,
     harvest_journal_via_probe,
     harvest_via_probe,
+)
+from repro.health.observatory import (
+    LoadDigest,
+    LoadObservatory,
+    LoadService,
+    SpaceView,
 )
 from repro.health.plane import HealthPlane
 from repro.health.profile import ProfileTable, ResourceProfile, ResourceSample
@@ -30,6 +38,10 @@ __all__ = [
     "harvest_via_probe",
     "JournalProbeNaplet",
     "harvest_journal_via_probe",
+    "LoadDigest",
+    "LoadObservatory",
+    "LoadService",
+    "SpaceView",
     "ProfileTable",
     "ResourceProfile",
     "ResourceSample",

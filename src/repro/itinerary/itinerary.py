@@ -94,6 +94,12 @@ class _AltFrame:
     pattern: AltPattern
     entered: bool = False
     tried_from: int = 0
+    # Load-ranked branch permutation from a duck-typed ops hook; None
+    # means static declaration order (the historical behavior, and the
+    # wire-compatible default for frames pickled by older servers).  With
+    # an order set, ``tried_from`` indexes positions in it rather than
+    # branch indices.
+    order: tuple[int, ...] | None = None
 
 
 @dataclass
@@ -250,12 +256,11 @@ class Itinerary:
                 if frame.entered:
                     self._stack.pop()
                     continue
-                chosen = frame.pattern.select(naplet, start=frame.tried_from)
+                chosen = self._select_alt(naplet, ops, frame)
                 if chosen is None:
                     self._stack.pop()
                     continue
                 frame.entered = True
-                frame.tried_from = chosen + 1
                 self._alt_pending = len(self._stack) - 1
                 self._stack.append(_frame_for(frame.pattern.children[chosen]))
                 continue
@@ -294,6 +299,45 @@ class Itinerary:
             ops.notify_join(naplet, target, token)
         return None
 
+    def _select_alt(
+        self, naplet: "Naplet", ops: TravelOps, frame: _AltFrame
+    ) -> int | None:
+        """Pick the next Alt branch to try; advances ``frame.tried_from``.
+
+        On first entry a duck-typed ``order_alt_branches`` hook on *ops*
+        may supply a full branch permutation (least-loaded first, from the
+        server's space view).  Without a hook, or when it declines (empty
+        or stale view) or raises, selection is exactly the historical
+        static path through ``pattern.select`` — byte-identical behavior,
+        which the load-aware property tests pin down.  Backtracking after
+        a failed dispatch resumes from ``tried_from`` either way, so a
+        burned branch is never retried within one entry sequence.
+        """
+        if frame.order is None and frame.tried_from == 0:
+            hook = getattr(ops, "order_alt_branches", None)
+            if hook is not None:
+                try:
+                    order = hook(naplet, frame.pattern)
+                except Exception:
+                    order = None
+                if order is not None:
+                    frame.order = tuple(order)
+        if frame.order is None:
+            chosen = frame.pattern.select(naplet, start=frame.tried_from)
+            if chosen is None:
+                return None
+            frame.tried_from = chosen + 1
+            return chosen
+        for position in range(frame.tried_from, len(frame.order)):
+            branch = frame.order[position]
+            if 0 <= branch < len(frame.pattern.children) and (
+                frame.pattern.children[branch].first_admitting_visit(naplet)
+                is not None
+            ):
+                frame.tried_from = position + 1
+                return branch
+        return None
+
     # -- forking ------------------------------------------------------------ #
 
     def _fork(self, naplet: "Naplet", pattern: ParPattern, ops: TravelOps) -> tuple[str, ...]:
@@ -301,7 +345,11 @@ class Itinerary:
         from repro.core.address_book import AddressEntry
 
         clones: list["Naplet"] = []
+        clone_by_branch: dict[int, "Naplet"] = {}
         tokens: list[str] = []
+        # Clones are always *created* in branch order — ids, credentials
+        # and JOIN tokens stay deterministic — even when the spawn loop
+        # below dispatches them in a load-ranked order.
         for branch_index in range(1, len(pattern.children)):
             branch = pattern.children[branch_index]
             clone = naplet.clone()
@@ -313,6 +361,7 @@ class Itinerary:
                 tokens.append(token)
             clone.set_itinerary(clone_itin)
             clones.append(clone)
+            clone_by_branch[branch_index] = clone
         # Siblings (original included) learn each other's ids, seeded with
         # the forking server as initial location — stale by design, the
         # Locator traces from there.
@@ -324,7 +373,24 @@ class Itinerary:
                     member.address_book.add(
                         AddressEntry(naplet_id=other.naplet_id, server_urn=origin)
                     )
-        for clone in clones:
+        # Duck-typed like the Alt hook: ops may rank the Par branches by
+        # load so the least-loaded destinations receive their clones
+        # first.  The hook returns a full branch permutation; branch 0 is
+        # the original's and is filtered out here.  Declining, raising, or
+        # absent hooks leave the historical branch-index order.
+        spawn_branches = list(range(1, len(pattern.children)))
+        hook = getattr(ops, "order_par_branches", None)
+        if hook is not None:
+            try:
+                ranked = hook(naplet, pattern)
+            except Exception:
+                ranked = None
+            if ranked is not None:
+                ordered = [b for b in ranked if b in clone_by_branch]
+                if sorted(ordered) == spawn_branches:
+                    spawn_branches = ordered
+        for branch_index in spawn_branches:
+            clone = clone_by_branch[branch_index]
             destination = clone.itinerary.step(clone, ops)
             if destination is None:
                 continue  # degenerate branch: nothing admitted; token already notified

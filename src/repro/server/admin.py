@@ -247,6 +247,18 @@ class SpaceAdmin:
             for hostname in self.hostnames
         }
 
+    def space_view(self) -> dict[str, dict]:
+        """Every server's merged load view (observatory snapshot), by host.
+
+        Each snapshot carries the server's own on-demand digest plus the
+        peer digests it has merged, with staleness aging applied — the
+        same structure the ``load`` open service exposes in-space.
+        """
+        return {
+            hostname: self._servers[hostname].observatory.describe()
+            for hostname in self.hostnames
+        }
+
     def space_findings(self) -> list["HealthFinding"]:
         """All active watchdog findings, most severe first."""
         findings: list[HealthFinding] = []

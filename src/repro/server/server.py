@@ -104,6 +104,16 @@ class ServerConfig:
     journal_enabled: bool = True
     journal_capacity: int = 4096
     journal_time_source: Callable[[], float] | None = None
+    # Load observatory (DESIGN.md §6.8): heartbeat LoadDigests ride
+    # already-open connections, merge into a per-server SpaceView, and —
+    # with ``load_aware_navigation`` on — reorder Alt/Par expansion toward
+    # the least-loaded eligible server.  Dormant whenever telemetry is
+    # disabled; a peer whose digest outlives ``load_stale_after`` decays
+    # to unknown and navigation falls back to declaration order.
+    observatory_enabled: bool = True
+    load_cadence: float = 0.5
+    load_stale_after: float = 5.0
+    load_aware_navigation: bool = True
 
 
 class NapletServer:
@@ -230,6 +240,17 @@ class NapletServer:
         self.health = HealthPlane(self)
         self.health.start()
 
+        # Load observatory: heartbeat digests over connections the space
+        # already holds open, the merged SpaceView the Navigator consults,
+        # and the ``load`` open service peers and probes read.
+        from repro.health.observatory import LoadObservatory, LoadService
+
+        self.observatory = LoadObservatory(self)
+        self.resource_manager.register_open_service(
+            LoadService.SERVICE_NAME, LoadService(self)
+        )
+        self.observatory.start()
+
         self._shutdown = threading.Event()
         transport.register(self.urn, self._handle_frame)
         # Wire-level connection failures at our endpoint land in our
@@ -294,6 +315,8 @@ class NapletServer:
             return DirectoryClient.handle_query_frame(self.local_directory, frame)
         if kind == FrameKind.PING:
             return pickle.dumps({"pong": self.urn})
+        if kind == FrameKind.LOAD:
+            return self.observatory.handle_load_frame(frame)
         raise NapletError(f"{self.urn}: unknown frame kind {kind!r}")
 
     # ------------------------------------------------------------------ #
@@ -411,6 +434,7 @@ class NapletServer:
             return
         self._shutdown.set()
         self.health.stop()
+        self.observatory.stop()
         for nid in self.monitor.resident_ids():
             self.monitor.interrupt(nid, SystemControl.TERMINATE, "server shutdown")
         self.transport.unregister(self.urn)

@@ -70,7 +70,7 @@ class JournalRecord:
     seq: int  # per-server append sequence (merge tie-break)
     hlc: HLCStamp
     kind: str
-    category: str  # "event" | "span" | "fault" | "finding" | "deadletter" | "perf"
+    category: str  # "event" | "span" | "fault" | "finding" | "deadletter" | "perf" | "load"
     server: str
     wall: float
     mono: float

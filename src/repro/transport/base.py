@@ -52,6 +52,7 @@ class FrameKind:
     CONTROL = "control"
     CODEBASE_FETCH = "codebase-fetch"
     PING = "ping"
+    LOAD = "load"
 
 
 def urn_of(hostname: str) -> str:
@@ -199,6 +200,16 @@ class Transport(abc.ABC):
     def pool_reuse_count(self) -> int:
         """Frames that reused a pooled connection instead of dialing."""
         return int(self._wire_pool_reuse.total())
+
+    def live_peers(self, source_urn: str) -> list[str]:
+        """Endpoint URNs reachable from *source_urn* without dialing.
+
+        The load observatory emits heartbeats only toward these peers, so
+        a digest by construction rides channels an earlier exchange opened
+        and never pays a dial of its own.  The base transport keeps no
+        connections; pool- and link-aware implementations override this.
+        """
+        return []
 
     def _note_connection_opened(self, dest: str) -> None:
         self._wire_connections.inc(dest=dest)

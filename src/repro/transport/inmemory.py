@@ -80,6 +80,26 @@ class InMemoryTransport(Transport):
             if (src, dst) in self._down_links:
                 raise NapletCommunicationError(f"link down: {src} -> {dst}")
 
+    # -- open links --------------------------------------------------------- #
+
+    def live_peers(self, source_urn: str) -> list[str]:
+        """Registered peers whose directed link from *source_urn* is open.
+
+        Mirrors the pool-accounting semantics below: the first frame over
+        a ``(src, dst)`` link is the logical dial, so a heartbeat toward a
+        listed peer is always accounted as a reuse, never an open.
+        Partitions do not unlist a peer — the send fails instead, which is
+        the signal the observatory counts.
+        """
+        src = host_of(source_urn)
+        with self._links_lock:
+            links = set(self._links_opened)
+        return [
+            urn
+            for urn in self.endpoints()
+            if host_of(urn) != src and (src, host_of(urn)) in links
+        ]
+
     # -- delivery ----------------------------------------------------------- #
 
     def _deliver(self, frame: Frame) -> bytes | None:

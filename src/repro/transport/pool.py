@@ -378,6 +378,13 @@ class ConnectionPool:
         with self._lock:
             return self._conns.get(dest)
 
+    def live_destinations(self) -> list[str]:
+        """Destination URNs with a live keepalive connection right now."""
+        with self._lock:
+            return sorted(
+                dest for dest, conn in self._conns.items() if conn.alive
+            )
+
     def stats(self) -> dict[str, int]:
         with self._lock:
             active = sum(1 for c in self._conns.values() if c.alive)

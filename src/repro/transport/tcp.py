@@ -269,6 +269,17 @@ class TcpTransport(Transport):
                 backlog += queue.qsize()
         return backlog
 
+    def live_peers(self, source_urn: str) -> list[str]:
+        """Destinations with a live pooled keepalive (unpooled: none).
+
+        The pool is shared by every endpoint of this transport object, so
+        this is the opportunistic superset of peers *some* local endpoint
+        has talked to — exactly the connections a heartbeat rides for free.
+        """
+        if self._pool is None:
+            return []
+        return [d for d in self._pool.live_destinations() if d != source_urn]
+
     def _connect(self, urn: str) -> socket.socket:
         port = self.port_of(urn)
         try:

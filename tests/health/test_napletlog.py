@@ -173,3 +173,50 @@ class TestCli:
     def test_no_input_is_an_error(self, napletlog):
         with pytest.raises(SystemExit):
             napletlog.main([])
+
+
+class TestLoadRecords:
+    """Observatory records (DESIGN.md §6.8) flow through the same CLI."""
+
+    def _dump_with_load(self, napletlog, tmp_path):
+        journal = SpaceJournal("s00", time_source=lambda: 100.0)
+        journal.append(kind="naplet-launch", naplet="n1")
+        journal.append(
+            kind="load",
+            category="load",
+            naplet="n1",
+            detail={"pattern": "alt", "order": [1, 0], "changed": True},
+        )
+        journal.append(
+            kind="load-digest",
+            category="load",
+            detail={"peer": "s01", "score": 3.0},
+        )
+        path = tmp_path / "load.json"
+        napletlog.dump_records(str(path), journal.snapshot())
+        return str(path)
+
+    def test_kind_load_selects_only_ordering_decisions(
+        self, napletlog, tmp_path, capsys
+    ):
+        path = self._dump_with_load(napletlog, tmp_path)
+        assert napletlog.main([path, "--kind", "load"]) == 0
+        out = capsys.readouterr().out
+        assert "(1 records)" in out
+        assert "order=[1, 0]" in out
+
+    def test_category_load_selects_decisions_and_digests(
+        self, napletlog, tmp_path, capsys
+    ):
+        path = self._dump_with_load(napletlog, tmp_path)
+        assert napletlog.main([path, "--category", "load"]) == 0
+        out = capsys.readouterr().out
+        assert "(2 records)" in out
+
+    def test_journey_plus_kind_load_reconstructs_one_decision(
+        self, napletlog, tmp_path, capsys
+    ):
+        path = self._dump_with_load(napletlog, tmp_path)
+        assert napletlog.main([path, "--journey", "n1", "--kind", "load"]) == 0
+        out = capsys.readouterr().out
+        assert "changed=True" in out

@@ -264,3 +264,49 @@ class TestJourneyAndFollow:
         assert "naplet-launch" in out
         # Tail mode is append-only: no screen-clear escape codes.
         assert "\x1b[2J" not in out
+
+
+class TestSpaceViewPanel:
+    """render_space_view: the observatory's who-sees-whom matrix."""
+
+    def test_synthetic_view_renders_scores_and_unknowns(self, napletstat):
+        view = {
+            "s00": {
+                "enabled": True,
+                "load_aware": True,
+                "reroutes": 2,
+                "peers": {
+                    "s01": {"fresh": True, "score": 3.0, "age_s": 0.1},
+                    "s02": {"fresh": False, "score": None, "age_s": 9.0},
+                },
+            },
+            "s01": {"enabled": True, "load_aware": False, "peers": {}},
+        }
+        output = napletstat.render_space_view(view)
+        assert "space view" in output
+        assert "3.0" in output          # fresh peer shows its score
+        assert "?" in output            # stale peer decays to unknown
+        assert "reroutes=2" in output
+        assert "static order" in output  # load_aware off is called out
+
+    def test_empty_view_renders_placeholder(self, napletstat):
+        assert "no observatories" in napletstat.render_space_view({})
+
+    def test_live_space_view_matrix(self, napletstat, space):
+        from repro.simnet import line
+        from repro.transport.base import Frame, FrameKind
+
+        _net, servers = space(line(2, prefix="s"))
+        for a in servers.values():
+            for b in servers.values():
+                if a is not b:
+                    a.transport.request(
+                        Frame(kind=FrameKind.PING, source=a.urn, dest=b.urn)
+                    )
+        for server in servers.values():
+            server.observatory.beat_now()
+        admin = SpaceAdmin(servers)
+        output = napletstat.render_space_view(admin.space_view())
+        row = next(l for l in output.splitlines() if l.strip().startswith("s00"))
+        # s00 heard s01's heartbeat: two numeric cells, no unknowns.
+        assert "?" not in row

@@ -158,3 +158,20 @@ class TestMeterQueries:
         meter.reset()
         assert meter.total_bytes == 0
         assert meter.total_virtual_seconds == 0.0
+
+
+class TestLivePeers:
+    """live_peers: the observatory's no-dial guarantee (DESIGN.md §6.8)."""
+
+    def test_no_traffic_means_no_live_peers(self, transport):
+        assert transport.live_peers("naplet://a") == []
+
+    def test_links_are_directed_and_appear_after_first_send(self, transport):
+        transport.send(_frame("naplet://a", "naplet://b"))
+        assert transport.live_peers("naplet://a") == ["naplet://b"]
+        # The reverse direction was never used, so b sees no one.
+        assert transport.live_peers("naplet://b") == []
+
+    def test_self_is_never_a_peer(self, transport):
+        transport.send(_frame("naplet://a", "naplet://b"))
+        assert "naplet://a" not in transport.live_peers("naplet://a")

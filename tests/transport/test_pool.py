@@ -229,3 +229,28 @@ class TestOutOfBandSegments:
             payload=b"p",
         )
         assert pickle.loads(transport.request(frame, timeout=10)) is True
+
+
+class TestLivePeers:
+    """live_peers/live_destinations: what a heartbeat may ride for free."""
+
+    def test_live_peers_lists_pooled_keepalives_only(self, transport):
+        assert transport.live_peers("naplet://a") == []
+        transport.register("naplet://echo", lambda f: pickle.dumps(b"ok"))
+        transport.request(_frame("naplet://echo"), timeout=5)
+        assert transport.live_peers("naplet://a") == ["naplet://echo"]
+        assert transport.pool.live_destinations() == ["naplet://echo"]
+
+    def test_live_peers_excludes_self(self, transport):
+        transport.register("naplet://echo", lambda f: pickle.dumps(b"ok"))
+        transport.request(_frame("naplet://echo"), timeout=5)
+        assert transport.live_peers("naplet://echo") == []
+
+    def test_unpooled_transport_has_no_live_peers(self):
+        transport = TcpTransport(pooled=False)
+        try:
+            transport.register("naplet://echo", lambda f: pickle.dumps(b"ok"))
+            transport.request(_frame("naplet://echo"), timeout=5)
+            assert transport.live_peers("naplet://a") == []
+        finally:
+            transport.close()

@@ -210,7 +210,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--kind", help="only records of this kind")
     parser.add_argument(
         "--category",
-        choices=["event", "span", "fault", "finding", "deadletter"],
+        choices=["event", "span", "fault", "finding", "deadletter", "perf", "load"],
         help="only records of this category",
     )
     parser.add_argument(

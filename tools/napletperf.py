@@ -55,6 +55,11 @@ SUITES: dict[str, dict[str, str]] = {
         "snapshot": "",
         "tier": "slow",
     },
+    "loadaware": {
+        "target": "benchmarks/test_bench_loadaware.py",
+        "snapshot": "BENCH_loadaware.json",
+        "tier": "fast",
+    },
 }
 
 

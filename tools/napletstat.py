@@ -203,6 +203,50 @@ def render(rows: list[dict[str, Any]], top: int = 5) -> str:
     return "\n".join(lines)
 
 
+def render_space_view(space_view: dict[str, Any]) -> str:
+    """The observatory panel: who sees whom, and how loaded (pure, testable).
+
+    *space_view* is ``SpaceAdmin.space_view()`` — per observing server, the
+    merged :class:`~repro.health.SpaceView` it navigates by.  Cells show the
+    peer's load score as the observer currently believes it; ``?`` marks a
+    peer whose digest is stale or was never heard (decayed to *unknown*,
+    never to idle — see DESIGN.md §6.8).
+    """
+    observers = sorted(space_view)
+    peers = sorted(
+        {p for view in space_view.values() for p in (view.get("peers") or {})}
+        | set(observers)
+    )
+    lines = [
+        f"  space view  ({len(observers)} observers x {len(peers)} peers; "
+        f"cell = load score, ? = unknown/stale)"
+    ]
+    lines.append("  " + f"{'sees ->':<10}" + "".join(f"{p:>9}" for p in peers))
+    for observer in observers:
+        view = space_view.get(observer) or {}
+        held = view.get("peers") or {}
+        cells = []
+        for peer in peers:
+            entry = held.get(peer)
+            if entry is None or not entry.get("fresh") or entry.get("score") is None:
+                cells.append(f"{'?':>9}")
+            else:
+                cells.append(f"{float(entry['score']):>9.1f}")
+        notes = []
+        if not view.get("enabled", True):
+            notes.append("observatory off")
+        elif not view.get("load_aware", True):
+            notes.append("static order")
+        reroutes = int(view.get("reroutes", 0))
+        if reroutes:
+            notes.append(f"reroutes={reroutes}")
+        suffix = f"  ({', '.join(notes)})" if notes else ""
+        lines.append(f"  {observer:<10}" + "".join(cells) + suffix)
+    if not observers:
+        lines.append("  (no observatories reporting)")
+    return "\n".join(lines)
+
+
 def render_journey(records: list[Any], journey: str) -> str:
     """Flight-recorder timeline of one journey (pure, testable).
 
@@ -346,8 +390,13 @@ def main(argv: list[str] | None = None) -> int:
                     return 0
                 time.sleep(args.interval)
         while True:
+            # Force one observatory beat per frame so --once shows a
+            # populated space view even before the cadence thread fires.
+            for server in admin._servers.values():
+                server.observatory.beat_now()
             rows = rows_from_admin(admin)
             output = render(rows, top=args.top)
+            output += "\n\n" + render_space_view(admin.space_view())
             if args.journey:
                 records = journal_tail(admin, {}, journey=args.journey)
                 output += "\n\n" + render_journey(records, args.journey)
